@@ -1,0 +1,211 @@
+//! Lightweight statistics primitives used by the machine models.
+//!
+//! The machines define their own typed statistics structs; this module
+//! provides the shared building blocks: a [`Counter`], a bounded
+//! [`Histogram`], and a [`Report`] of name/value rows that machines emit
+//! for the bench harness to print.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// The current count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A fixed-bucket histogram of small integer samples (e.g. sharer counts).
+///
+/// Samples at or above the bucket count land in the final, overflow bucket.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets (the last is overflow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0`.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            buckets: vec![0; buckets],
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: usize) {
+        let i = value.min(self.buckets.len() - 1);
+        self.buckets[i] += 1;
+    }
+
+    /// The recorded count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Total number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean of the recorded samples (overflow bucket counted at its index).
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| i as u64 * c)
+            .sum();
+        weighted as f64 / total as f64
+    }
+}
+
+/// One named value in a statistics report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReportRow {
+    /// Metric name, e.g. `"stache.block_faults"`.
+    pub name: String,
+    /// Metric value.
+    pub value: f64,
+}
+
+/// An ordered list of named metrics produced by a simulation run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    rows: Vec<ReportRow>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends a metric.
+    pub fn push(&mut self, name: impl Into<String>, value: f64) {
+        self.rows.push(ReportRow {
+            name: name.into(),
+            value,
+        });
+    }
+
+    /// Appends an integer metric.
+    pub fn push_count(&mut self, name: impl Into<String>, value: u64) {
+        self.push(name, value as f64);
+    }
+
+    /// Looks up a metric by exact name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.rows.iter().find(|r| r.name == name).map(|r| r.value)
+    }
+
+    /// Iterates over the rows in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &ReportRow> {
+        self.rows.iter()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the report has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self.rows.iter().map(|r| r.name.len()).max().unwrap_or(0);
+        for row in &self.rows {
+            if row.value.fract() == 0.0 && row.value.abs() < 1e15 {
+                writeln!(f, "{:width$}  {}", row.name, row.value as i64)?;
+            } else {
+                writeln!(f, "{:width$}  {:.4}", row.name, row.value)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let mut h = Histogram::new(4);
+        h.record(0);
+        h.record(3);
+        h.record(99); // overflow -> bucket 3
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(3), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = Histogram::new(10);
+        h.record(2);
+        h.record(4);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(Histogram::new(3).mean(), 0.0);
+    }
+
+    #[test]
+    fn report_round_trip() {
+        let mut r = Report::new();
+        r.push_count("a.b", 7);
+        r.push("c", 1.5);
+        assert_eq!(r.get("a.b"), Some(7.0));
+        assert_eq!(r.get("missing"), None);
+        assert_eq!(r.len(), 2);
+        let text = r.to_string();
+        assert!(text.contains("a.b"));
+        assert!(text.contains("1.5"));
+    }
+}

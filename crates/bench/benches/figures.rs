@@ -1,0 +1,46 @@
+//! Reduced-scale figure points under `cargo bench`, so the paper's two
+//! headline comparisons are exercised by the standard bench entry point.
+//! The printable full-resolution figures come from the `figure3` /
+//! `figure4` binaries; these benches run single representative points at
+//! smoke scale and report the simulated-cycle results via criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tt_bench::{bench_config, figure3_point, figure4_point, smoke};
+use tt_apps::{AppId, DataSet};
+
+fn bench_figure3_points(c: &mut Criterion) {
+    let cfg = bench_config(smoke::NODES);
+    let mut group = c.benchmark_group("figure3");
+    group.sample_size(10);
+    group.bench_function("em3d_small_4k_point", |b| {
+        b.iter(|| {
+            let p = figure3_point(AppId::Em3d, DataSet::Small, 4 * 1024, smoke::SCALE, &cfg);
+            black_box(p.relative())
+        })
+    });
+    group.bench_function("ocean_small_4k_point", |b| {
+        b.iter(|| {
+            let p = figure3_point(AppId::Ocean, DataSet::Small, 4 * 1024, smoke::SCALE, &cfg);
+            black_box(p.relative())
+        })
+    });
+    group.finish();
+}
+
+fn bench_figure4_midpoint(c: &mut Criterion) {
+    let cfg = bench_config(smoke::NODES);
+    let mut group = c.benchmark_group("figure4");
+    group.sample_size(10);
+    group.bench_function("em3d_30pct_remote_all_systems", |b| {
+        b.iter(|| {
+            let p = figure4_point(0.3, smoke::SCALE, &cfg);
+            black_box(p.cycles_per_edge)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure3_points, bench_figure4_midpoint);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Criterion microbenchmarks of the simulator substrate and the
+//! user-level shared-memory hot paths: the §5.1 claims about handler
+//! invocation live here (miss path, message round trip), plus raw engine
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tt_base::addr::PAGE_BYTES;
+use tt_base::workload::{Layout, Op, Placement, Region, ScriptWorkload, SHARED_SEGMENT_BASE};
+use tt_base::{Cycles, DetRng, NodeId, SystemConfig, VAddr};
+use tt_mem::{CacheModel, FifoTlb};
+use tt_sim::{EventHandler, EventQueue, RunLimit};
+use tt_stache::StacheProtocol;
+use tt_typhoon::TyphoonMachine;
+
+struct Sink(u64);
+impl EventHandler for Sink {
+    type Event = u64;
+    fn handle(&mut self, _now: Cycles, ev: u64, q: &mut EventQueue<u64>) {
+        self.0 = self.0.wrapping_add(ev);
+        if ev > 0 {
+            q.schedule_after(Cycles::new(3), ev - 1);
+        }
+    }
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("sim/event_queue_chain_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            q.schedule_at(Cycles::ZERO, 10_000u64);
+            let mut h = Sink(0);
+            tt_sim::run(&mut h, &mut q, RunLimit::none());
+            black_box(h.0)
+        })
+    });
+}
+
+fn bench_cache_model(c: &mut Criterion) {
+    c.bench_function("mem/cache_probe_fill_sweep", |b| {
+        b.iter(|| {
+            let mut cache = CacheModel::new(64 * 1024, 4, 32, DetRng::new(1));
+            let mut hits = 0u64;
+            for i in 0..16_384u64 {
+                let key = (i * 7) % 4096;
+                if cache.probe(key).is_hit() {
+                    hits += 1;
+                } else {
+                    cache.fill(key, i % 2 == 0);
+                }
+            }
+            black_box(hits)
+        })
+    });
+    c.bench_function("mem/tlb_fifo_sweep", |b| {
+        b.iter(|| {
+            let mut tlb = FifoTlb::new(64);
+            let mut hits = 0u64;
+            for i in 0..8_192u64 {
+                if tlb.access(tt_base::addr::Vpn(i % 96)) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+/// One remote Stache miss, end to end: page fault, block fault, request,
+/// home handler, reply handler, resume, retry — the §5.1 critical path.
+fn bench_stache_miss_path(c: &mut Criterion) {
+    c.bench_function("stache/remote_miss_round_trip", |b| {
+        b.iter(|| {
+            let mut layout = Layout::new();
+            layout.add(Region {
+                base: VAddr::new(SHARED_SEGMENT_BASE),
+                bytes: PAGE_BYTES,
+                placement: Placement::PerPage(vec![NodeId::new(0)]),
+                mode: 0,
+            });
+            let mut w = ScriptWorkload::new(2).with_layout(layout);
+            w.set(0, vec![Op::Barrier]);
+            w.set(
+                1,
+                vec![
+                    Op::Barrier,
+                    Op::Read {
+                        addr: VAddr::new(SHARED_SEGMENT_BASE),
+                        expect: None,
+                    },
+                ],
+            );
+            let mut m = TyphoonMachine::new(
+                SystemConfig::test_config(2),
+                Box::new(w),
+                &|id, layout, cfg| Box::new(StacheProtocol::new(id, layout, cfg)),
+            );
+            black_box(m.run().cycles)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_cache_model,
+    bench_stache_miss_path
+);
+criterion_main!(benches);

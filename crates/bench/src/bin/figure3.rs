@@ -1,0 +1,53 @@
+//! Regenerates **Figure 3**: execution time of Typhoon/Stache relative
+//! to DirNNB for the five benchmarks, across the paper's data-set /
+//! cache-size points (small/4K, small/16K, small/64K, small/256K,
+//! large/256K). Shorter (smaller) values mean better Typhoon/Stache
+//! performance; the paper reports every bar within 1.3 and several below
+//! 1.0 when the working set exceeds the hardware cache.
+//!
+//! Usage: `figure3 [--scale N] [--nodes N] [--full]`
+//! (default scale 4; `--full` runs the paper's exact sizes).
+
+use tt_base::table::Table;
+use tt_bench::{bench_config, figure3_point, FIGURE3_POINTS};
+use tt_apps::AppId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, nodes) = tt_bench::parse_args(&args, 4);
+    let cfg = bench_config(nodes);
+    println!(
+        "FIGURE 3. Typhoon/Stache execution time relative to DirNNB \
+         ({nodes} nodes, scale 1/{scale}).\n"
+    );
+    let mut table = Table::new(vec![
+        "benchmark",
+        "small/4K",
+        "small/16K",
+        "small/64K",
+        "small/256K",
+        "large/256K",
+    ]);
+    for app in AppId::ALL {
+        let mut row = vec![app.name().to_string()];
+        for (set, cache) in FIGURE3_POINTS {
+            let point = figure3_point(app, set, cache, scale, &cfg);
+            row.push(format!("{:.3}", point.relative()));
+            eprintln!(
+                "  {} {}/{}K: typhoon {} dirnnb {} -> {:.3}",
+                app,
+                set,
+                cache / 1024,
+                point.typhoon,
+                point.dirnnb,
+                point.relative()
+            );
+        }
+        table.row(row);
+    }
+    println!("{table}");
+    println!(
+        "(paper: all bars <= ~1.3; Typhoon/Stache wins by up to ~25% when the\n\
+         data set exceeds the CPU cache — small/4K and large/256K columns)"
+    );
+}

@@ -1,0 +1,356 @@
+//! The benchmark harness: builds workloads at Table 3 scale (optionally
+//! scaled down), runs them on the three systems the paper compares, and
+//! formats the Figure 3 / Figure 4 series.
+//!
+//! Binaries:
+//!
+//! - `tables`  — regenerates Tables 1, 2, and 3 from the live code;
+//! - `figure3` — relative execution time of Typhoon/Stache vs. DirNNB for
+//!   all five applications across data-set/cache-size points;
+//! - `figure4` — EM3D cycles per edge vs. % non-local edges for DirNNB,
+//!   Typhoon/Stache, and Typhoon with the custom update protocol;
+//! - `ablations` — the design-choice sweeps listed in DESIGN.md §5.
+//!
+//! Criterion benches (`cargo bench`): `microbench` measures the simulator
+//! substrate's hot paths, and `figures` runs reduced-scale figure points
+//! so the paper's comparisons are exercised under `cargo bench` too.
+
+use tt_base::stats::Report;
+use tt_base::workload::Workload;
+use tt_base::{Cycles, SystemConfig};
+use tt_apps::appbt::{Appbt, AppbtParams};
+use tt_apps::barnes::{Barnes, BarnesParams};
+use tt_apps::em3d::{Em3d, Em3dParams, SyncMode};
+use tt_apps::mp3d::{Mp3d, Mp3dParams};
+use tt_apps::ocean::{Ocean, OceanParams};
+use tt_apps::{AppId, DataSet, PhasedWorkload};
+use tt_dirnnb::DirnnbMachine;
+use tt_stache::{Em3dUpdateProtocol, StacheProtocol};
+use tt_typhoon::TyphoonMachine;
+
+/// The three systems of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum System {
+    /// All-hardware DirNNB directory protocol.
+    Dirnnb,
+    /// Typhoon running the default invalidation-based Stache protocol.
+    TyphoonStache,
+    /// Typhoon running the custom EM3D delayed-update protocol
+    /// (EM3D only).
+    TyphoonUpdate,
+}
+
+impl System {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            System::Dirnnb => "DirNNB",
+            System::TyphoonStache => "Typhoon/Stache",
+            System::TyphoonUpdate => "Typhoon/Update",
+        }
+    }
+}
+
+/// Outcome of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Execution time.
+    pub cycles: Cycles,
+    /// Machine/protocol statistics.
+    pub report: Report,
+}
+
+/// Builds one of the five applications at a Table 3 data set, divided by
+/// `scale` (1 = the paper's size). Element counts shrink; the machine
+/// size and iteration counts do not.
+pub fn build_app(
+    app: AppId,
+    set: DataSet,
+    scale: usize,
+    procs: usize,
+    sync: SyncMode,
+) -> Box<dyn Workload> {
+    let scale = scale.max(1);
+    match app {
+        AppId::Em3d => {
+            let mut p = Em3dParams::table3(set, procs);
+            p.graph_nodes = tt_apps::datasets::scaled(p.graph_nodes, scale, 4 * procs);
+            p.sync = sync;
+            Box::new(PhasedWorkload::new(Em3d::new(p)))
+        }
+        AppId::Ocean => {
+            let mut p = OceanParams::table3(set, procs);
+            // Area scales by `scale`: edge by sqrt(scale). Processors
+            // beyond the row count idle, as on the real machine.
+            let factor = (scale as f64).sqrt();
+            p.n = ((p.n as f64 / factor) as usize).max(8);
+            Box::new(PhasedWorkload::new(Ocean::new(p)))
+        }
+        AppId::Mp3d => {
+            let mut p = Mp3dParams::table3(set, procs);
+            p.molecules = tt_apps::datasets::scaled(p.molecules, scale, 4 * procs);
+            p.cells_per_side = ((p.molecules as f64 / 4.0).cbrt().ceil() as usize).max(4);
+            Box::new(PhasedWorkload::new(Mp3d::new(p)))
+        }
+        AppId::Barnes => {
+            let mut p = BarnesParams::table3(set, procs);
+            p.bodies = tt_apps::datasets::scaled(p.bodies, scale, 4 * procs);
+            Box::new(PhasedWorkload::new(Barnes::new(p)))
+        }
+        AppId::Appbt => {
+            let mut p = AppbtParams::table3(set, procs);
+            // Volume scales by `scale`: edge by cbrt(scale). The 2-D
+            // band partition keeps processors busy down to small grids.
+            let factor = (scale as f64).cbrt();
+            p.n = ((p.n as f64 / factor) as usize).max(6);
+            Box::new(PhasedWorkload::new(Appbt::new(p)))
+        }
+    }
+}
+
+/// Runs a workload on the chosen system.
+pub fn run_system(system: System, cfg: &SystemConfig, workload: Box<dyn Workload>) -> RunOutcome {
+    match system {
+        System::Dirnnb => {
+            let r = DirnnbMachine::new(cfg.clone(), workload).run();
+            RunOutcome {
+                cycles: r.cycles,
+                report: r.report,
+            }
+        }
+        System::TyphoonStache => {
+            let r = TyphoonMachine::new(cfg.clone(), workload, &|id, layout, cfg| {
+                Box::new(StacheProtocol::new(id, layout, cfg))
+            })
+            .run();
+            RunOutcome {
+                cycles: r.cycles,
+                report: r.report,
+            }
+        }
+        System::TyphoonUpdate => {
+            let r = TyphoonMachine::new(cfg.clone(), workload, &|id, layout, cfg| {
+                Box::new(Em3dUpdateProtocol::new(id, layout, cfg))
+            })
+            .run();
+            RunOutcome {
+                cycles: r.cycles,
+                report: r.report,
+            }
+        }
+    }
+}
+
+/// The sync mode an app must use on a system (only EM3D on
+/// Typhoon/Update uses flush synchronization).
+pub fn sync_for(app: AppId, system: System) -> SyncMode {
+    if app == AppId::Em3d && system == System::TyphoonUpdate {
+        SyncMode::Flush
+    } else {
+        SyncMode::Barrier
+    }
+}
+
+/// A Figure 3 measurement point.
+#[derive(Clone, Debug)]
+pub struct Figure3Point {
+    /// Application.
+    pub app: AppId,
+    /// Data set.
+    pub set: DataSet,
+    /// CPU cache bytes.
+    pub cache_bytes: usize,
+    /// Typhoon/Stache execution time.
+    pub typhoon: Cycles,
+    /// DirNNB execution time.
+    pub dirnnb: Cycles,
+}
+
+impl Figure3Point {
+    /// The paper's y-axis: Typhoon/Stache time relative to DirNNB
+    /// (shorter bars = better Typhoon performance).
+    pub fn relative(&self) -> f64 {
+        self.typhoon.as_f64() / self.dirnnb.as_f64()
+    }
+}
+
+/// The Figure 3 legend: data set size / CPU cache size points.
+pub const FIGURE3_POINTS: [(DataSet, usize); 5] = [
+    (DataSet::Small, 4 * 1024),
+    (DataSet::Small, 16 * 1024),
+    (DataSet::Small, 64 * 1024),
+    (DataSet::Small, 256 * 1024),
+    (DataSet::Large, 256 * 1024),
+];
+
+/// Measures one Figure 3 bar.
+pub fn figure3_point(
+    app: AppId,
+    set: DataSet,
+    cache_bytes: usize,
+    scale: usize,
+    cfg_base: &SystemConfig,
+) -> Figure3Point {
+    let mut cfg = cfg_base.clone();
+    cfg.cpu.cache_bytes = cache_bytes;
+    let typhoon = run_system(
+        System::TyphoonStache,
+        &cfg,
+        build_app(app, set, scale, cfg.nodes, sync_for(app, System::TyphoonStache)),
+    );
+    let dirnnb = run_system(
+        System::Dirnnb,
+        &cfg,
+        build_app(app, set, scale, cfg.nodes, sync_for(app, System::Dirnnb)),
+    );
+    Figure3Point {
+        app,
+        set,
+        cache_bytes,
+        typhoon: typhoon.cycles,
+        dirnnb: dirnnb.cycles,
+    }
+}
+
+/// A Figure 4 measurement point: EM3D cycles per edge at a remote-edge
+/// fraction.
+#[derive(Clone, Debug)]
+pub struct Figure4Point {
+    /// Percent of edges with a remote source (x-axis).
+    pub pct_remote: f64,
+    /// Cycles per edge per iteration for each system
+    /// (DirNNB, Typhoon/Stache, Typhoon/Update).
+    pub cycles_per_edge: [f64; 3],
+}
+
+/// Measures one Figure 4 x-axis point (all three curves).
+pub fn figure4_point(
+    pct_remote: f64,
+    scale: usize,
+    cfg: &SystemConfig,
+) -> Figure4Point {
+    let mk = |sync: SyncMode| -> (Box<dyn Workload>, f64) {
+        let mut p = Em3dParams::table3(DataSet::Large, cfg.nodes);
+        p.graph_nodes = tt_apps::datasets::scaled(p.graph_nodes, scale, 4 * cfg.nodes);
+        p.pct_remote = pct_remote;
+        p.sync = sync;
+        // Figure 4 measures the steady state: with the static graph, all
+        // stache faults happen in iteration 1, so run enough iterations
+        // that warmup does not dominate (the original EM3D runs hundreds).
+        p.iterations = 8;
+        let app = Em3d::new(p.clone());
+        let denom = (app.total_edges() * p.iterations) as f64;
+        (Box::new(PhasedWorkload::new(app)), denom)
+    };
+    let mut cpe = [0.0f64; 3];
+    for (i, system) in [System::Dirnnb, System::TyphoonStache, System::TyphoonUpdate]
+        .into_iter()
+        .enumerate()
+    {
+        let sync = if system == System::TyphoonUpdate {
+            SyncMode::Flush
+        } else {
+            SyncMode::Barrier
+        };
+        // Figure 4 isolates the protocol effect: the DirNNB comparator
+        // gets ideal (owner) placement so all three systems coincide at
+        // 0% non-local edges, and the CPU cache is large enough (256 KB)
+        // that capacity misses do not drown the coherence traffic.
+        let mut cfg = cfg.clone();
+        cfg.dirnnb.placement = tt_base::config::DirPlacement::Owner;
+        cfg.cpu.cache_bytes = 256 * 1024;
+        let (w, denom) = mk(sync);
+        let out = run_system(system, &cfg, w);
+        cpe[i] = out.cycles.as_f64() / denom;
+    }
+    Figure4Point {
+        pct_remote,
+        cycles_per_edge: cpe,
+    }
+}
+
+/// Standard bench configuration: the paper's 32 nodes, verification off
+/// (it is exercised by the test suite; benches measure timing).
+#[allow(clippy::field_reassign_with_default)] // mutate-after-default is the config idiom
+pub fn bench_config(nodes: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::default();
+    cfg.nodes = nodes;
+    cfg.verify_values = false;
+    cfg
+}
+
+/// Parses `--scale N`, `--nodes N`, `--full` style arguments shared by
+/// the harness binaries. Returns `(scale, nodes)`.
+pub fn parse_args(args: &[String], default_scale: usize) -> (usize, usize) {
+    let mut scale = default_scale;
+    let mut nodes = 32;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = args[i + 1].parse().expect("--scale N");
+                i += 2;
+            }
+            "--nodes" => {
+                nodes = args[i + 1].parse().expect("--nodes N");
+                i += 2;
+            }
+            "--full" => {
+                scale = 1;
+                i += 1;
+            }
+            other => panic!("unknown argument {other}; use --scale N | --nodes N | --full"),
+        }
+    }
+    (scale, nodes)
+}
+
+/// Smoke-level constants so `cargo test -p tt-bench` stays quick.
+pub mod smoke {
+    /// A scale factor that shrinks every app below a second of wall time.
+    pub const SCALE: usize = 64;
+    /// Machine size for smoke runs.
+    pub const NODES: usize = 8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_smoke_point_is_sane() {
+        let cfg = bench_config(smoke::NODES);
+        let p = figure3_point(AppId::Em3d, DataSet::Small, 4 * 1024, smoke::SCALE, &cfg);
+        let rel = p.relative();
+        assert!(rel > 0.2 && rel < 3.0, "relative time {rel}");
+    }
+
+    #[test]
+    fn figure4_smoke_point_orders_systems_at_high_remote() {
+        let cfg = bench_config(smoke::NODES);
+        let p = figure4_point(0.5, smoke::SCALE, &cfg);
+        let [dirnnb, stache, update] = p.cycles_per_edge;
+        assert!(update < dirnnb, "update {update} should beat DirNNB {dirnnb}");
+        assert!(update < stache, "update {update} should beat Stache {stache}");
+    }
+
+    #[test]
+    fn all_apps_build_at_smoke_scale() {
+        for app in AppId::ALL {
+            let w = build_app(app, DataSet::Small, smoke::SCALE, 4, SyncMode::Barrier);
+            assert_eq!(w.name(), app.name());
+        }
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--scale", "8", "--nodes", "16"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_args(&args, 1), (8, 16));
+        assert_eq!(parse_args(&[], 4), (4, 32));
+        let full: Vec<String> = vec!["--full".into()];
+        assert_eq!(parse_args(&full, 16), (1, 32));
+    }
+}

@@ -1,0 +1,184 @@
+//! The fine-grain access-control operations of Table 1.
+//!
+//! Tempest defines nine operations on tagged memory blocks. They split
+//! into three groups:
+//!
+//! | Operation     | Where it runs            | In this reproduction |
+//! |---------------|--------------------------|----------------------|
+//! | `read`        | CPU loads                | issued by workloads, checked by the machine |
+//! | `write`       | CPU stores               | issued by workloads, checked by the machine |
+//! | `force-read`  | protocol handlers        | [`TempestCtx::force_read_block`] / `force_read_word` |
+//! | `force-write` | protocol handlers        | [`TempestCtx::force_write_block`] / `force_write_word` |
+//! | `read-tag`    | protocol handlers        | [`TempestCtx::read_tag`] |
+//! | `set-RW`      | protocol handlers        | [`TempestCtx::set_tag`] with [`Tag::ReadWrite`] |
+//! | `set-RO`      | protocol handlers        | [`TempestCtx::set_tag`] with [`Tag::ReadOnly`] |
+//! | `invalidate`  | protocol handlers        | [`TempestCtx::invalidate_block`] (also purges CPU-cached copies) |
+//! | `resume`      | protocol handlers        | [`TempestCtx::resume`] |
+//!
+//! [`TagOp`] names the operations so tests, statistics, and documentation
+//! can refer to them uniformly.
+//!
+//! [`TempestCtx::force_read_block`]: crate::TempestCtx::force_read_block
+//! [`TempestCtx::force_write_block`]: crate::TempestCtx::force_write_block
+//! [`TempestCtx::read_tag`]: crate::TempestCtx::read_tag
+//! [`TempestCtx::set_tag`]: crate::TempestCtx::set_tag
+//! [`TempestCtx::invalidate_block`]: crate::TempestCtx::invalidate_block
+//! [`TempestCtx::resume`]: crate::TempestCtx::resume
+//! [`Tag::ReadWrite`]: tt_mem::Tag::ReadWrite
+//! [`Tag::ReadOnly`]: tt_mem::Tag::ReadOnly
+
+use tt_mem::{AccessKind, Tag};
+
+/// The nine Tempest operations on tagged memory blocks (Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TagOp {
+    /// Load with tag check; faults suspend the thread and invoke a handler.
+    Read,
+    /// Store with tag check; faults suspend the thread and invoke a handler.
+    Write,
+    /// Load without tag check.
+    ForceRead,
+    /// Store without tag check.
+    ForceWrite,
+    /// Return the value of the tag.
+    ReadTag,
+    /// Set the tag to `ReadWrite`.
+    SetRw,
+    /// Set the tag to `ReadOnly`.
+    SetRo,
+    /// Set the tag to `Invalid` and invalidate any local cached copies.
+    Invalidate,
+    /// Resume suspended thread(s).
+    Resume,
+}
+
+impl TagOp {
+    /// All nine operations, in Table 1 order.
+    pub const ALL: [TagOp; 9] = [
+        TagOp::Read,
+        TagOp::Write,
+        TagOp::ForceRead,
+        TagOp::ForceWrite,
+        TagOp::ReadTag,
+        TagOp::SetRw,
+        TagOp::SetRo,
+        TagOp::Invalidate,
+        TagOp::Resume,
+    ];
+
+    /// The Table 1 name of the operation.
+    pub fn name(self) -> &'static str {
+        match self {
+            TagOp::Read => "read",
+            TagOp::Write => "write",
+            TagOp::ForceRead => "force-read",
+            TagOp::ForceWrite => "force-write",
+            TagOp::ReadTag => "read-tag",
+            TagOp::SetRw => "set-RW",
+            TagOp::SetRo => "set-RO",
+            TagOp::Invalidate => "invalidate",
+            TagOp::Resume => "resume",
+        }
+    }
+
+    /// The Table 1 description of the operation.
+    pub fn description(self) -> &'static str {
+        match self {
+            TagOp::Read => "Load with tag check; if access fault, suspend thread and invoke handler",
+            TagOp::Write => "Store with tag check; if access fault, suspend thread and invoke handler",
+            TagOp::ForceRead => "Load without tag check",
+            TagOp::ForceWrite => "Store without tag check",
+            TagOp::ReadTag => "Return value of tag",
+            TagOp::SetRw => "Set tag value to ReadWrite",
+            TagOp::SetRo => "Set tag value to ReadOnly",
+            TagOp::Invalidate => "Set tag value to Invalid and invalidate any local copies",
+            TagOp::Resume => "Resume suspended thread(s)",
+        }
+    }
+
+    /// For the tag-setting operations, the tag value written.
+    pub fn tag_written(self) -> Option<Tag> {
+        match self {
+            TagOp::SetRw => Some(Tag::ReadWrite),
+            TagOp::SetRo => Some(Tag::ReadOnly),
+            TagOp::Invalidate => Some(Tag::Invalid),
+            _ => None,
+        }
+    }
+
+    /// For the tag-checked accesses, the access kind checked.
+    pub fn checked_access(self) -> Option<AccessKind> {
+        match self {
+            TagOp::Read => Some(AccessKind::Load),
+            TagOp::Write => Some(AccessKind::Store),
+            _ => None,
+        }
+    }
+}
+
+/// Whether a tag-checked access of kind `kind` on a block tagged `tag`
+/// completes normally (`true`) or raises a block access fault (`false`).
+///
+/// This is the single permission predicate every machine in the workspace
+/// uses; Section 2.4's rules reduce to it.
+#[inline]
+pub fn access_permitted(tag: Tag, kind: AccessKind) -> bool {
+    tag.permits(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_has_nine_operations() {
+        assert_eq!(TagOp::ALL.len(), 9);
+        let names: Vec<_> = TagOp::ALL.iter().map(|o| o.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "read",
+                "write",
+                "force-read",
+                "force-write",
+                "read-tag",
+                "set-RW",
+                "set-RO",
+                "invalidate",
+                "resume"
+            ]
+        );
+    }
+
+    #[test]
+    fn tag_written_matches_table_1() {
+        assert_eq!(TagOp::SetRw.tag_written(), Some(Tag::ReadWrite));
+        assert_eq!(TagOp::SetRo.tag_written(), Some(Tag::ReadOnly));
+        assert_eq!(TagOp::Invalidate.tag_written(), Some(Tag::Invalid));
+        assert_eq!(TagOp::Read.tag_written(), None);
+        assert_eq!(TagOp::Resume.tag_written(), None);
+    }
+
+    #[test]
+    fn checked_access_only_for_read_write() {
+        assert_eq!(TagOp::Read.checked_access(), Some(AccessKind::Load));
+        assert_eq!(TagOp::Write.checked_access(), Some(AccessKind::Store));
+        for op in [TagOp::ForceRead, TagOp::ForceWrite, TagOp::ReadTag] {
+            assert_eq!(op.checked_access(), None);
+        }
+    }
+
+    #[test]
+    fn permission_predicate() {
+        assert!(access_permitted(Tag::ReadOnly, AccessKind::Load));
+        assert!(!access_permitted(Tag::ReadOnly, AccessKind::Store));
+        assert!(!access_permitted(Tag::Busy, AccessKind::Load));
+    }
+
+    #[test]
+    fn descriptions_are_nonempty() {
+        for op in TagOp::ALL {
+            assert!(!op.description().is_empty());
+        }
+    }
+}

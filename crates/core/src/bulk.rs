@@ -1,0 +1,83 @@
+//! Bulk node-to-node data transfers (paper Section 2.2).
+//!
+//! A bulk transfer moves a virtually addressed byte range from this node
+//! to a destination node asynchronously with respect to the computation
+//! thread, like a DMA transaction. The machine packetizes the range: a
+//! maximum-size packet carries a handler word, an address, and 64 bytes
+//! of data with two words to spare (Section 5.2). Completion can invoke
+//! user handlers on either end, so user code can build scatter-gather
+//! operations.
+
+use tt_base::{NodeId, VAddr};
+
+use crate::msg::HandlerId;
+
+/// Data bytes carried by a maximum-size bulk packet (Section 5.2).
+pub const BULK_PACKET_DATA_BYTES: usize = 64;
+
+/// A request to move `bytes` bytes from `src_addr` on the requesting node
+/// to `dst_addr` on node `dst`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BulkRequest {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Source virtual address on the requesting node.
+    pub src_addr: VAddr,
+    /// Destination virtual address on `dst`.
+    pub dst_addr: VAddr,
+    /// Length in bytes. Must be word-aligned.
+    pub bytes: usize,
+    /// Handler invoked on the *source* node when the last packet has been
+    /// injected and acknowledged, with args `[src_addr, dst_addr, bytes]`.
+    pub notify_src: Option<HandlerId>,
+    /// Handler invoked on the *destination* node when the last packet has
+    /// been written, with args `[src_addr, dst_addr, bytes]`.
+    pub notify_dst: Option<HandlerId>,
+}
+
+/// Splits a transfer length into per-packet chunk sizes.
+///
+/// # Example
+///
+/// ```
+/// use tt_tempest::bulk::chunk_sizes;
+/// assert_eq!(chunk_sizes(150).collect::<Vec<_>>(), vec![64, 64, 22]);
+/// assert_eq!(chunk_sizes(0).count(), 0);
+/// ```
+pub fn chunk_sizes(bytes: usize) -> impl Iterator<Item = usize> {
+    let full = bytes / BULK_PACKET_DATA_BYTES;
+    let tail = bytes % BULK_PACKET_DATA_BYTES;
+    std::iter::repeat_n(BULK_PACKET_DATA_BYTES, full)
+        .chain(std::iter::once(tail).filter(|&t| t > 0))
+}
+
+/// Number of packets a transfer of `bytes` bytes needs.
+pub fn packet_count(bytes: usize) -> usize {
+    bytes.div_ceil(BULK_PACKET_DATA_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_exactly() {
+        for bytes in [0usize, 1, 63, 64, 65, 128, 150, 4096] {
+            let total: usize = chunk_sizes(bytes).sum();
+            assert_eq!(total, bytes, "bytes={bytes}");
+            assert_eq!(chunk_sizes(bytes).count(), packet_count(bytes));
+        }
+    }
+
+    #[test]
+    fn every_chunk_fits_a_packet() {
+        for c in chunk_sizes(1000) {
+            assert!(c > 0 && c <= BULK_PACKET_DATA_BYTES);
+        }
+    }
+
+    #[test]
+    fn exact_multiple_has_no_tail() {
+        assert_eq!(chunk_sizes(128).collect::<Vec<_>>(), vec![64, 64]);
+    }
+}

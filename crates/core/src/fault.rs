@@ -1,0 +1,90 @@
+//! Fault records delivered to user-level handlers.
+//!
+//! Two kinds of fault suspend a computation thread and invoke protocol
+//! code:
+//!
+//! - a **page fault** (Section 2.3): the accessed virtual page is not
+//!   mapped (or a write hit a read-only page);
+//! - a **block access fault** (Section 2.4): the page is mapped, but the
+//!   accessed 32-byte block's tag forbids the access.
+//!
+//! On Typhoon, a block access fault is detected by the NP's bus monitor;
+//! the RTLB entry supplies the handler with the virtual page, the page
+//! *mode* (a 4-bit value that selects the handler), and uninterpreted
+//! user state (home node id, directory pointer, ...). [`BlockFault`]
+//! carries exactly that information.
+
+use tt_base::{NodeId, VAddr};
+use tt_mem::{AccessKind, PageMeta, Tag};
+
+/// Identifies a suspended computation thread awaiting `resume`.
+///
+/// The paper's model has one computation thread per node (plus logically
+/// concurrent message threads); machines use the node index as the
+/// thread handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub NodeId);
+
+impl ThreadId {
+    /// The node whose computation thread this is.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        self.0
+    }
+}
+
+/// A page fault: access to an unmapped page in the user-managed segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageFault {
+    /// The suspended thread.
+    pub thread: ThreadId,
+    /// The faulting virtual address.
+    pub addr: VAddr,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+/// A block access fault: the block's tag forbids the access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockFault {
+    /// The suspended thread.
+    pub thread: ThreadId,
+    /// The faulting virtual address.
+    pub addr: VAddr,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// The tag that caused the fault (`ReadOnly` write, `Invalid`/`Busy`
+    /// any access).
+    pub tag: Tag,
+    /// RTLB-supplied page metadata: mode and user words.
+    pub meta: PageMeta,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_id_names_its_node() {
+        let t = ThreadId(NodeId::new(4));
+        assert_eq!(t.node(), NodeId::new(4));
+    }
+
+    #[test]
+    fn fault_records_carry_context() {
+        let f = BlockFault {
+            thread: ThreadId(NodeId::new(1)),
+            addr: VAddr::new(0x1000_0020),
+            kind: AccessKind::Store,
+            tag: Tag::ReadOnly,
+            meta: PageMeta {
+                vpn: Some(VAddr::new(0x1000_0020).page()),
+                mode: 2,
+                user: [9, 0xdead],
+            },
+        };
+        assert_eq!(f.meta.user[0], 9);
+        assert!(f.kind.is_store());
+        assert_eq!(f.tag, Tag::ReadOnly);
+    }
+}

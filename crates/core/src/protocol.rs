@@ -1,0 +1,67 @@
+//! The [`Protocol`] trait: user-level shared-memory policy code.
+//!
+//! One `Protocol` value runs on each node's network interface processor.
+//! The machine invokes it for page faults, block access faults, incoming
+//! messages, and explicit application calls; the protocol reacts through
+//! the [`TempestCtx`] it is handed. Handlers run atomically and to
+//! completion (Section 5.1's non-preemptive scheduling), which the
+//! single-threaded simulation provides by construction.
+//!
+//! The paper's argument is that this interface is *sufficient* to build
+//! transparent shared memory (Stache, `tt-stache::stache`), message
+//! passing (trivially), and hybrid protocols (the EM3D delayed-update
+//! protocol, `tt-stache::custom`) — all in user-level software.
+
+use tt_base::stats::Report;
+
+use crate::ctx::TempestCtx;
+use crate::fault::{BlockFault, PageFault, ThreadId};
+use crate::msg::Message;
+
+/// An application's explicit call into its protocol library.
+///
+/// Custom protocols export operations the application invokes directly —
+/// for EM3D, the end-of-phase flush that replaces the barrier. The
+/// calling thread is suspended until the protocol resumes it, so a call
+/// can implement blocking synchronization (e.g. a fuzzy barrier).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UserCall {
+    /// Protocol-defined operation code.
+    pub op: u32,
+    /// Protocol-defined argument.
+    pub arg: u64,
+}
+
+/// User-level shared-memory policy code for one node.
+pub trait Protocol {
+    /// Called once before the simulation starts, after all nodes'
+    /// protocols are constructed; typically maps home pages and
+    /// initializes directories.
+    fn init(&mut self, _ctx: &mut dyn TempestCtx) {}
+
+    /// Handles an access to an unmapped page of the user-managed segment.
+    /// Must eventually lead to `ctx.resume(fault.thread)`.
+    fn on_page_fault(&mut self, ctx: &mut dyn TempestCtx, fault: PageFault);
+
+    /// Handles a block access fault. Must eventually lead to
+    /// `ctx.resume(fault.thread)` (usually after a remote block arrives).
+    fn on_block_fault(&mut self, ctx: &mut dyn TempestCtx, fault: BlockFault);
+
+    /// Handles an incoming active message.
+    fn on_message(&mut self, ctx: &mut dyn TempestCtx, msg: Message);
+
+    /// Handles an explicit application call. The calling thread is
+    /// suspended; the default implementation resumes it immediately
+    /// (i.e. unknown calls are no-ops).
+    fn on_user_call(&mut self, ctx: &mut dyn TempestCtx, thread: ThreadId, _call: UserCall) {
+        ctx.resume(thread);
+    }
+
+    /// A short name for reports ("stache", "em3d-update", ...).
+    fn name(&self) -> &'static str {
+        "protocol"
+    }
+
+    /// Appends protocol-specific statistics to a report.
+    fn report(&self, _report: &mut Report) {}
+}

@@ -1,0 +1,272 @@
+//! Test support: an in-memory [`TempestCtx`] for unit-testing protocols.
+//!
+//! Machine-level tests (see `tt-typhoon`) exercise protocols end to end,
+//! but state-machine bugs are easier to pin down against a context that
+//! simply records what the handler did. [`MockCtx`] provides real memory,
+//! tags, and page tables, and logs every message sent, every resume, and
+//! every bulk request; timing charges accumulate into a plain counter.
+//!
+//! # Example
+//!
+//! ```
+//! use tt_tempest::testing::MockCtx;
+//! use tt_tempest::TempestCtx;
+//! use tt_base::addr::Vpn;
+//! use tt_mem::Tag;
+//!
+//! let mut ctx = MockCtx::new(0, 4);
+//! let ppn = ctx.alloc_page();
+//! ctx.map_page(Vpn(0x10000), ppn).unwrap();
+//! ctx.set_page_tags(Vpn(0x10000), Tag::ReadWrite);
+//! ctx.force_write_word(Vpn(0x10000).base(), 7);
+//! assert_eq!(ctx.force_read_word(Vpn(0x10000).base()), 7);
+//! ```
+
+use tt_base::addr::{Ppn, VAddr, Vpn, BLOCK_BYTES};
+use tt_base::{Cycles, NodeId};
+use tt_mem::{NodeMemory, PageMeta, PageTable, Tag};
+use tt_net::{Payload, VirtualNet};
+
+use crate::bulk::BulkRequest;
+use crate::ctx::{TempestCtx, TempestError};
+use crate::fault::ThreadId;
+use crate::msg::HandlerId;
+
+/// A message recorded by [`MockCtx::send`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SentMessage {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Virtual network used.
+    pub vn: VirtualNet,
+    /// Handler named.
+    pub handler: HandlerId,
+    /// Payload.
+    pub payload: Payload,
+}
+
+/// An in-memory Tempest context that records handler effects
+/// (see module docs).
+#[derive(Debug)]
+pub struct MockCtx {
+    node: NodeId,
+    nodes: usize,
+    now: Cycles,
+    /// Functional memory (data + tags).
+    pub mem: NodeMemory,
+    /// Page table.
+    pub ptable: PageTable,
+    /// Every message sent, in order.
+    pub sent: Vec<SentMessage>,
+    /// Every thread resumed, in order.
+    pub resumed: Vec<ThreadId>,
+    /// Every bulk transfer requested, in order.
+    pub bulk: Vec<BulkRequest>,
+    /// Instructions charged.
+    pub charged: u64,
+    /// Protocol-data accesses recorded (keys, in order).
+    pub data_accesses: Vec<u64>,
+}
+
+impl MockCtx {
+    /// A context for node `node` of an `nodes`-node machine.
+    pub fn new(node: u16, nodes: usize) -> Self {
+        MockCtx {
+            node: NodeId::new(node),
+            nodes,
+            now: Cycles::ZERO,
+            mem: NodeMemory::new(),
+            ptable: PageTable::new(),
+            sent: Vec::new(),
+            resumed: Vec::new(),
+            bulk: Vec::new(),
+            charged: 0,
+            data_accesses: Vec::new(),
+        }
+    }
+
+    /// Allocates, maps, and tags a page in one step; returns the frame.
+    pub fn install_page(&mut self, vpn: Vpn, tag: Tag, meta: PageMeta) -> Ppn {
+        let ppn = self.alloc_page();
+        self.map_page(vpn, ppn).expect("fresh mapping");
+        self.set_page_tags(vpn, tag);
+        self.set_page_meta(vpn, meta);
+        ppn
+    }
+
+    /// The last message sent, if any.
+    pub fn last_sent(&self) -> Option<&SentMessage> {
+        self.sent.last()
+    }
+
+    /// Clears the recorded effects (keeps memory and mappings).
+    pub fn clear_effects(&mut self) {
+        self.sent.clear();
+        self.resumed.clear();
+        self.bulk.clear();
+        self.charged = 0;
+        self.data_accesses.clear();
+    }
+
+    /// Advances the mock clock.
+    pub fn advance(&mut self, by: Cycles) {
+        self.now += by;
+    }
+
+    fn paddr(&self, addr: VAddr) -> tt_base::addr::PAddr {
+        self.ptable
+            .translate_addr(addr)
+            .unwrap_or_else(|| panic!("mock: access to unmapped address {addr}"))
+    }
+}
+
+impl TempestCtx for MockCtx {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn now(&self) -> Cycles {
+        self.now
+    }
+
+    fn charge(&mut self, instructions: u64) {
+        self.charged += instructions;
+    }
+
+    fn protocol_data_access(&mut self, key: u64) {
+        self.data_accesses.push(key);
+    }
+
+    fn send(&mut self, dst: NodeId, vn: VirtualNet, handler: HandlerId, payload: Payload) {
+        self.sent.push(SentMessage {
+            dst,
+            vn,
+            handler,
+            payload,
+        });
+    }
+
+    fn bulk_transfer(&mut self, request: BulkRequest) {
+        self.bulk.push(request);
+    }
+
+    fn alloc_page(&mut self) -> Ppn {
+        self.mem.alloc()
+    }
+
+    fn free_page(&mut self, ppn: Ppn) {
+        self.mem.free(ppn);
+    }
+
+    fn map_page(&mut self, vpn: Vpn, ppn: Ppn) -> Result<(), TempestError> {
+        self.ptable.map(vpn, ppn)?;
+        self.mem.frame_mut(ppn).meta.vpn = Some(vpn);
+        Ok(())
+    }
+
+    fn unmap_page(&mut self, vpn: Vpn) -> Result<Ppn, TempestError> {
+        let ppn = self.ptable.unmap(vpn)?;
+        self.mem.frame_mut(ppn).meta.vpn = None;
+        Ok(ppn)
+    }
+
+    fn translate(&self, vpn: Vpn) -> Option<Ppn> {
+        self.ptable.translate(vpn)
+    }
+
+    fn page_meta(&self, vpn: Vpn) -> Option<PageMeta> {
+        self.ptable.translate(vpn).map(|p| self.mem.frame(p).meta)
+    }
+
+    fn set_page_meta(&mut self, vpn: Vpn, meta: PageMeta) {
+        let ppn = self.ptable.translate(vpn).expect("mapped page");
+        let mut meta = meta;
+        meta.vpn = Some(vpn);
+        self.mem.frame_mut(ppn).meta = meta;
+    }
+
+    fn allocated_bytes(&self) -> usize {
+        self.mem.allocated_bytes()
+    }
+
+    fn read_tag(&self, addr: VAddr) -> Tag {
+        self.mem.tag(self.paddr(addr))
+    }
+
+    fn set_tag(&mut self, addr: VAddr, tag: Tag) {
+        let paddr = self.paddr(addr);
+        self.mem.set_tag(paddr, tag);
+    }
+
+    fn set_page_tags(&mut self, vpn: Vpn, tag: Tag) {
+        let ppn = self.ptable.translate(vpn).expect("mapped page");
+        self.mem.frame_mut(ppn).set_all_tags(tag);
+    }
+
+    fn force_read_word(&mut self, addr: VAddr) -> u64 {
+        let paddr = self.paddr(addr);
+        self.mem.read_word(paddr)
+    }
+
+    fn force_write_word(&mut self, addr: VAddr, value: u64) {
+        let paddr = self.paddr(addr);
+        self.mem.write_word(paddr, value);
+    }
+
+    fn force_read_block(&mut self, addr: VAddr) -> [u8; BLOCK_BYTES] {
+        let paddr = self.paddr(addr);
+        self.mem.read_block(paddr)
+    }
+
+    fn force_write_block(&mut self, addr: VAddr, block: &[u8; BLOCK_BYTES]) {
+        let paddr = self.paddr(addr);
+        self.mem.write_block(paddr, block);
+    }
+
+    fn resume(&mut self, thread: ThreadId) {
+        self.resumed.push(thread);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_sends_and_resumes() {
+        let mut ctx = MockCtx::new(1, 4);
+        ctx.send(
+            NodeId::new(2),
+            VirtualNet::Request,
+            HandlerId(9),
+            Payload::args(vec![1]),
+        );
+        ctx.resume(ThreadId(NodeId::new(1)));
+        ctx.charge(14);
+        assert_eq!(ctx.sent.len(), 1);
+        assert_eq!(ctx.last_sent().unwrap().handler, HandlerId(9));
+        assert_eq!(ctx.resumed, vec![ThreadId(NodeId::new(1))]);
+        assert_eq!(ctx.charged, 14);
+        ctx.clear_effects();
+        assert!(ctx.sent.is_empty() && ctx.resumed.is_empty());
+    }
+
+    #[test]
+    fn install_page_round_trips() {
+        let mut ctx = MockCtx::new(0, 2);
+        let meta = PageMeta {
+            vpn: None,
+            mode: 3,
+            user: [5, 6],
+        };
+        ctx.install_page(Vpn(7), Tag::ReadOnly, meta);
+        assert_eq!(ctx.read_tag(Vpn(7).base()), Tag::ReadOnly);
+        let m = ctx.page_meta(Vpn(7)).unwrap();
+        assert_eq!(m.mode, 3);
+        assert_eq!(m.vpn, Some(Vpn(7)));
+    }
+}

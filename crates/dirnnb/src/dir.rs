@@ -1,0 +1,156 @@
+//! The full-map (`Dir_N`) hardware directory state.
+
+use std::collections::VecDeque;
+
+use tt_base::NodeId;
+
+/// What a requester asked the directory for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirReq {
+    /// Read (shared) copy.
+    Read,
+    /// Write (exclusive) copy, data needed.
+    Write,
+    /// Write permission for a block the requester already holds shared.
+    Upgrade,
+}
+
+impl DirReq {
+    /// Whether the grant must carry the data block.
+    pub fn needs_data(self) -> bool {
+        !matches!(self, DirReq::Upgrade)
+    }
+}
+
+/// Stable state of one home block.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DirState {
+    /// No cached copies anywhere.
+    #[default]
+    Uncached,
+    /// Presence bit vector of nodes holding shared copies.
+    Shared(u64),
+    /// One node holds the dirty/exclusive copy.
+    Exclusive(NodeId),
+}
+
+/// An in-flight home transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirBusy {
+    /// Waiting for invalidation acknowledgments before granting `to`.
+    Invalidating {
+        /// Acks still outstanding.
+        acks_left: usize,
+        /// Requester to grant once acknowledged.
+        to: NodeId,
+        /// The original request kind.
+        req: DirReq,
+    },
+    /// Waiting for the exclusive owner to return the block.
+    Recalling {
+        /// Current owner.
+        owner: NodeId,
+        /// Requester to grant.
+        to: NodeId,
+        /// The original request kind.
+        req: DirReq,
+    },
+}
+
+/// Directory entry for one home block.
+#[derive(Clone, Debug, Default)]
+pub struct DirEntry {
+    /// Stable state.
+    pub state: DirState,
+    /// In-flight transaction.
+    pub busy: Option<DirBusy>,
+    /// Requests deferred while busy.
+    pub queue: VecDeque<(NodeId, DirReq)>,
+}
+
+impl DirEntry {
+    /// Whether a transaction is in flight.
+    pub fn is_busy(&self) -> bool {
+        self.busy.is_some()
+    }
+
+    /// Adds `node` to the sharer vector.
+    pub fn add_sharer(&mut self, node: NodeId) {
+        let bit = 1u64 << node.index();
+        self.state = match self.state {
+            DirState::Uncached => DirState::Shared(bit),
+            DirState::Shared(mask) => DirState::Shared(mask | bit),
+            DirState::Exclusive(_) => panic!("add_sharer on an exclusive block"),
+        };
+    }
+
+    /// Removes `node` from the sharer vector (silent eviction tolerance:
+    /// removing an absent node is a no-op).
+    pub fn remove_sharer(&mut self, node: NodeId) {
+        if let DirState::Shared(mask) = self.state {
+            let mask = mask & !(1u64 << node.index());
+            self.state = if mask == 0 {
+                DirState::Uncached
+            } else {
+                DirState::Shared(mask)
+            };
+        }
+    }
+
+    /// The sharers other than `except`.
+    pub fn sharers_except(&self, except: NodeId) -> Vec<NodeId> {
+        match self.state {
+            DirState::Shared(mask) => (0..64u16)
+                .filter(|i| mask & (1u64 << i) != 0 && *i != except.raw())
+                .map(NodeId::new)
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn sharer_bitmap_add_remove() {
+        let mut e = DirEntry::default();
+        e.add_sharer(n(3));
+        e.add_sharer(n(5));
+        assert_eq!(e.state, DirState::Shared(0b101000));
+        e.remove_sharer(n(3));
+        assert_eq!(e.state, DirState::Shared(0b100000));
+        e.remove_sharer(n(5));
+        assert_eq!(e.state, DirState::Uncached);
+    }
+
+    #[test]
+    fn removing_absent_sharer_is_silent() {
+        let mut e = DirEntry::default();
+        e.add_sharer(n(1));
+        e.remove_sharer(n(9));
+        assert_eq!(e.state, DirState::Shared(0b10));
+    }
+
+    #[test]
+    fn sharers_except_filters_requester() {
+        let mut e = DirEntry::default();
+        for i in [0u16, 2, 7] {
+            e.add_sharer(n(i));
+        }
+        assert_eq!(e.sharers_except(n(2)), vec![n(0), n(7)]);
+        assert_eq!(e.sharers_except(n(9)).len(), 3);
+    }
+
+    #[test]
+    fn upgrade_needs_no_data() {
+        assert!(DirReq::Read.needs_data());
+        assert!(DirReq::Write.needs_data());
+        assert!(!DirReq::Upgrade.needs_data());
+    }
+}

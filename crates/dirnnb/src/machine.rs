@@ -1,0 +1,928 @@
+//! The DirNNB machine: CPUs + hardware directory, driven by the same
+//! event engine and workload op streams as Typhoon.
+
+use std::collections::HashMap;
+
+use tt_base::addr::{VAddr, Vpn, BLOCK_BYTES, PAGE_BYTES, WORD_BYTES};
+use tt_base::config::SystemConfig;
+use tt_base::stats::{Counter, Report};
+use tt_base::workload::{Op, Workload};
+use tt_base::{Cycles, DetRng, NodeId};
+use tt_mem::cache::Probe;
+use tt_mem::{AccessKind, CacheModel, FifoTlb};
+use tt_net::{Network, Packet, Payload, VirtualNet};
+use tt_sim::{EventHandler, EventQueue, RunLimit};
+
+use crate::dir::{DirBusy, DirEntry, DirReq, DirState};
+
+
+/// Execution status of a CPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CpuStatus {
+    Ready,
+    BlockedMiss,
+    AtBarrier,
+    Done,
+}
+
+/// Per-CPU statistics.
+#[derive(Clone, Debug, Default)]
+struct CpuStats {
+    ops: Counter,
+    reads: Counter,
+    writes: Counter,
+    compute_cycles: Counter,
+    local_misses: Counter,
+    remote_misses: Counter,
+    upgrades: Counter,
+    miss_stall_cycles: Counter,
+    barrier_wait_cycles: Counter,
+}
+
+struct Cpu {
+    cache: CacheModel,
+    tlb: FifoTlb<Vpn>,
+    chunk: Vec<Op>,
+    pc: usize,
+    clock: Cycles,
+    status: CpuStatus,
+    step_pending: bool,
+    suspended_at: Cycles,
+    /// Block address of the outstanding miss, if any. Used to defer a
+    /// recall that overtakes this CPU's grant (the protocol's
+    /// "relinquish and retry" for a busy owner).
+    pending_block: Option<u64>,
+    stats: CpuStats,
+}
+
+/// Machine-wide directory statistics.
+#[derive(Clone, Debug, Default)]
+struct DirStats {
+    dir_ops: Counter,
+    invalidations: Counter,
+    recalls: Counter,
+    writebacks: Counter,
+    deferred: Counter,
+}
+
+/// Simulation events.
+#[derive(Clone, Debug)]
+#[doc(hidden)]
+pub enum Event {
+    CpuStep(usize),
+    HomeRequest { addr: u64, from: u16, req: DirReq },
+    HomeAck { addr: u64 },
+    HomeData { addr: u64, from: u16 },
+    Invalidate { addr: u64, node: u16 },
+    Recall { addr: u64, node: u16, invalidate: bool },
+    Grant { addr: u64, node: u16, req: DirReq },
+    Writeback { addr: u64, from: u16 },
+    BarrierRelease { generation: u64 },
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    arrived: usize,
+    max_arrival: Cycles,
+    generation: u64,
+    releases: u64,
+}
+
+/// The result of a completed simulation.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Total execution time (when the last processor finished).
+    pub cycles: Cycles,
+    /// Aggregated statistics.
+    pub report: Report,
+}
+
+/// The all-hardware DirNNB machine (see crate docs).
+pub struct DirnnbMachine {
+    cfg: SystemConfig,
+    quantum: Cycles,
+    cpus: Vec<Cpu>,
+    dirs: HashMap<u64, DirEntry>,
+    home_map: HashMap<Vpn, NodeId>,
+    store: HashMap<Vpn, Box<[u64; PAGE_BYTES / WORD_BYTES]>>,
+    network: Network,
+    barrier: BarrierState,
+    workload: Box<dyn Workload>,
+    done: Vec<Option<Cycles>>,
+    dir_stats: DirStats,
+    verify_values: bool,
+}
+
+impl DirnnbMachine {
+    /// Builds the machine for a workload.
+    pub fn new(cfg: SystemConfig, workload: Box<dyn Workload>) -> Self {
+        let layout = workload.layout();
+        let mut home_map = HashMap::new();
+        for (vpn, owner, _mode) in layout.pages(cfg.nodes) {
+            let home = match cfg.dirnnb.placement {
+                tt_base::config::DirPlacement::RoundRobin => {
+                    NodeId::new((vpn.0 % cfg.nodes as u64) as u16)
+                }
+                tt_base::config::DirPlacement::Owner => owner,
+            };
+            home_map.insert(vpn, home);
+        }
+        let mut rng = DetRng::new(cfg.seed);
+        let cpus = (0..cfg.nodes)
+            .map(|i| Cpu {
+                cache: CacheModel::new(
+                    cfg.cpu.cache_bytes,
+                    cfg.cpu.cache_assoc,
+                    BLOCK_BYTES,
+                    rng.fork(i as u64),
+                ),
+                tlb: FifoTlb::new(cfg.cpu.tlb_entries),
+                chunk: Vec::new(),
+                pc: 0,
+                clock: Cycles::ZERO,
+                status: CpuStatus::Ready,
+                step_pending: false,
+                suspended_at: Cycles::ZERO,
+                pending_block: None,
+                stats: CpuStats::default(),
+            })
+            .collect();
+        let mut network = Network::new(cfg.nodes, cfg.timing.network_latency);
+        network.set_occupancy(cfg.timing.network_occupancy);
+        let quantum = cfg.timing.network_latency;
+        let done = vec![None; cfg.nodes];
+        let verify_values = cfg.verify_values;
+        DirnnbMachine {
+            cfg,
+            quantum,
+            cpus,
+            dirs: HashMap::new(),
+            home_map,
+            store: HashMap::new(),
+            network,
+            barrier: BarrierState::default(),
+            workload,
+            done,
+            dir_stats: DirStats::default(),
+            verify_values,
+        }
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock or on a value-verification failure, like
+    /// `TyphoonMachine::run`.
+    pub fn run(&mut self) -> RunResult {
+        let mut queue = EventQueue::new();
+        for n in 0..self.cfg.nodes {
+            self.cpus[n].step_pending = true;
+            queue.schedule_at(Cycles::ZERO, Event::CpuStep(n));
+        }
+        tt_sim::run(self, &mut queue, RunLimit::none());
+        let stuck: Vec<_> = self
+            .cpus
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.status != CpuStatus::Done)
+            .map(|(i, c)| (i, c.status))
+            .collect();
+        if !stuck.is_empty() {
+            let busy: Vec<_> = self
+                .dirs
+                .iter()
+                .filter(|(_, e)| e.is_busy() || !e.queue.is_empty())
+                .map(|(a, e)| (*a, e.state, e.busy, e.queue.len()))
+                .collect();
+            panic!("DirNNB machine deadlocked: {stuck:?}; stuck directory entries: {busy:?}");
+        }
+        let cycles = self
+            .done
+            .iter()
+            .map(|d| d.expect("all done"))
+            .max()
+            .unwrap_or(Cycles::ZERO);
+        RunResult {
+            cycles,
+            report: self.build_report(cycles),
+        }
+    }
+
+    fn home_of(&self, addr: u64) -> NodeId {
+        let vpn = VAddr::new(addr).page();
+        *self.home_map.get(&vpn).unwrap_or_else(|| {
+            panic!("access to {addr:#x} outside the shared segment layout")
+        })
+    }
+
+    fn read_store(&mut self, addr: VAddr) -> u64 {
+        let page = self.store.entry(addr.page()).or_insert_with(|| {
+            Box::new([0u64; PAGE_BYTES / WORD_BYTES])
+        });
+        page[(addr.page_offset() as usize) / WORD_BYTES]
+    }
+
+    fn write_store(&mut self, addr: VAddr, value: u64) {
+        let page = self.store.entry(addr.page()).or_insert_with(|| {
+            Box::new([0u64; PAGE_BYTES / WORD_BYTES])
+        });
+        page[(addr.page_offset() as usize) / WORD_BYTES] = value;
+    }
+
+    /// Network hop latency between two nodes (zero if the same node).
+    fn hop(&self, a: NodeId, b: NodeId) -> Cycles {
+        if a == b {
+            Cycles::ZERO
+        } else {
+            self.cfg.timing.network_latency
+        }
+    }
+
+    /// Records a protocol message for traffic statistics (the cost model
+    /// charges latencies separately).
+    fn count_packet(&mut self, now: Cycles, src: NodeId, dst: NodeId, data: bool) {
+        let payload = if data {
+            Payload::with_block(vec![0], [0u8; BLOCK_BYTES])
+        } else {
+            Payload::args(vec![0])
+        };
+        let packet = Packet {
+            src,
+            dst,
+            vn: VirtualNet::Request,
+            handler: 0,
+            payload,
+        };
+        let _ = self.network.send(now, &packet);
+    }
+
+    // --- CPU execution ----------------------------------------------------
+
+    fn cpu_step(&mut self, n: usize, now: Cycles, queue: &mut EventQueue<Event>) {
+        {
+            let cpu = &mut self.cpus[n];
+            cpu.step_pending = false;
+            if cpu.status != CpuStatus::Ready {
+                return;
+            }
+            if cpu.clock < now {
+                cpu.clock = now;
+            }
+        }
+        let deadline = now + self.quantum;
+        loop {
+            if self.cpus[n].pc >= self.cpus[n].chunk.len() {
+                match self.workload.next_chunk(NodeId::new(n as u16)) {
+                    Some(chunk) => {
+                        let cpu = &mut self.cpus[n];
+                        cpu.chunk = chunk;
+                        cpu.pc = 0;
+                        if cpu.chunk.is_empty() {
+                            continue;
+                        }
+                    }
+                    None => {
+                        let cpu = &mut self.cpus[n];
+                        cpu.status = CpuStatus::Done;
+                        cpu.chunk = Vec::new();
+                        self.done[n] = Some(cpu.clock);
+                        return;
+                    }
+                }
+            }
+            let op = self.cpus[n].chunk[self.cpus[n].pc];
+            match op {
+                Op::Compute(k) => {
+                    let cpu = &mut self.cpus[n];
+                    cpu.clock += Cycles::new(k as u64);
+                    cpu.stats.compute_cycles.add(k as u64);
+                    cpu.stats.ops.inc();
+                    cpu.pc += 1;
+                }
+                Op::UserCall { .. } => {
+                    // A hardware shared-memory machine has no user-level
+                    // protocol; calls complete immediately.
+                    let cpu = &mut self.cpus[n];
+                    cpu.clock += Cycles::new(1);
+                    cpu.stats.ops.inc();
+                    cpu.pc += 1;
+                }
+                Op::Barrier => {
+                    let cpu = &mut self.cpus[n];
+                    cpu.pc += 1;
+                    cpu.stats.ops.inc();
+                    cpu.status = CpuStatus::AtBarrier;
+                    cpu.suspended_at = cpu.clock;
+                    let arrival = cpu.clock;
+                    self.barrier.arrived += 1;
+                    if arrival > self.barrier.max_arrival {
+                        self.barrier.max_arrival = arrival;
+                    }
+                    if self.barrier.arrived == self.cfg.nodes {
+                        queue.schedule_at(
+                            self.barrier.max_arrival + self.cfg.timing.barrier_latency,
+                            Event::BarrierRelease {
+                                generation: self.barrier.generation,
+                            },
+                        );
+                    }
+                    return;
+                }
+                Op::Read { addr, expect } => {
+                    if !self.access(n, queue, addr, AccessKind::Load, 0, expect) {
+                        return;
+                    }
+                }
+                Op::Write { addr, value } => {
+                    if !self.access(n, queue, addr, AccessKind::Store, value, None) {
+                        return;
+                    }
+                }
+            }
+            if self.cpus[n].clock >= deadline {
+                let cpu = &mut self.cpus[n];
+                cpu.step_pending = true;
+                let at = cpu.clock;
+                queue.schedule_at(at, Event::CpuStep(n));
+                return;
+            }
+        }
+    }
+
+    /// Executes one access; returns `false` if the CPU blocked on a miss.
+    fn access(
+        &mut self,
+        n: usize,
+        queue: &mut EventQueue<Event>,
+        addr: VAddr,
+        kind: AccessKind,
+        value: u64,
+        expect: Option<u64>,
+    ) -> bool {
+        let me = NodeId::new(n as u16);
+        let home = self.home_of(addr.raw());
+        let block = addr.block_base().raw();
+        let key = block / BLOCK_BYTES as u64;
+        let mut cost = Cycles::new(1);
+        self.cpus[n].stats.ops.inc();
+        if !self.cpus[n].tlb.access(addr.page()) {
+            cost += self.cfg.timing.tlb_miss;
+        }
+        let probe = self.cpus[n].cache.probe(key);
+        let req = match (probe, kind) {
+            (Probe::HitOwned, _) | (Probe::HitShared, AccessKind::Load) => None,
+            (Probe::HitShared, AccessKind::Store) => Some(DirReq::Upgrade),
+            (Probe::Miss, AccessKind::Load) => Some(DirReq::Read),
+            (Probe::Miss, AccessKind::Store) => Some(DirReq::Write),
+        };
+        let Some(req) = req else {
+            self.complete_access(n, addr, kind, value, expect);
+            self.cpus[n].clock += cost;
+            self.cpus[n].pc += 1;
+            return true;
+        };
+
+        // Fast local path: home is this node and the directory can grant
+        // immediately — a plain 29-cycle local miss.
+        if home == me {
+            let entry = self.dirs.entry(block).or_default();
+            if !entry.is_busy() {
+                let fast = match (entry.state, req) {
+                    (DirState::Uncached | DirState::Shared(_), DirReq::Read) => {
+                        entry.add_sharer(me);
+                        Some(false)
+                    }
+                    (DirState::Uncached, DirReq::Write) => {
+                        entry.state = DirState::Exclusive(me);
+                        Some(true)
+                    }
+                    (DirState::Shared(_), DirReq::Upgrade | DirReq::Write)
+                        if entry.sharers_except(me).is_empty() =>
+                    {
+                        entry.state = DirState::Exclusive(me);
+                        Some(true)
+                    }
+                    _ => None,
+                };
+                if let Some(owned) = fast {
+                    cost += self.cfg.timing.local_miss;
+                    self.cpus[n].stats.local_misses.inc();
+                    if req == DirReq::Upgrade {
+                        // The line is already resident shared.
+                        self.cpus[n].cache.set_owned(key, true);
+                    } else {
+                        self.fill(n, key, owned, &mut cost, queue);
+                    }
+                    self.complete_access(n, addr, kind, value, expect);
+                    self.cpus[n].clock += cost;
+                    self.cpus[n].pc += 1;
+                    return true;
+                }
+            }
+        }
+
+        // Slow path: block and send the request to the home directory.
+        if home == me {
+            self.cpus[n].stats.local_misses.inc();
+        } else {
+            self.cpus[n].stats.remote_misses.inc();
+            cost += self.cfg.dirnnb.remote_miss_request;
+            self.count_packet(self.cpus[n].clock, me, home, false);
+        }
+        if req == DirReq::Upgrade {
+            self.cpus[n].stats.upgrades.inc();
+        }
+        let cpu = &mut self.cpus[n];
+        cpu.clock += cost;
+        cpu.status = CpuStatus::BlockedMiss;
+        cpu.suspended_at = cpu.clock;
+        cpu.pending_block = Some(block);
+        let at = cpu.clock + self.hop(me, home);
+        queue.schedule_at(
+            at,
+            Event::HomeRequest {
+                addr: block,
+                from: me.raw(),
+                req,
+            },
+        );
+        false
+    }
+
+    /// Functional completion: reads check the global store, writes update
+    /// it (hardware-coherent shared memory has a single value image).
+    fn complete_access(
+        &mut self,
+        n: usize,
+        addr: VAddr,
+        kind: AccessKind,
+        value: u64,
+        expect: Option<u64>,
+    ) {
+        match kind {
+            AccessKind::Load => {
+                self.cpus[n].stats.reads.inc();
+                let got = self.read_store(addr);
+                if self.verify_values {
+                    if let Some(expect) = expect {
+                        assert_eq!(
+                            got, expect,
+                            "DirNNB coherence image mismatch: node {n} read {addr}"
+                        );
+                    }
+                }
+            }
+            AccessKind::Store => {
+                self.cpus[n].stats.writes.inc();
+                self.write_store(addr, value);
+            }
+        }
+    }
+
+    /// Installs a block in a CPU cache; a displaced dirty victim notifies
+    /// its home asynchronously and adds the Table 2 replacement charge.
+    fn fill(
+        &mut self,
+        n: usize,
+        key: u64,
+        owned: bool,
+        cost: &mut Cycles,
+        queue: &mut EventQueue<Event>,
+    ) {
+        if let Some(victim) = self.cpus[n].cache.fill(key, owned) {
+            *cost += if victim.owned {
+                self.cfg.dirnnb.replace_exclusive
+            } else {
+                self.cfg.dirnnb.replace_shared
+            };
+            if victim.owned {
+                let victim_addr = victim.block * BLOCK_BYTES as u64;
+                let home = self.home_of(victim_addr);
+                let me = NodeId::new(n as u16);
+                self.count_packet(self.cpus[n].clock, me, home, true);
+                let at = self.cpus[n].clock.max(queue.now()) + self.hop(me, home);
+                queue.schedule_at(
+                    at,
+                    Event::Writeback {
+                        addr: victim_addr,
+                        from: n as u16,
+                    },
+                );
+            }
+        }
+    }
+
+    // --- Directory engine --------------------------------------------------
+
+    fn home_request(
+        &mut self,
+        addr: u64,
+        from: NodeId,
+        req: DirReq,
+        now: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let entry = self.dirs.entry(addr).or_default();
+        if entry.is_busy() {
+            self.dir_stats.deferred.inc();
+            entry.queue.push_back((from, req));
+            return;
+        }
+        self.dir_stats.dir_ops.inc();
+        let home = self.home_of(addr);
+        let base = self.cfg.dirnnb.dir_op_base;
+        match (self.dirs.get(&addr).unwrap().state, req) {
+            (DirState::Uncached | DirState::Shared(_), DirReq::Read) => {
+                self.dirs.get_mut(&addr).unwrap().add_sharer(from);
+                self.grant(addr, from, req, now + base, queue);
+            }
+            (DirState::Uncached, DirReq::Write | DirReq::Upgrade) => {
+                self.dirs.get_mut(&addr).unwrap().state = DirState::Exclusive(from);
+                self.grant(addr, from, req, now + base, queue);
+            }
+            (DirState::Shared(_), DirReq::Write | DirReq::Upgrade) => {
+                let targets = self.dirs.get(&addr).unwrap().sharers_except(from);
+                if targets.is_empty() {
+                    self.dirs.get_mut(&addr).unwrap().state = DirState::Exclusive(from);
+                    self.grant(addr, from, req, now + base, queue);
+                    return;
+                }
+                let cost = base
+                    + Cycles::new(
+                        self.cfg.dirnnb.dir_op_per_msg.raw() * targets.len() as u64,
+                    );
+                self.dir_stats.invalidations.add(targets.len() as u64);
+                for t in &targets {
+                    self.count_packet(now, home, *t, false);
+                    queue.schedule_at(
+                        now + cost + self.hop(home, *t),
+                        Event::Invalidate {
+                            addr,
+                            node: t.raw(),
+                        },
+                    );
+                }
+                self.dirs.get_mut(&addr).unwrap().busy = Some(DirBusy::Invalidating {
+                    acks_left: targets.len(),
+                    to: from,
+                    req,
+                });
+            }
+            (DirState::Exclusive(owner), _) => {
+                self.dir_stats.recalls.inc();
+                let cost = base + self.cfg.dirnnb.dir_op_per_msg;
+                self.count_packet(now, home, owner, false);
+                queue.schedule_at(
+                    now + cost + self.hop(home, owner),
+                    Event::Recall {
+                        addr,
+                        node: owner.raw(),
+                        invalidate: !matches!(req, DirReq::Read),
+                    },
+                );
+                self.dirs.get_mut(&addr).unwrap().busy = Some(DirBusy::Recalling {
+                    owner,
+                    to: from,
+                    req,
+                });
+            }
+        }
+    }
+
+    /// Sends a grant back to the requester.
+    fn grant(
+        &mut self,
+        addr: u64,
+        to: NodeId,
+        req: DirReq,
+        at: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let home = self.home_of(addr);
+        let mut cost = self.cfg.dirnnb.dir_op_per_msg;
+        if req.needs_data() {
+            cost += self.cfg.dirnnb.dir_op_block_send;
+        }
+        self.count_packet(at, home, to, req.needs_data());
+        queue.schedule_at(
+            at + cost + self.hop(home, to),
+            Event::Grant {
+                addr,
+                node: to.raw(),
+                req,
+            },
+        );
+    }
+
+    fn home_ack(&mut self, addr: u64, now: Cycles, queue: &mut EventQueue<Event>) {
+        let entry = self.dirs.get_mut(&addr).expect("directory entry");
+        let Some(DirBusy::Invalidating { acks_left, to, req }) = entry.busy else {
+            panic!("ack for a block that is not invalidating");
+        };
+        if acks_left > 1 {
+            entry.busy = Some(DirBusy::Invalidating {
+                acks_left: acks_left - 1,
+                to,
+                req,
+            });
+            return;
+        }
+        entry.busy = None;
+        entry.state = DirState::Exclusive(to);
+        self.dir_stats.dir_ops.inc();
+        self.grant(addr, to, req, now + self.cfg.dirnnb.dir_op_base, queue);
+        self.drain_queue(addr, now, queue);
+    }
+
+    fn home_data(
+        &mut self,
+        addr: u64,
+        from: NodeId,
+        now: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let entry = self.dirs.get_mut(&addr).expect("directory entry");
+        let Some(DirBusy::Recalling { owner, to, req }) = entry.busy else {
+            panic!("recall data for a block that is not recalling");
+        };
+        debug_assert_eq!(owner, from);
+        entry.busy = None;
+        match req {
+            DirReq::Read => {
+                entry.state = DirState::Shared(
+                    (1u64 << owner.index()) | (1u64 << to.index()),
+                );
+            }
+            DirReq::Write | DirReq::Upgrade => {
+                entry.state = DirState::Exclusive(to);
+            }
+        }
+        self.dir_stats.dir_ops.inc();
+        let cost = self.cfg.dirnnb.dir_op_base + self.cfg.dirnnb.dir_op_block_recv;
+        self.grant(addr, to, req, now + cost, queue);
+        self.drain_queue(addr, now, queue);
+    }
+
+    fn drain_queue(&mut self, addr: u64, now: Cycles, queue: &mut EventQueue<Event>) {
+        loop {
+            let entry = self.dirs.get_mut(&addr).expect("directory entry");
+            if entry.is_busy() {
+                return;
+            }
+            let Some((from, req)) = entry.queue.pop_front() else {
+                return;
+            };
+            self.home_request(addr, from, req, now, queue);
+        }
+    }
+
+    fn invalidate_at(
+        &mut self,
+        addr: u64,
+        node: usize,
+        now: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) {
+        // The remote cache controller invalidates without involving its
+        // CPU: 8 cycles plus the shared-replacement charge (Table 2).
+        let key = addr / BLOCK_BYTES as u64;
+        self.cpus[node].cache.invalidate(key);
+        let cost = self.cfg.dirnnb.remote_invalidate + self.cfg.dirnnb.replace_shared;
+        let home = self.home_of(addr);
+        let me = NodeId::new(node as u16);
+        self.count_packet(now, me, home, false);
+        queue.schedule_at(now + cost + self.hop(me, home), Event::HomeAck { addr });
+    }
+
+    fn recall_at(
+        &mut self,
+        addr: u64,
+        node: usize,
+        invalidate: bool,
+        now: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let key = addr / BLOCK_BYTES as u64;
+        let present = if invalidate {
+            self.cpus[node].cache.invalidate(key)
+        } else {
+            self.cpus[node].cache.set_owned(key, false)
+        };
+        if !present {
+            if self.cpus[node].pending_block == Some(addr) {
+                // The recall overtook this node's own grant for the same
+                // block (grants and recalls travel on different virtual
+                // networks). Nack-and-retry, as a busy hardware owner
+                // would: try again after the grant has landed.
+                queue.schedule_at(
+                    now + self.cfg.timing.network_latency,
+                    Event::Recall {
+                        addr,
+                        node: node as u16,
+                        invalidate,
+                    },
+                );
+                return;
+            }
+            // Otherwise the line was evicted while the recall was in
+            // flight; the home completes from the writeback.
+            return;
+        }
+        let cost = self.cfg.dirnnb.remote_invalidate + self.cfg.dirnnb.replace_exclusive;
+        let home = self.home_of(addr);
+        let me = NodeId::new(node as u16);
+        self.count_packet(now, me, home, true);
+        queue.schedule_at(
+            now + cost + self.hop(me, home),
+            Event::HomeData {
+                addr,
+                from: me.raw(),
+            },
+        );
+    }
+
+    fn writeback(&mut self, addr: u64, from: NodeId, now: Cycles, queue: &mut EventQueue<Event>) {
+        self.dir_stats.writebacks.inc();
+        let entry = self.dirs.entry(addr).or_default();
+        match entry.busy {
+            Some(DirBusy::Recalling { owner, .. }) if owner == from => {
+                // The owner's eviction raced our recall; its writeback
+                // carries the block.
+                self.home_data(addr, from, now, queue);
+            }
+            Some(other) => panic!("writeback raced {other:?}"),
+            None => {
+                debug_assert_eq!(entry.state, DirState::Exclusive(from));
+                entry.state = DirState::Uncached;
+            }
+        }
+    }
+
+    fn grant_arrived(
+        &mut self,
+        addr: u64,
+        node: usize,
+        req: DirReq,
+        now: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let key = addr / BLOCK_BYTES as u64;
+        let me = NodeId::new(node as u16);
+        let home = self.home_of(addr);
+        let mut cost = if home == me {
+            self.cfg.timing.local_miss
+        } else {
+            self.cfg.dirnnb.remote_miss_finish
+        };
+        match req {
+            DirReq::Upgrade => {
+                // The line is still resident unless an intervening
+                // invalidation removed it; then treat as a full fill.
+                if !self.cpus[node].cache.set_owned(key, true) {
+                    self.fill(node, key, true, &mut cost, queue);
+                }
+            }
+            DirReq::Read => self.fill(node, key, false, &mut cost, queue),
+            DirReq::Write => self.fill(node, key, true, &mut cost, queue),
+        }
+        // Complete the blocked op *now*, before releasing the CPU: the
+        // grant delivers the data to the stalled load/store, so a recall
+        // racing in behind it can never steal an incomplete access (that
+        // would livelock two writers hammering one block).
+        {
+            let cpu = &mut self.cpus[node];
+            debug_assert_eq!(cpu.status, CpuStatus::BlockedMiss);
+            cpu.status = CpuStatus::Ready;
+            cpu.pending_block = None;
+        }
+        let op = self.cpus[node].chunk[self.cpus[node].pc];
+        match op {
+            Op::Read { addr, expect } => {
+                self.complete_access(node, addr, AccessKind::Load, 0, expect)
+            }
+            Op::Write { addr, value } => {
+                self.complete_access(node, addr, AccessKind::Store, value, None)
+            }
+            other => unreachable!("blocked on a non-memory op {other:?}"),
+        }
+        let cpu = &mut self.cpus[node];
+        cpu.pc += 1;
+        cpu.clock = now + cost;
+        cpu.stats
+            .miss_stall_cycles
+            .add((cpu.clock - cpu.suspended_at).raw());
+        if !cpu.step_pending {
+            cpu.step_pending = true;
+            let at = cpu.clock;
+            queue.schedule_at(at, Event::CpuStep(node));
+        }
+    }
+
+    fn barrier_release(&mut self, generation: u64, now: Cycles, queue: &mut EventQueue<Event>) {
+        assert_eq!(generation, self.barrier.generation, "stale barrier release");
+        self.barrier.generation += 1;
+        self.barrier.arrived = 0;
+        self.barrier.max_arrival = Cycles::ZERO;
+        self.barrier.releases += 1;
+        for n in 0..self.cfg.nodes {
+            let cpu = &mut self.cpus[n];
+            assert_eq!(cpu.status, CpuStatus::AtBarrier, "node {n} missed the barrier");
+            cpu.stats
+                .barrier_wait_cycles
+                .add((now - cpu.suspended_at).raw());
+            cpu.status = CpuStatus::Ready;
+            cpu.clock = now;
+            if !cpu.step_pending {
+                cpu.step_pending = true;
+                queue.schedule_at(now, Event::CpuStep(n));
+            }
+        }
+    }
+
+    fn build_report(&self, cycles: Cycles) -> Report {
+        let mut r = Report::new();
+        r.push_count("machine.cycles", cycles.raw());
+        r.push_count("machine.nodes", self.cfg.nodes as u64);
+        r.push_count("machine.barriers", self.barrier.releases);
+        let mut ops = 0u64;
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        let mut compute = 0u64;
+        let mut local = 0u64;
+        let mut remote = 0u64;
+        let mut upgrades = 0u64;
+        let mut stall = 0u64;
+        let mut barrier_wait = 0u64;
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        let mut tlb_misses = 0u64;
+        for cpu in &self.cpus {
+            ops += cpu.stats.ops.get();
+            reads += cpu.stats.reads.get();
+            writes += cpu.stats.writes.get();
+            compute += cpu.stats.compute_cycles.get();
+            local += cpu.stats.local_misses.get();
+            remote += cpu.stats.remote_misses.get();
+            upgrades += cpu.stats.upgrades.get();
+            stall += cpu.stats.miss_stall_cycles.get();
+            barrier_wait += cpu.stats.barrier_wait_cycles.get();
+            cache_hits += cpu.cache.stats().hits.get();
+            cache_misses += cpu.cache.stats().misses.get();
+            tlb_misses += cpu.tlb.stats().misses.get();
+        }
+        r.push_count("cpu.ops", ops);
+        r.push_count("cpu.reads", reads);
+        r.push_count("cpu.writes", writes);
+        r.push_count("cpu.compute_cycles", compute);
+        r.push_count("cpu.local_misses", local);
+        r.push_count("cpu.remote_misses", remote);
+        r.push_count("cpu.upgrades", upgrades);
+        r.push_count("cpu.miss_stall_cycles", stall);
+        r.push_count("cpu.barrier_wait_cycles", barrier_wait);
+        r.push_count("cpu.cache_hits", cache_hits);
+        r.push_count("cpu.cache_misses", cache_misses);
+        r.push_count("cpu.tlb_misses", tlb_misses);
+        r.push_count("dir.ops", self.dir_stats.dir_ops.get());
+        r.push_count("dir.invalidations", self.dir_stats.invalidations.get());
+        r.push_count("dir.recalls", self.dir_stats.recalls.get());
+        r.push_count("dir.writebacks", self.dir_stats.writebacks.get());
+        r.push_count("dir.deferred", self.dir_stats.deferred.get());
+        let net = self.network.stats();
+        r.push_count("net.packets", net.total_packets());
+        r.push_count("net.bytes", net.total_bytes());
+        r
+    }
+}
+
+impl EventHandler for DirnnbMachine {
+    type Event = Event;
+
+    fn handle(&mut self, now: Cycles, event: Event, queue: &mut EventQueue<Event>) {
+        match event {
+            Event::CpuStep(n) => self.cpu_step(n, now, queue),
+            Event::HomeRequest { addr, from, req } => {
+                self.home_request(addr, NodeId::new(from), req, now, queue)
+            }
+            Event::HomeAck { addr } => self.home_ack(addr, now, queue),
+            Event::HomeData { addr, from } => {
+                self.home_data(addr, NodeId::new(from), now, queue)
+            }
+            Event::Invalidate { addr, node } => {
+                self.invalidate_at(addr, node as usize, now, queue)
+            }
+            Event::Recall {
+                addr,
+                node,
+                invalidate,
+            } => self.recall_at(addr, node as usize, invalidate, now, queue),
+            Event::Grant { addr, node, req } => {
+                self.grant_arrived(addr, node as usize, req, now, queue)
+            }
+            Event::Writeback { addr, from } => {
+                self.writeback(addr, NodeId::new(from), now, queue)
+            }
+            Event::BarrierRelease { generation } => self.barrier_release(generation, now, queue),
+        }
+    }
+}

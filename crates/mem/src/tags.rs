@@ -1,0 +1,113 @@
+//! Fine-grain access-control tags (paper Section 2.4).
+//!
+//! Every aligned 32-byte memory block carries an access tag. Loads and
+//! stores are checked against the tag; a disallowed access is a *block
+//! access fault* that suspends the computation thread and invokes a
+//! user-level handler. These tags are the mechanism that makes user-level
+//! transparent shared memory (Stache) possible.
+
+use std::fmt;
+
+/// The access tag of one memory block.
+///
+/// `ReadWrite`, `ReadOnly` and `Invalid` are the Tempest-visible values
+/// (Table 1). `Busy` is Typhoon's fourth RTLB encoding (Section 5.4): it
+/// faults exactly like `Invalid`, but lets protocol software distinguish
+/// blocks that need special handling, e.g. blocks with a request already
+/// outstanding.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Tag {
+    /// Reads and writes complete normally.
+    ReadWrite,
+    /// Reads complete; writes fault.
+    ReadOnly,
+    /// All accesses fault.
+    #[default]
+    Invalid,
+    /// Same access semantics as [`Tag::Invalid`]; distinguishable by
+    /// protocol software (e.g. "request outstanding").
+    Busy,
+}
+
+impl Tag {
+    /// Whether an access of the given kind completes without a fault.
+    #[inline]
+    pub fn permits(self, kind: AccessKind) -> bool {
+        matches!(
+            (self, kind),
+            (Tag::ReadWrite, _) | (Tag::ReadOnly, AccessKind::Load)
+        )
+    }
+
+    /// Whether this tag faults like `Invalid` (i.e. is `Invalid` or `Busy`).
+    #[inline]
+    pub fn is_invalid_like(self) -> bool {
+        matches!(self, Tag::Invalid | Tag::Busy)
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tag::ReadWrite => "RW",
+            Tag::ReadOnly => "RO",
+            Tag::Invalid => "INV",
+            Tag::Busy => "BUSY",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The kind of a tag-checked memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A processor load (Tempest `read`).
+    Load,
+    /// A processor store (Tempest `write`).
+    Store,
+}
+
+impl AccessKind {
+    /// Whether the access is a store.
+    #[inline]
+    pub fn is_store(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permission_matrix_matches_section_2_4() {
+        use AccessKind::*;
+        assert!(Tag::ReadWrite.permits(Load));
+        assert!(Tag::ReadWrite.permits(Store));
+        assert!(Tag::ReadOnly.permits(Load));
+        assert!(!Tag::ReadOnly.permits(Store));
+        assert!(!Tag::Invalid.permits(Load));
+        assert!(!Tag::Invalid.permits(Store));
+        assert!(!Tag::Busy.permits(Load));
+        assert!(!Tag::Busy.permits(Store));
+    }
+
+    #[test]
+    fn busy_faults_like_invalid_but_is_distinguishable() {
+        assert!(Tag::Busy.is_invalid_like());
+        assert!(Tag::Invalid.is_invalid_like());
+        assert!(!Tag::ReadOnly.is_invalid_like());
+        assert_ne!(Tag::Busy, Tag::Invalid);
+    }
+
+    #[test]
+    fn default_is_invalid() {
+        assert_eq!(Tag::default(), Tag::Invalid);
+    }
+
+    #[test]
+    fn display_is_short() {
+        assert_eq!(Tag::ReadWrite.to_string(), "RW");
+        assert_eq!(Tag::Busy.to_string(), "BUSY");
+    }
+}

@@ -1,0 +1,177 @@
+//! A fully-associative FIFO TLB timing model.
+//!
+//! Table 2 gives all three translation structures — the CPU TLB, the NP
+//! TLB, and the reverse TLB (RTLB) — the same organization: 64 entries,
+//! fully associative, FIFO replacement, 25-cycle miss. [`FifoTlb`] models
+//! any of them; it is generic over the key (virtual page number for the
+//! forward TLBs, physical page number for the RTLB).
+//!
+//! Like the cache model, this is timing-only: translations and RTLB entry
+//! contents are always read from the functional state in
+//! [`crate::ptable::PageTable`] / [`crate::memory::NodeMemory`]; the TLB
+//! decides only whether the 25-cycle miss penalty applies.
+
+use std::collections::VecDeque;
+use std::hash::Hash;
+
+use tt_base::stats::Counter;
+
+/// TLB statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Accesses that hit.
+    pub hits: Counter,
+    /// Accesses that missed (and loaded the entry).
+    pub misses: Counter,
+}
+
+/// A fully-associative, FIFO-replacement TLB over keys of type `K`.
+///
+/// # Example
+///
+/// ```
+/// use tt_mem::FifoTlb;
+/// use tt_base::addr::Vpn;
+///
+/// let mut tlb = FifoTlb::new(64);
+/// assert!(!tlb.access(Vpn(7)), "first touch misses");
+/// assert!(tlb.access(Vpn(7)), "now resident");
+/// ```
+#[derive(Clone, Debug)]
+pub struct FifoTlb<K> {
+    entries: VecDeque<K>,
+    capacity: usize,
+    stats: TlbStats,
+}
+
+impl<K: Eq + Hash + Copy> FifoTlb<K> {
+    /// Creates a TLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB needs at least one entry");
+        FifoTlb {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Accesses `key`: returns `true` on a hit. On a miss the entry is
+    /// loaded, evicting the oldest entry if the TLB is full (FIFO), and
+    /// `false` is returned so the caller can charge the miss penalty.
+    pub fn access(&mut self, key: K) -> bool {
+        if self.entries.contains(&key) {
+            self.stats.hits.inc();
+            true
+        } else {
+            self.stats.misses.inc();
+            if self.entries.len() == self.capacity {
+                self.entries.pop_front();
+            }
+            self.entries.push_back(key);
+            false
+        }
+    }
+
+    /// Whether `key` is currently resident (no statistics, no fill).
+    pub fn contains(&self, key: K) -> bool {
+        self.entries.contains(&key)
+    }
+
+    /// Removes `key` (e.g. on unmap/remap). Returns `true` if present.
+    pub fn flush(&mut self, key: K) -> bool {
+        if let Some(pos) = self.entries.iter().position(|e| *e == key) {
+            self.entries.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes every entry.
+    pub fn flush_all(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+
+    /// Current number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_base::addr::Vpn;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut t = FifoTlb::new(4);
+        assert!(!t.access(Vpn(1)));
+        assert!(t.access(Vpn(1)));
+        assert_eq!(t.stats().hits.get(), 1);
+        assert_eq!(t.stats().misses.get(), 1);
+    }
+
+    #[test]
+    fn fifo_evicts_oldest() {
+        let mut t = FifoTlb::new(3);
+        t.access(Vpn(1));
+        t.access(Vpn(2));
+        t.access(Vpn(3));
+        // Re-touching 1 must NOT refresh its FIFO position.
+        assert!(t.access(Vpn(1)));
+        t.access(Vpn(4)); // evicts 1 (oldest by insertion)
+        assert!(!t.contains(Vpn(1)));
+        assert!(t.contains(Vpn(2)));
+        assert!(t.contains(Vpn(3)));
+        assert!(t.contains(Vpn(4)));
+    }
+
+    #[test]
+    fn flush_removes_entry() {
+        let mut t = FifoTlb::new(2);
+        t.access(Vpn(9));
+        assert!(t.flush(Vpn(9)));
+        assert!(!t.flush(Vpn(9)));
+        assert!(!t.contains(Vpn(9)));
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut t = FifoTlb::new(2);
+        t.access(Vpn(1));
+        t.access(Vpn(2));
+        t.flush_all();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut t = FifoTlb::new(64);
+        for i in 0..100u64 {
+            t.access(Vpn(i));
+        }
+        assert_eq!(t.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        FifoTlb::<Vpn>::new(0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Point-to-point interconnect model.
+//!
+//! Typhoon's network (Section 5) is based on the Thinking Machines CM-5
+//! network, with a larger maximum packet payload (twenty 32-bit words) and
+//! **two independent virtual networks** so that a pure request/response
+//! protocol is deadlock-free: requests travel on the low-priority net and
+//! responses on the high-priority net, and response handlers can never be
+//! starved by request handlers.
+//!
+//! Following the paper's methodology, the model charges a constant
+//! network latency (Table 2: 11 cycles) and does not model contention.
+//! An optional per-link occupancy can be configured for the latency
+//! ablation (DESIGN.md §5.3).
+//!
+//! The network is a *passive* component: [`Network::send`] validates the
+//! packet, records statistics, and returns the delivery time; the owning
+//! machine schedules its own delivery event.
+
+use tt_base::addr::BLOCK_BYTES;
+use tt_base::stats::Counter;
+use tt_base::{Cycles, NodeId};
+
+/// The two independent virtual networks (Section 5.1).
+///
+/// The scheduler gives [`VirtualNet::Request`] lower priority, so request
+/// handlers cannot starve response handlers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VirtualNet {
+    /// Low-priority net carrying protocol requests.
+    Request,
+    /// High-priority net carrying protocol responses.
+    Response,
+}
+
+impl VirtualNet {
+    /// Index for per-net statistics arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            VirtualNet::Request => 0,
+            VirtualNet::Response => 1,
+        }
+    }
+}
+
+/// Maximum packet payload in bytes: twenty 32-bit words (Section 5),
+/// vs. the CM-5's five.
+pub const MAX_PACKET_BYTES: usize = 80;
+
+/// Bytes charged for the handler word at the head of every message.
+pub const HANDLER_WORD_BYTES: usize = 4;
+
+/// Bytes charged per 64-bit argument word.
+pub const ARG_WORD_BYTES: usize = 8;
+
+/// A message payload: argument words plus an optional data carrier.
+///
+/// By Active Messages convention the *receiver's handler* is named
+/// separately (see `tt-tempest`); the payload here is everything after the
+/// handler word. The data carrier holds coherence-block or bulk-transfer
+/// bytes (at most 64, the paper's maximum per packet).
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Payload {
+    /// Argument words (addresses, counts, node ids...).
+    pub words: Vec<u64>,
+    /// Raw data bytes riding in the packet (0–64).
+    pub data: Vec<u8>,
+}
+
+impl Payload {
+    /// An empty payload.
+    pub fn new() -> Self {
+        Payload::default()
+    }
+
+    /// A payload of argument words only.
+    pub fn args(words: Vec<u64>) -> Self {
+        Payload {
+            words,
+            data: Vec::new(),
+        }
+    }
+
+    /// A payload of argument words plus one coherence block of data.
+    pub fn with_block(words: Vec<u64>, block: [u8; BLOCK_BYTES]) -> Self {
+        Payload {
+            words,
+            data: block.to_vec(),
+        }
+    }
+
+    /// Total wire size in bytes, including the handler word.
+    pub fn wire_bytes(&self) -> usize {
+        HANDLER_WORD_BYTES + ARG_WORD_BYTES * self.words.len() + self.data.len()
+    }
+
+    /// Interprets the data carrier as one coherence block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload does not carry exactly one block.
+    pub fn block(&self) -> [u8; BLOCK_BYTES] {
+        self.data
+            .as_slice()
+            .try_into()
+            .expect("payload does not carry exactly one block")
+    }
+}
+
+/// A packet in flight between two nodes.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Packet {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Which virtual network carries the packet.
+    pub vn: VirtualNet,
+    /// Receive-handler identifier (the paper's "handler PC" head word).
+    pub handler: u32,
+    /// Everything after the handler word.
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// Total wire size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        self.payload.wire_bytes()
+    }
+}
+
+/// Per-virtual-network traffic statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Packets sent on each virtual network.
+    pub packets: [Counter; 2],
+    /// Payload bytes sent on each virtual network.
+    pub bytes: [Counter; 2],
+    /// Packets a node sent to itself (short-circuited, never on the wire).
+    pub local_packets: Counter,
+}
+
+impl NetStats {
+    /// Total packets that crossed the wire.
+    pub fn total_packets(&self) -> u64 {
+        self.packets[0].get() + self.packets[1].get()
+    }
+
+    /// Total bytes that crossed the wire.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes[0].get() + self.bytes[1].get()
+    }
+}
+
+/// The interconnect: latency model plus traffic accounting.
+///
+/// # Example
+///
+/// ```
+/// use tt_net::{Network, Packet, Payload, VirtualNet};
+/// use tt_base::{Cycles, NodeId};
+///
+/// let mut net = Network::new(4, Cycles::new(11));
+/// let packet = Packet {
+///     src: NodeId::new(0),
+///     dst: NodeId::new(2),
+///     vn: VirtualNet::Request,
+///     handler: 7,
+///     payload: Payload::args(vec![0x1000]),
+/// };
+/// assert_eq!(net.send(Cycles::new(100), &packet), Cycles::new(111));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Network {
+    latency: Cycles,
+    /// Extra cycles a packet occupies its source injection port; 0 in the
+    /// paper's model (no contention), configurable for ablations.
+    occupancy: Cycles,
+    /// Earliest time each node's injection port is free (used only when
+    /// `occupancy > 0`).
+    port_free: Vec<Cycles>,
+    stats: NetStats,
+}
+
+impl Network {
+    /// Creates a network with the given one-way latency for `nodes` nodes.
+    pub fn new(nodes: usize, latency: Cycles) -> Self {
+        Network {
+            latency,
+            occupancy: Cycles::ZERO,
+            port_free: vec![Cycles::ZERO; nodes],
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Sets per-packet injection-port occupancy (0 = paper's model).
+    pub fn set_occupancy(&mut self, occupancy: Cycles) {
+        self.occupancy = occupancy;
+    }
+
+    /// The configured one-way latency.
+    pub fn latency(&self) -> Cycles {
+        self.latency
+    }
+
+    /// Accepts a packet at time `now` and returns its delivery time at the
+    /// destination. Packets between distinct nodes are charged the network
+    /// latency; a node messaging itself short-circuits the network and is
+    /// delivered after one cycle (Section 5.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet exceeds [`MAX_PACKET_BYTES`] — the sender must
+    /// packetize larger transfers (see `tt-tempest::bulk`).
+    pub fn send(&mut self, now: Cycles, packet: &Packet) -> Cycles {
+        assert!(
+            packet.wire_bytes() <= MAX_PACKET_BYTES,
+            "packet of {} bytes exceeds the {}-byte maximum; packetize bulk data",
+            packet.wire_bytes(),
+            MAX_PACKET_BYTES
+        );
+        if packet.src == packet.dst {
+            self.stats.local_packets.inc();
+            return now + Cycles::new(1);
+        }
+        let vn = packet.vn.index();
+        self.stats.packets[vn].inc();
+        self.stats.bytes[vn].add(packet.wire_bytes() as u64);
+        if self.occupancy == Cycles::ZERO {
+            now + self.latency
+        } else {
+            let port = &mut self.port_free[packet.src.index()];
+            let start = if *port > now { *port } else { now };
+            *port = start + self.occupancy;
+            start + self.occupancy + self.latency
+        }
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(src: u16, dst: u16, vn: VirtualNet, payload: Payload) -> Packet {
+        Packet {
+            src: NodeId::new(src),
+            dst: NodeId::new(dst),
+            vn,
+            handler: 1,
+            payload,
+        }
+    }
+
+    #[test]
+    fn constant_latency() {
+        let mut net = Network::new(4, Cycles::new(11));
+        let p = packet(0, 1, VirtualNet::Request, Payload::args(vec![42]));
+        assert_eq!(net.send(Cycles::new(100), &p), Cycles::new(111));
+    }
+
+    #[test]
+    fn self_send_short_circuits() {
+        let mut net = Network::new(4, Cycles::new(11));
+        let p = packet(2, 2, VirtualNet::Request, Payload::new());
+        assert_eq!(net.send(Cycles::new(5), &p), Cycles::new(6));
+        assert_eq!(net.stats().total_packets(), 0);
+        assert_eq!(net.stats().local_packets.get(), 1);
+    }
+
+    #[test]
+    fn stats_split_by_virtual_net() {
+        let mut net = Network::new(4, Cycles::new(11));
+        let req = packet(0, 1, VirtualNet::Request, Payload::args(vec![1, 2]));
+        let rsp = packet(
+            1,
+            0,
+            VirtualNet::Response,
+            Payload::with_block(vec![1], [0u8; BLOCK_BYTES]),
+        );
+        net.send(Cycles::ZERO, &req);
+        net.send(Cycles::ZERO, &rsp);
+        let s = net.stats();
+        assert_eq!(s.packets[VirtualNet::Request.index()].get(), 1);
+        assert_eq!(s.packets[VirtualNet::Response.index()].get(), 1);
+        assert_eq!(
+            s.bytes[VirtualNet::Request.index()].get(),
+            (HANDLER_WORD_BYTES + 2 * ARG_WORD_BYTES) as u64
+        );
+        assert_eq!(
+            s.bytes[VirtualNet::Response.index()].get(),
+            (HANDLER_WORD_BYTES + ARG_WORD_BYTES + BLOCK_BYTES) as u64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_packet_panics() {
+        let mut net = Network::new(2, Cycles::new(11));
+        // 10 args * 8B + 4B header = 84B > 80B
+        let p = packet(0, 1, VirtualNet::Request, Payload::args(vec![0; 10]));
+        net.send(Cycles::ZERO, &p);
+    }
+
+    #[test]
+    fn max_size_packet_is_accepted() {
+        let mut net = Network::new(2, Cycles::new(11));
+        // 4 + 5*8 + 32 = 76 <= 80
+        let p = packet(
+            0,
+            1,
+            VirtualNet::Response,
+            Payload::with_block(vec![0; 5], [7u8; BLOCK_BYTES]),
+        );
+        net.send(Cycles::ZERO, &p);
+        assert_eq!(net.stats().total_bytes(), 76);
+    }
+
+    #[test]
+    fn occupancy_serializes_injection() {
+        let mut net = Network::new(2, Cycles::new(10));
+        net.set_occupancy(Cycles::new(4));
+        let p = packet(0, 1, VirtualNet::Request, Payload::new());
+        assert_eq!(net.send(Cycles::new(0), &p), Cycles::new(14));
+        // Second packet at the same instant waits for the port.
+        assert_eq!(net.send(Cycles::new(0), &p), Cycles::new(18));
+        // A later packet from the other node is unaffected.
+        let q = packet(1, 0, VirtualNet::Request, Payload::new());
+        assert_eq!(net.send(Cycles::new(0), &q), Cycles::new(14));
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let mut b = [0u8; BLOCK_BYTES];
+        b[5] = 99;
+        let p = Payload::with_block(vec![], b);
+        assert_eq!(p.block()[5], 99);
+    }
+}

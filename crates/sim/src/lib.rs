@@ -1,0 +1,315 @@
+//! A deterministic discrete-event simulation engine.
+//!
+//! The paper evaluated Typhoon on the Wisconsin Wind Tunnel, a parallel
+//! discrete-event simulator. This crate is our (sequential, deterministic)
+//! equivalent: a time-ordered event queue plus a driver loop. Machines
+//! (`tt-typhoon`, `tt-dirnnb`) define an event enum, implement
+//! [`EventHandler`], and let [`run`] drain the queue.
+//!
+//! Events scheduled for the same cycle are delivered in scheduling order
+//! (FIFO), which makes every simulation bit-reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use tt_base::Cycles;
+//! use tt_sim::{run, EventHandler, EventQueue, RunLimit};
+//!
+//! struct Counter {
+//!     fired: Vec<u32>,
+//! }
+//!
+//! impl EventHandler for Counter {
+//!     type Event = u32;
+//!     fn handle(&mut self, _now: Cycles, ev: u32, q: &mut EventQueue<u32>) {
+//!         self.fired.push(ev);
+//!         if ev < 3 {
+//!             q.schedule_after(Cycles::new(10), ev + 1);
+//!         }
+//!     }
+//! }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule_at(Cycles::ZERO, 0);
+//! let mut h = Counter { fired: vec![] };
+//! let end = run(&mut h, &mut q, RunLimit::none());
+//! assert_eq!(h.fired, vec![0, 1, 2, 3]);
+//! assert_eq!(end, Cycles::new(30));
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use tt_base::Cycles;
+
+/// A pending event: ordering key is `(time, sequence)`, so same-cycle
+/// events fire in the order they were scheduled. The ordering impls
+/// deliberately ignore the event payload so event types need no `Ord`.
+#[derive(Clone, Debug)]
+struct Entry<E> {
+    time: Cycles,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events.
+#[derive(Clone, Debug)]
+pub struct EventQueue<E> {
+    now: Cycles,
+    seq: u64,
+    scheduled: u64,
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            now: Cycles::ZERO,
+            seq: 0,
+            scheduled: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// The current simulated time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past (`t < self.now()`): the simulation
+    /// would no longer be causal.
+    pub fn schedule_at(&mut self, t: Cycles, event: E) {
+        assert!(t >= self.now, "scheduling into the past: {t:?} < {:?}", self.now);
+        self.seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Reverse(Entry {
+            time: t,
+            seq: self.seq,
+            event,
+        }));
+    }
+
+    /// Schedules `event` at `now + delay`.
+    pub fn schedule_after(&mut self, delay: Cycles, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Removes and returns the earliest event, advancing `now` to its time.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        debug_assert!(e.time >= self.now);
+        self.now = e.time;
+        Some((e.time, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events scheduled over the queue's lifetime (for statistics).
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+}
+
+/// A component that reacts to simulation events.
+pub trait EventHandler {
+    /// The machine's event type.
+    type Event;
+
+    /// Handles one event at time `now`, possibly scheduling more.
+    fn handle(&mut self, now: Cycles, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Bounds on a [`run`] invocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunLimit {
+    /// Stop once the next event's time reaches this point (that event is
+    /// *not* delivered).
+    pub max_time: Option<Cycles>,
+    /// Stop after delivering this many events.
+    pub max_events: Option<u64>,
+}
+
+impl RunLimit {
+    /// No limits: run until the queue drains.
+    pub fn none() -> Self {
+        RunLimit::default()
+    }
+
+    /// Limit on simulated time only.
+    pub fn until(t: Cycles) -> Self {
+        RunLimit {
+            max_time: Some(t),
+            max_events: None,
+        }
+    }
+
+    /// Limit on delivered events only (a runaway-protocol backstop).
+    pub fn events(n: u64) -> Self {
+        RunLimit {
+            max_time: None,
+            max_events: Some(n),
+        }
+    }
+}
+
+/// Drains the queue through `handler` until it is empty or a limit is hit.
+/// Returns the final simulated time.
+pub fn run<H: EventHandler>(
+    handler: &mut H,
+    queue: &mut EventQueue<H::Event>,
+    limit: RunLimit,
+) -> Cycles {
+    let mut delivered = 0u64;
+    loop {
+        if let Some(max) = limit.max_events {
+            if delivered >= max {
+                return queue.now();
+            }
+        }
+        match queue.heap.peek() {
+            None => return queue.now(),
+            Some(Reverse(head)) => {
+                if let Some(max_t) = limit.max_time {
+                    if head.time >= max_t {
+                        return queue.now();
+                    }
+                }
+            }
+        }
+        let (now, ev) = queue.pop().expect("peeked non-empty");
+        handler.handle(now, ev, queue);
+        delivered += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(u64, u32)>,
+    }
+
+    impl EventHandler for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: Cycles, ev: u32, _q: &mut EventQueue<u32>) {
+            self.seen.push((now.raw(), ev));
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles::new(30), 3);
+        q.schedule_at(Cycles::new(10), 1);
+        q.schedule_at(Cycles::new(20), 2);
+        let mut h = Recorder::default();
+        run(&mut h, &mut q, RunLimit::none());
+        assert_eq!(h.seen, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn same_cycle_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(Cycles::new(5), i);
+        }
+        let mut h = Recorder::default();
+        run(&mut h, &mut q, RunLimit::none());
+        let order: Vec<u32> = h.seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles::new(10), 1);
+        q.pop();
+        q.schedule_at(Cycles::new(5), 2);
+    }
+
+    #[test]
+    fn run_respects_time_limit() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles::new(10), 1);
+        q.schedule_at(Cycles::new(20), 2);
+        let mut h = Recorder::default();
+        run(&mut h, &mut q, RunLimit::until(Cycles::new(15)));
+        assert_eq!(h.seen, vec![(10, 1)]);
+        assert_eq!(q.len(), 1, "the event past the limit stays queued");
+    }
+
+    #[test]
+    fn run_respects_event_limit() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule_at(Cycles::new(i), i as u32);
+        }
+        let mut h = Recorder::default();
+        run(&mut h, &mut q, RunLimit::events(4));
+        assert_eq!(h.seen.len(), 4);
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule_at(Cycles::new(7), 0);
+        q.pop();
+        q.schedule_after(Cycles::new(3), 1);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Cycles::new(10));
+        assert_eq!(q.total_scheduled(), 2);
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert_eq!(q.now(), Cycles::ZERO);
+        q.schedule_at(Cycles::new(42), 9);
+        q.pop();
+        assert_eq!(q.now(), Cycles::new(42));
+        assert!(q.is_empty());
+    }
+}

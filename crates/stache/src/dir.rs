@@ -1,0 +1,369 @@
+//! The software directory backing Stache's coherence protocol.
+//!
+//! The paper preallocates 64 bits per home block: two bytes of state and
+//! six one-byte sharer pointers; when more than six sharers exist the
+//! first pointers become a bit vector (Section 3). [`SharerSet`] models
+//! exactly that representation (including the overflow statistic the
+//! ablation benchmark reads), and [`BlockDir`] holds the per-block state
+//! machine: stable states `Idle`/`Shared`/`Exclusive` plus a busy
+//! transaction with a FIFO queue of deferred requests.
+
+use std::collections::VecDeque;
+
+use tt_base::NodeId;
+use tt_tempest::ThreadId;
+
+/// Maximum nodes representable by the bit-vector fallback.
+///
+/// The paper's four pointer bytes cover 32 nodes; we use all six spare
+/// bytes' worth of bits, which covers 64. Larger machines would chain to
+/// an auxiliary structure (also as in the paper); the reproduction caps
+/// at 64.
+pub const MAX_BITVECTOR_NODES: usize = 64;
+
+/// Number of explicit sharer pointers before overflowing to a bit vector.
+pub const POINTER_SLOTS: usize = 6;
+
+/// The sharer set of one block: six pointers, or a bit vector after
+/// overflow.
+///
+/// # Example
+///
+/// ```
+/// use tt_stache::dir::SharerSet;
+/// use tt_base::NodeId;
+///
+/// let mut sharers = SharerSet::new();
+/// for i in 0..6 {
+///     assert!(!sharers.insert(NodeId::new(i)), "pointers suffice");
+/// }
+/// assert!(sharers.insert(NodeId::new(9)), "seventh sharer overflows");
+/// assert!(sharers.is_overflowed());
+/// assert_eq!(sharers.len(), 7);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SharerSet {
+    /// Up to six explicit node pointers.
+    Pointers([Option<NodeId>; POINTER_SLOTS]),
+    /// Bit `i` set means node `i` holds a copy.
+    Bits(u64),
+}
+
+impl Default for SharerSet {
+    fn default() -> Self {
+        SharerSet::Pointers([None; POINTER_SLOTS])
+    }
+}
+
+impl SharerSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        SharerSet::default()
+    }
+
+    /// Adds a sharer. Returns `true` if this insertion overflowed the
+    /// pointer representation into the bit vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` exceeds [`MAX_BITVECTOR_NODES`].
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        assert!(
+            node.index() < MAX_BITVECTOR_NODES,
+            "node {node} exceeds the directory's bit-vector capacity"
+        );
+        match self {
+            SharerSet::Pointers(slots) => {
+                if slots.contains(&Some(node)) {
+                    return false;
+                }
+                if let Some(empty) = slots.iter_mut().find(|s| s.is_none()) {
+                    *empty = Some(node);
+                    return false;
+                }
+                // Overflow: convert to bit vector.
+                let mut bits = 0u64;
+                for s in slots.iter().flatten() {
+                    bits |= 1 << s.index();
+                }
+                bits |= 1 << node.index();
+                *self = SharerSet::Bits(bits);
+                true
+            }
+            SharerSet::Bits(bits) => {
+                *bits |= 1 << node.index();
+                false
+            }
+        }
+    }
+
+    /// Removes a sharer; returns whether it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        match self {
+            SharerSet::Pointers(slots) => {
+                for s in slots.iter_mut() {
+                    if *s == Some(node) {
+                        *s = None;
+                        return true;
+                    }
+                }
+                false
+            }
+            SharerSet::Bits(bits) => {
+                let had = *bits & (1 << node.index()) != 0;
+                *bits &= !(1 << node.index());
+                had
+            }
+        }
+    }
+
+    /// Whether `node` is in the set.
+    pub fn contains(&self, node: NodeId) -> bool {
+        match self {
+            SharerSet::Pointers(slots) => slots.contains(&Some(node)),
+            SharerSet::Bits(bits) => bits & (1 << node.index()) != 0,
+        }
+    }
+
+    /// Number of sharers.
+    pub fn len(&self) -> usize {
+        match self {
+            SharerSet::Pointers(slots) => slots.iter().flatten().count(),
+            SharerSet::Bits(bits) => bits.count_ones() as usize,
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over the sharers in ascending node order for the bit
+    /// vector, insertion order for pointers.
+    pub fn iter(&self) -> Vec<NodeId> {
+        match self {
+            SharerSet::Pointers(slots) => slots.iter().flatten().copied().collect(),
+            SharerSet::Bits(bits) => (0..MAX_BITVECTOR_NODES as u16)
+                .filter(|i| bits & (1u64 << i) != 0)
+                .map(NodeId::new)
+                .collect(),
+        }
+    }
+
+    /// Empties the set (back to the compact pointer form).
+    pub fn clear(&mut self) {
+        *self = SharerSet::new();
+    }
+
+    /// Whether the set has overflowed to the bit-vector form.
+    pub fn is_overflowed(&self) -> bool {
+        matches!(self, SharerSet::Bits(_))
+    }
+}
+
+/// Stable directory state of one home block.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DirState {
+    /// Only the home's copy exists; home tag is `ReadWrite`.
+    #[default]
+    Idle,
+    /// Read-only copies exist at the sharers; home tag is `ReadOnly`.
+    Shared,
+    /// One remote node holds the writable copy; home tag is `Invalid`.
+    Exclusive(NodeId),
+}
+
+/// Who issued a (possibly deferred) request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Requester {
+    /// A remote node, to be answered with a data message.
+    Remote(NodeId),
+    /// The home node's own suspended computation thread.
+    Local(ThreadId),
+}
+
+/// The kind of copy requested.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReqKind {
+    /// Read-only copy.
+    Ro,
+    /// Exclusive (writable) copy.
+    Rw,
+}
+
+/// A request waiting for the block to leave its busy state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingReq {
+    /// Who asked.
+    pub who: Requester,
+    /// What they asked for.
+    pub kind: ReqKind,
+}
+
+/// An in-flight home transaction on a block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Busy {
+    /// Invalidations sent; waiting for `acks_left` acknowledgments, then
+    /// grant `to` an exclusive copy.
+    Invalidating {
+        /// Remaining acknowledgments.
+        acks_left: usize,
+        /// The requester to grant once acknowledged.
+        to: Requester,
+    },
+    /// A recall was sent to the exclusive owner; on data arrival grant
+    /// `to` a copy of kind `kind`.
+    Recalling {
+        /// The current exclusive owner.
+        owner: NodeId,
+        /// The requester to grant.
+        to: Requester,
+        /// Kind of copy to grant.
+        kind: ReqKind,
+    },
+}
+
+/// Directory entry for one home block.
+#[derive(Clone, Debug, Default)]
+pub struct BlockDir {
+    /// Stable state.
+    pub state: DirState,
+    /// Sharers (meaningful in `Shared`).
+    pub sharers: SharerSet,
+    /// In-flight transaction, if any.
+    pub busy: Option<Busy>,
+    /// Requests deferred while busy (FIFO).
+    pub queue: VecDeque<PendingReq>,
+}
+
+impl BlockDir {
+    /// Whether a transaction is in flight.
+    pub fn is_busy(&self) -> bool {
+        self.busy.is_some()
+    }
+}
+
+/// The directory for one home page: one entry per 32-byte block.
+#[derive(Clone, Debug)]
+pub struct PageDirectory {
+    /// Entries indexed by block-in-page.
+    pub blocks: Vec<BlockDir>,
+}
+
+impl PageDirectory {
+    /// A fresh directory: every block `Idle`.
+    pub fn new() -> Self {
+        PageDirectory {
+            blocks: (0..tt_base::addr::BLOCKS_PER_PAGE)
+                .map(|_| BlockDir::default())
+                .collect(),
+        }
+    }
+}
+
+impl Default for PageDirectory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn pointer_form_holds_six() {
+        let mut s = SharerSet::new();
+        for i in 0..6 {
+            assert!(!s.insert(n(i)));
+        }
+        assert!(!s.is_overflowed());
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn seventh_sharer_overflows_to_bits() {
+        let mut s = SharerSet::new();
+        for i in 0..6 {
+            s.insert(n(i));
+        }
+        assert!(s.insert(n(10)), "seventh insert reports overflow");
+        assert!(s.is_overflowed());
+        assert_eq!(s.len(), 7);
+        for i in 0..6 {
+            assert!(s.contains(n(i)));
+        }
+        assert!(s.contains(n(10)));
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut s = SharerSet::new();
+        s.insert(n(3));
+        assert!(!s.insert(n(3)));
+        assert_eq!(s.len(), 1);
+        // And in bit form too.
+        for i in 0..7 {
+            s.insert(n(i));
+        }
+        let len = s.len();
+        s.insert(n(3));
+        assert_eq!(s.len(), len);
+    }
+
+    #[test]
+    fn remove_in_both_forms() {
+        let mut s = SharerSet::new();
+        s.insert(n(1));
+        s.insert(n(2));
+        assert!(s.remove(n(1)));
+        assert!(!s.remove(n(1)));
+        assert!(!s.contains(n(1)));
+        for i in 0..8 {
+            s.insert(n(i));
+        }
+        assert!(s.remove(n(7)));
+        assert!(!s.contains(n(7)));
+    }
+
+    #[test]
+    fn iter_returns_all_sharers() {
+        let mut s = SharerSet::new();
+        for i in [5u16, 2, 9] {
+            s.insert(n(i));
+        }
+        let mut got = s.iter();
+        got.sort();
+        assert_eq!(got, vec![n(2), n(5), n(9)]);
+    }
+
+    #[test]
+    fn clear_resets_to_pointer_form() {
+        let mut s = SharerSet::new();
+        for i in 0..10 {
+            s.insert(n(i));
+        }
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.is_overflowed());
+    }
+
+    #[test]
+    #[should_panic(expected = "bit-vector capacity")]
+    fn node_past_capacity_panics() {
+        let mut s = SharerSet::new();
+        s.insert(n(64));
+    }
+
+    #[test]
+    fn page_directory_has_an_entry_per_block() {
+        let d = PageDirectory::new();
+        assert_eq!(d.blocks.len(), 128);
+        assert_eq!(d.blocks[0].state, DirState::Idle);
+        assert!(!d.blocks[0].is_busy());
+    }
+}

@@ -1,0 +1,218 @@
+//! Synchronization primitives on Tempest (the paper's footnote 1:
+//! *"We are investigating adding a set of synchronization primitives"*).
+//!
+//! [`LockLayer`] adds queue-based locks to any underlying protocol. Each
+//! lock is identified by a small integer and *homed* on node
+//! `id mod nodes`; the home's NP serializes acquisition:
+//!
+//! - `ACQUIRE` (an application [`UserCall`]) suspends the calling thread
+//!   and sends a request to the lock's home; the home grants immediately
+//!   or appends the requester to a FIFO queue.
+//! - The grant message resumes the thread.
+//! - `RELEASE` notifies the home (fire-and-forget; the releasing thread
+//!   continues immediately) and the home grants the next waiter.
+//!
+//! This is exactly the kind of policy the Tempest mechanisms make cheap:
+//! a distributed queue lock in a few dozen lines of user-level handler
+//! code, with the NP's atomic run-to-completion handlers standing in for
+//! the usual atomic instructions. Because grants are serialized at the
+//! home, mutual exclusion holds by construction — and the test suite
+//! *observes* it end-to-end by having each critical section read back a
+//! token only the holder could have written.
+//!
+//! [`UserCall`]: tt_tempest::UserCall
+
+use std::collections::{HashMap, VecDeque};
+
+use tt_base::stats::{Counter, Report};
+use tt_base::NodeId;
+use tt_net::{Payload, VirtualNet};
+use tt_tempest::{
+    BlockFault, HandlerId, Message, PageFault, Protocol, TempestCtx, ThreadId, UserCall,
+};
+
+/// `UserCall::op` to acquire a lock; `arg` is the lock id.
+pub const ACQUIRE_OP: u32 = 0x10;
+/// `UserCall::op` to release a lock; `arg` is the lock id.
+pub const RELEASE_OP: u32 = 0x11;
+
+/// Lock request. Args: `[lock_id]`.
+pub const LOCK_REQ: HandlerId = HandlerId(0x50);
+/// Lock grant. Args: `[lock_id]`.
+pub const LOCK_GRANT: HandlerId = HandlerId(0x51);
+/// Lock release. Args: `[lock_id]`.
+pub const LOCK_REL: HandlerId = HandlerId(0x52);
+
+/// Base instruction cost of each lock handler.
+const LOCK_HANDLER_INSTR: u64 = 10;
+
+/// Home-side state of one lock.
+#[derive(Clone, Debug, Default)]
+struct LockState {
+    holder: Option<NodeId>,
+    queue: VecDeque<NodeId>,
+}
+
+/// Lock statistics for one node.
+#[derive(Clone, Debug, Default)]
+pub struct LockStats {
+    /// Acquisitions completed by this node's threads.
+    pub acquires: Counter,
+    /// Releases issued by this node's threads.
+    pub releases: Counter,
+    /// Grants issued by locks homed on this node.
+    pub grants: Counter,
+    /// Requests that had to queue at this node's locks.
+    pub contended: Counter,
+}
+
+/// Adds queue-based locks to an underlying protocol (see module docs).
+pub struct LockLayer<P> {
+    inner: P,
+    nodes: usize,
+    locks: HashMap<u64, LockState>,
+    /// The local thread suspended in `ACQUIRE`, with the lock id.
+    waiting: Option<(ThreadId, u64)>,
+    stats: LockStats,
+}
+
+impl<P: Protocol> LockLayer<P> {
+    /// Wraps `inner`, adding the lock operations.
+    pub fn new(inner: P, nodes: usize) -> Self {
+        LockLayer {
+            inner,
+            nodes,
+            locks: HashMap::new(),
+            waiting: None,
+            stats: LockStats::default(),
+        }
+    }
+
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Lock statistics.
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    fn home_of(&self, lock: u64) -> NodeId {
+        NodeId::new((lock % self.nodes as u64) as u16)
+    }
+
+    fn grant(&mut self, ctx: &mut dyn TempestCtx, lock: u64, to: NodeId) {
+        self.stats.grants.inc();
+        ctx.send(to, VirtualNet::Response, LOCK_GRANT, Payload::args(vec![lock]));
+    }
+
+    fn on_lock_req(&mut self, ctx: &mut dyn TempestCtx, msg: &Message) {
+        let lock = msg.arg(0);
+        ctx.charge(LOCK_HANDLER_INSTR);
+        let state = self.locks.entry(lock).or_default();
+        if state.holder.is_none() {
+            state.holder = Some(msg.src);
+            self.grant(ctx, lock, msg.src);
+        } else {
+            self.stats.contended.inc();
+            state.queue.push_back(msg.src);
+        }
+    }
+
+    fn on_lock_rel(&mut self, ctx: &mut dyn TempestCtx, msg: &Message) {
+        let lock = msg.arg(0);
+        ctx.charge(LOCK_HANDLER_INSTR);
+        let state = self
+            .locks
+            .get_mut(&lock)
+            .unwrap_or_else(|| panic!("release of unknown lock {lock}"));
+        assert_eq!(
+            state.holder,
+            Some(msg.src),
+            "lock {lock} released by a node that does not hold it"
+        );
+        state.holder = state.queue.pop_front();
+        if let Some(next) = state.holder {
+            self.grant(ctx, lock, next);
+        }
+    }
+
+    fn on_grant(&mut self, ctx: &mut dyn TempestCtx, msg: &Message) {
+        let lock = msg.arg(0);
+        ctx.charge(LOCK_HANDLER_INSTR);
+        let (thread, waiting_lock) = self
+            .waiting
+            .take()
+            .expect("LOCK_GRANT with no thread waiting");
+        assert_eq!(waiting_lock, lock, "grant for a different lock");
+        self.stats.acquires.inc();
+        ctx.resume(thread);
+    }
+}
+
+impl<P: Protocol> Protocol for LockLayer<P> {
+    fn init(&mut self, ctx: &mut dyn TempestCtx) {
+        self.inner.init(ctx);
+    }
+
+    fn on_page_fault(&mut self, ctx: &mut dyn TempestCtx, fault: PageFault) {
+        self.inner.on_page_fault(ctx, fault);
+    }
+
+    fn on_block_fault(&mut self, ctx: &mut dyn TempestCtx, fault: BlockFault) {
+        self.inner.on_block_fault(ctx, fault);
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn TempestCtx, msg: Message) {
+        match msg.handler {
+            LOCK_REQ => self.on_lock_req(ctx, &msg),
+            LOCK_GRANT => self.on_grant(ctx, &msg),
+            LOCK_REL => self.on_lock_rel(ctx, &msg),
+            _ => self.inner.on_message(ctx, msg),
+        }
+    }
+
+    fn on_user_call(&mut self, ctx: &mut dyn TempestCtx, thread: ThreadId, call: UserCall) {
+        match call.op {
+            ACQUIRE_OP => {
+                assert!(self.waiting.is_none(), "one acquire at a time per thread");
+                ctx.charge(LOCK_HANDLER_INSTR);
+                self.waiting = Some((thread, call.arg));
+                let home = self.home_of(call.arg);
+                ctx.send(
+                    home,
+                    VirtualNet::Request,
+                    LOCK_REQ,
+                    Payload::args(vec![call.arg]),
+                );
+            }
+            RELEASE_OP => {
+                ctx.charge(LOCK_HANDLER_INSTR);
+                self.stats.releases.inc();
+                let home = self.home_of(call.arg);
+                ctx.send(
+                    home,
+                    VirtualNet::Request,
+                    LOCK_REL,
+                    Payload::args(vec![call.arg]),
+                );
+                // Release is asynchronous: the caller continues at once.
+                ctx.resume(thread);
+            }
+            _ => self.inner.on_user_call(ctx, thread, call),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "locks"
+    }
+
+    fn report(&self, report: &mut Report) {
+        self.inner.report(report);
+        report.push_count("lock.acquires", self.stats.acquires.get());
+        report.push_count("lock.releases", self.stats.releases.get());
+        report.push_count("lock.grants", self.stats.grants.get());
+        report.push_count("lock.contended", self.stats.contended.get());
+    }
+}

@@ -1,0 +1,860 @@
+//! The Typhoon machine: nodes, events, and the simulation driver.
+//!
+//! The machine executes a [`Workload`]'s op streams on `nodes` simulated
+//! processors, each paired with a network interface processor running one
+//! instance of a user-level [`Protocol`]. See the crate docs for the
+//! modeling approach.
+
+use std::collections::HashMap;
+
+use tt_base::addr::{VAddr, WORD_BYTES};
+use tt_base::config::SystemConfig;
+use tt_base::stats::Report;
+use tt_base::workload::{Layout, Op, Workload};
+use tt_base::{Cycles, DetRng, NodeId};
+use tt_mem::{AccessKind, NodeMemory, PageTable};
+use tt_net::{Network, Packet, Payload, VirtualNet};
+use tt_sim::{EventHandler, EventQueue, RunLimit};
+use tt_tempest::{BulkRequest, HandlerId, Message, Protocol, UserCall};
+
+use crate::cpu::{exec_access, AccessOutcome, CpuState, CpuStatus};
+use crate::ctx::NodeCtx;
+use crate::np::{NpState, NpWork};
+use crate::trace::{HandlerKind, TraceEvent, TraceRecord, Tracer};
+
+/// Handler-id space reserved for machine-internal packets (bulk data);
+/// protocol handler ids must stay below this.
+pub const MACHINE_HANDLER_BASE: u32 = 0xFFFF_FF00;
+const BULK_DATA: u32 = MACHINE_HANDLER_BASE;
+const BULK_DONE: u32 = MACHINE_HANDLER_BASE + 1;
+const BULK_ACK: u32 = MACHINE_HANDLER_BASE + 2;
+/// Sentinel for "no notify handler" in bulk-done packets.
+const NO_HANDLER: u64 = u64::MAX;
+
+/// A simulation event.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// Run (at most a quantum of) ops on a CPU.
+    CpuStep(usize),
+    /// The NP's dispatch loop looks for work.
+    NpDispatch(usize),
+    /// Work arrives at a node's NP (faults, application calls).
+    NpWork {
+        /// Destination node index.
+        node: usize,
+        /// The work item.
+        work: NpWork,
+    },
+    /// A network packet arrives at its destination.
+    Deliver(Packet),
+    /// All processors arrived; release the barrier.
+    BarrierRelease {
+        /// Barrier generation (for sanity checking).
+        generation: u64,
+    },
+    /// Inject the next packet of an active bulk transfer.
+    BulkInject {
+        /// Source node index.
+        node: usize,
+        /// Transfer id.
+        id: u64,
+    },
+}
+
+/// An in-progress outgoing bulk transfer.
+#[derive(Clone, Debug)]
+pub struct BulkState {
+    /// Transfer id (unique per machine).
+    pub id: u64,
+    /// The original request.
+    pub request: BulkRequest,
+    /// Bytes injected so far.
+    pub offset: usize,
+}
+
+/// One node: CPU + NP + memory + page table + active bulk transfers.
+struct NodeState {
+    cpu: CpuState,
+    np: NpState,
+    mem: NodeMemory,
+    ptable: PageTable,
+    bulk: Vec<BulkState>,
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    arrived: usize,
+    max_arrival: Cycles,
+    generation: u64,
+    releases: u64,
+}
+
+/// The result of a completed simulation.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Total execution time (when the last processor finished).
+    pub cycles: Cycles,
+    /// Aggregated machine, network, and protocol statistics.
+    pub report: Report,
+}
+
+/// The Typhoon machine (see crate docs).
+pub struct TyphoonMachine {
+    cfg: SystemConfig,
+    quantum: Cycles,
+    nodes: Vec<NodeState>,
+    protocols: Vec<Option<Box<dyn Protocol>>>,
+    network: Network,
+    barrier: BarrierState,
+    workload: Box<dyn Workload>,
+    layout: Layout,
+    done: Vec<Option<Cycles>>,
+    bulk_seq: u64,
+    tracer: Option<Box<dyn Tracer>>,
+}
+
+impl TyphoonMachine {
+    /// Builds a machine: one CPU/NP pair per node, a fresh protocol
+    /// instance per node from `protocol`, and the given workload.
+    ///
+    /// The factory receives the node id and the workload's layout — the
+    /// moral equivalent of the paper's "distributed mapping table" being
+    /// known to the run-time library on every node.
+    pub fn new(
+        cfg: SystemConfig,
+        workload: Box<dyn Workload>,
+        protocol: &dyn Fn(NodeId, &Layout, &SystemConfig) -> Box<dyn Protocol>,
+    ) -> Self {
+        let layout = workload.layout();
+        let mut rng = DetRng::new(cfg.seed);
+        let nodes = (0..cfg.nodes)
+            .map(|i| NodeState {
+                cpu: CpuState::new(NodeId::new(i as u16), &cfg, rng.fork(i as u64 * 2)),
+                np: NpState::new(&cfg, rng.fork(i as u64 * 2 + 1)),
+                mem: NodeMemory::new(),
+                ptable: PageTable::new(),
+                bulk: Vec::new(),
+            })
+            .collect();
+        let protocols = (0..cfg.nodes)
+            .map(|i| Some(protocol(NodeId::new(i as u16), &layout, &cfg)))
+            .collect();
+        let mut network = Network::new(cfg.nodes, cfg.timing.network_latency);
+        network.set_occupancy(cfg.timing.network_occupancy);
+        let quantum = cfg.timing.network_latency;
+        let done = vec![None; cfg.nodes];
+        TyphoonMachine {
+            cfg,
+            quantum,
+            nodes,
+            protocols,
+            network,
+            barrier: BarrierState::default(),
+            workload,
+            layout,
+            done,
+            bulk_seq: 0,
+            tracer: None,
+        }
+    }
+
+    /// Installs a [`Tracer`] that receives every machine-level event
+    /// (faults, handler dispatches, deliveries, barrier releases) with
+    /// its simulated timestamp. See [`crate::trace`].
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    #[inline]
+    fn trace(&mut self, at: Cycles, event: TraceEvent) {
+        if let Some(t) = &mut self.tracer {
+            t.record(TraceRecord { at, event });
+        }
+    }
+
+    /// The workload's shared-segment layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Runs the simulation to completion and returns timing + statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine deadlocks (events drain while a processor is
+    /// still blocked — a protocol that lost a resume, or a workload whose
+    /// barrier counts differ across processors), or if value verification
+    /// is enabled and a load observes a value that a sequentially
+    /// consistent execution could not produce.
+    pub fn run(&mut self) -> RunResult {
+        let mut queue = EventQueue::new();
+        // Let every protocol initialize (map home pages, set up
+        // directories) at time zero.
+        for n in 0..self.cfg.nodes {
+            let mut proto = self.protocols[n].take().expect("protocol present");
+            let mut ctx = self.ctx(n, Cycles::ZERO, &mut queue);
+            proto.init(&mut ctx);
+            self.protocols[n] = Some(proto);
+        }
+        for n in 0..self.cfg.nodes {
+            self.nodes[n].cpu.step_pending = true;
+            queue.schedule_at(Cycles::ZERO, Event::CpuStep(n));
+        }
+        tt_sim::run(self, &mut queue, RunLimit::none());
+
+        let stuck: Vec<_> = self
+            .nodes
+            .iter()
+            .filter(|n| n.cpu.status != CpuStatus::Done)
+            .map(|n| (n.cpu.id, n.cpu.status))
+            .collect();
+        assert!(
+            stuck.is_empty(),
+            "machine deadlocked with processors still blocked: {stuck:?} \
+             (barrier arrived={}, np work pending={:?})",
+            self.barrier.arrived,
+            self.nodes
+                .iter()
+                .map(|n| n.np.has_work())
+                .collect::<Vec<_>>()
+        );
+
+        let cycles = self
+            .done
+            .iter()
+            .map(|d| d.expect("all processors done"))
+            .max()
+            .unwrap_or(Cycles::ZERO);
+        RunResult {
+            cycles,
+            report: self.build_report(cycles),
+        }
+    }
+
+    /// Builds a per-handler context for node `n`.
+    fn ctx<'a>(
+        &'a mut self,
+        n: usize,
+        start: Cycles,
+        queue: &'a mut EventQueue<Event>,
+    ) -> NodeCtx<'a> {
+        let node = &mut self.nodes[n];
+        NodeCtx {
+            id: NodeId::new(n as u16),
+            nodes: self.cfg.nodes,
+            cfg: &self.cfg,
+            start,
+            cost: Cycles::ZERO,
+            cpu: &mut node.cpu,
+            np: &mut node.np,
+            mem: &mut node.mem,
+            ptable: &mut node.ptable,
+            network: &mut self.network,
+            queue,
+            bulk_out: &mut node.bulk,
+            bulk_seq: &mut self.bulk_seq,
+        }
+    }
+
+    // --- CPU execution -------------------------------------------------
+
+    fn cpu_step(&mut self, n: usize, now: Cycles, queue: &mut EventQueue<Event>) {
+        {
+            let cpu = &mut self.nodes[n].cpu;
+            cpu.step_pending = false;
+            if cpu.status != CpuStatus::Ready {
+                return;
+            }
+            if cpu.clock < now {
+                cpu.clock = now;
+            }
+        }
+        let deadline = now + self.quantum;
+        loop {
+            // Refill the op chunk if exhausted.
+            if self.nodes[n].cpu.pc >= self.nodes[n].cpu.chunk.len() {
+                match self.workload.next_chunk(NodeId::new(n as u16)) {
+                    Some(chunk) => {
+                        let cpu = &mut self.nodes[n].cpu;
+                        cpu.chunk = chunk;
+                        cpu.pc = 0;
+                        if cpu.chunk.is_empty() {
+                            continue;
+                        }
+                    }
+                    None => {
+                        let cpu = &mut self.nodes[n].cpu;
+                        cpu.status = CpuStatus::Done;
+                        cpu.chunk = Vec::new();
+                        self.done[n] = Some(cpu.clock);
+                        return;
+                    }
+                }
+            }
+
+            let op = self.nodes[n].cpu.chunk[self.nodes[n].cpu.pc];
+            match op {
+                Op::Compute(k) => {
+                    let cpu = &mut self.nodes[n].cpu;
+                    cpu.clock += Cycles::new(k as u64);
+                    cpu.stats.compute_cycles.add(k as u64);
+                    cpu.stats.ops.inc();
+                    cpu.pc += 1;
+                }
+                Op::Read { addr, expect } => {
+                    if !self.access(n, now, queue, addr, AccessKind::Load, 0, expect) {
+                        return;
+                    }
+                }
+                Op::Write { addr, value } => {
+                    if !self.access(n, now, queue, addr, AccessKind::Store, value, None) {
+                        return;
+                    }
+                }
+                Op::Barrier => {
+                    let cpu = &mut self.nodes[n].cpu;
+                    cpu.pc += 1;
+                    cpu.stats.ops.inc();
+                    cpu.status = CpuStatus::AtBarrier;
+                    cpu.suspended_at = cpu.clock;
+                    let arrival = cpu.clock;
+                    self.barrier.arrived += 1;
+                    if arrival > self.barrier.max_arrival {
+                        self.barrier.max_arrival = arrival;
+                    }
+                    if self.barrier.arrived == self.cfg.nodes {
+                        queue.schedule_at(
+                            self.barrier.max_arrival + self.cfg.timing.barrier_latency,
+                            Event::BarrierRelease {
+                                generation: self.barrier.generation,
+                            },
+                        );
+                    }
+                    return;
+                }
+                Op::UserCall { op, arg } => {
+                    let cpu = &mut self.nodes[n].cpu;
+                    cpu.pc += 1;
+                    cpu.stats.ops.inc();
+                    cpu.status = CpuStatus::BlockedCall;
+                    cpu.suspended_at = cpu.clock;
+                    let at = cpu.clock + Cycles::new(1);
+                    let thread = cpu.thread();
+                    queue.schedule_at(
+                        at,
+                        Event::NpWork {
+                            node: n,
+                            work: NpWork::UserCall(thread, UserCall { op, arg }),
+                        },
+                    );
+                    return;
+                }
+            }
+
+            if self.nodes[n].cpu.clock >= deadline {
+                let cpu = &mut self.nodes[n].cpu;
+                cpu.step_pending = true;
+                let at = cpu.clock;
+                queue.schedule_at(at, Event::CpuStep(n));
+                return;
+            }
+        }
+    }
+
+    /// Executes one tag-checked access; returns `false` if the CPU
+    /// suspended (fault taken).
+    #[allow(clippy::too_many_arguments)]
+    fn access(
+        &mut self,
+        n: usize,
+        _now: Cycles,
+        queue: &mut EventQueue<Event>,
+        addr: VAddr,
+        kind: AccessKind,
+        value: u64,
+        expect: Option<u64>,
+    ) -> bool {
+        let node = &mut self.nodes[n];
+        let outcome = exec_access(
+            &self.cfg,
+            &mut node.cpu,
+            &mut node.np,
+            &mut node.mem,
+            &node.ptable,
+            addr,
+            kind,
+            value,
+        );
+        match outcome {
+            AccessOutcome::Done { cost, value: loaded } => {
+                if self.cfg.verify_values {
+                    if let (Some(expect), Some(got)) = (expect, loaded) {
+                        assert_eq!(
+                            got,
+                            expect,
+                            "coherence violation: node {n} read {addr} at cycle {} and \
+                             observed {got:#x}, expected {expect:#x}",
+                            node.cpu.clock
+                        );
+                    }
+                }
+                node.cpu.clock += cost;
+                node.cpu.pc += 1;
+                true
+            }
+            AccessOutcome::PageFault(fault, cost) => {
+                node.cpu.clock += cost + self.cfg.typhoon.effective_fault_detect();
+                node.cpu.status = CpuStatus::BlockedFault;
+                node.cpu.suspended_at = node.cpu.clock;
+                let at = node.cpu.clock;
+                self.trace(
+                    at,
+                    TraceEvent::PageFault {
+                        node: NodeId::new(n as u16),
+                        addr,
+                    },
+                );
+                queue.schedule_at(
+                    at,
+                    Event::NpWork {
+                        node: n,
+                        work: NpWork::PageFault(fault),
+                    },
+                );
+                false
+            }
+            AccessOutcome::BlockFault(fault, cost) => {
+                node.cpu.clock += cost;
+                node.cpu.status = CpuStatus::BlockedFault;
+                node.cpu.suspended_at = node.cpu.clock;
+                let at = node.cpu.clock;
+                self.trace(
+                    at,
+                    TraceEvent::BlockFault {
+                        node: NodeId::new(n as u16),
+                        addr,
+                        kind,
+                    },
+                );
+                queue.schedule_at(
+                    at,
+                    Event::NpWork {
+                        node: n,
+                        work: NpWork::BlockFault(fault),
+                    },
+                );
+                false
+            }
+        }
+    }
+
+    // --- NP execution ---------------------------------------------------
+
+    fn try_dispatch(&mut self, n: usize, now: Cycles, queue: &mut EventQueue<Event>) {
+        let np = &mut self.nodes[n].np;
+        if !np.has_work() {
+            return;
+        }
+        if np.busy_until > now {
+            if !np.dispatch_pending {
+                np.dispatch_pending = true;
+                queue.schedule_at(np.busy_until, Event::NpDispatch(n));
+            }
+            return;
+        }
+        self.run_one_handler(n, now, queue);
+    }
+
+    fn run_one_handler(&mut self, n: usize, now: Cycles, queue: &mut EventQueue<Event>) {
+        let Some(work) = self.nodes[n].np.next_work() else {
+            return;
+        };
+        let start = now + self.cfg.typhoon.effective_dispatch();
+        {
+            let stats = &mut self.nodes[n].np.stats;
+            stats.handlers.inc();
+            match &work {
+                NpWork::Message(_) => {}
+                NpWork::BlockFault(_) => stats.block_faults.inc(),
+                NpWork::PageFault(_) => stats.page_faults.inc(),
+                NpWork::UserCall(..) => stats.user_calls.inc(),
+            }
+        }
+        let kind = match &work {
+            NpWork::Message(m) => HandlerKind::Message(m.handler.raw()),
+            NpWork::BlockFault(_) => HandlerKind::BlockFault,
+            NpWork::PageFault(_) => HandlerKind::PageFault,
+            NpWork::UserCall(..) => HandlerKind::UserCall,
+        };
+        self.trace(
+            start,
+            TraceEvent::HandlerStart {
+                node: NodeId::new(n as u16),
+                what: kind,
+            },
+        );
+        let mut proto = self.protocols[n].take().expect("protocol present");
+        let cost = {
+            let mut ctx = self.ctx(n, start, queue);
+            match work {
+                NpWork::Message(m) => proto.on_message(&mut ctx, m),
+                NpWork::BlockFault(f) => proto.on_block_fault(&mut ctx, f),
+                NpWork::PageFault(f) => proto.on_page_fault(&mut ctx, f),
+                NpWork::UserCall(t, c) => proto.on_user_call(&mut ctx, t, c),
+            }
+            let c = ctx.total_cost();
+            if c == Cycles::ZERO {
+                Cycles::new(1)
+            } else {
+                c
+            }
+        };
+        self.protocols[n] = Some(proto);
+        let node = &mut self.nodes[n];
+        let np = &mut node.np;
+        np.busy_until = start + cost;
+        np.stats
+            .busy_cycles
+            .add((self.cfg.typhoon.effective_dispatch() + cost).raw());
+        // Software Tempest: the handler ran on the primary CPU, stealing
+        // its cycles if it was computing.
+        if self.cfg.typhoon.np_mode == tt_base::config::NpMode::OnCpu
+            && node.cpu.status == crate::cpu::CpuStatus::Ready
+            && node.cpu.clock < np.busy_until
+        {
+            node.cpu.clock = np.busy_until;
+        }
+        if np.has_work() && !np.dispatch_pending {
+            np.dispatch_pending = true;
+            let at = np.busy_until;
+            queue.schedule_at(at, Event::NpDispatch(n));
+        }
+    }
+
+    // --- Packets ---------------------------------------------------------
+
+    fn deliver(&mut self, packet: Packet, now: Cycles, queue: &mut EventQueue<Event>) {
+        let n = packet.dst.index();
+        self.trace(
+            now,
+            TraceEvent::Deliver {
+                node: packet.dst,
+                handler: packet.handler,
+            },
+        );
+        if packet.handler >= MACHINE_HANDLER_BASE {
+            self.deliver_machine_packet(packet, now, queue);
+            return;
+        }
+        self.nodes[n].np.enqueue(NpWork::Message(Message::from_packet(packet)));
+        self.try_dispatch(n, now, queue);
+    }
+
+    fn deliver_machine_packet(&mut self, packet: Packet, now: Cycles, queue: &mut EventQueue<Event>) {
+        let n = packet.dst.index();
+        match packet.handler {
+            BULK_DATA => {
+                let dst_addr = VAddr::new(packet.payload.words[0]);
+                let node = &mut self.nodes[n];
+                write_virtual_bytes(&mut node.mem, &node.ptable, dst_addr, &packet.payload.data);
+                let np = &mut node.np;
+                let busy = if np.busy_until > now { np.busy_until } else { now };
+                np.busy_until = busy + self.cfg.typhoon.bulk_packet_cycles;
+            }
+            BULK_DONE => {
+                let words = &packet.payload.words;
+                let (src_base, dst_base, bytes) = (words[0], words[1], words[2]);
+                let (notify_src, notify_dst) = (words[3], words[4]);
+                if notify_dst != NO_HANDLER {
+                    self.nodes[n].np.enqueue(NpWork::Message(Message {
+                        src: packet.src,
+                        vn: VirtualNet::Response,
+                        handler: HandlerId(notify_dst as u32),
+                        payload: Payload::args(vec![src_base, dst_base, bytes]),
+                    }));
+                    self.try_dispatch(n, now, queue);
+                }
+                if notify_src != NO_HANDLER {
+                    let ack = Packet {
+                        src: packet.dst,
+                        dst: packet.src,
+                        vn: VirtualNet::Response,
+                        handler: BULK_ACK,
+                        payload: Payload::args(vec![src_base, dst_base, bytes, notify_src]),
+                    };
+                    let at = self.network.send(now, &ack);
+                    queue.schedule_at(at, Event::Deliver(ack));
+                }
+            }
+            BULK_ACK => {
+                let words = &packet.payload.words;
+                self.nodes[n].np.enqueue(NpWork::Message(Message {
+                    src: packet.src,
+                    vn: VirtualNet::Response,
+                    handler: HandlerId(words[3] as u32),
+                    payload: Payload::args(vec![words[0], words[1], words[2]]),
+                }));
+                self.try_dispatch(n, now, queue);
+            }
+            other => panic!("unknown machine handler id {other:#x}"),
+        }
+    }
+
+    fn bulk_inject(&mut self, n: usize, id: u64, now: Cycles, queue: &mut EventQueue<Event>) {
+        let Some(pos) = self.nodes[n].bulk.iter().position(|b| b.id == id) else {
+            return;
+        };
+        let busy_until = self.nodes[n].np.busy_until;
+        if busy_until > now {
+            queue.schedule_at(busy_until, Event::BulkInject { node: n, id });
+            return;
+        }
+        let (packet, done_packet) = {
+            let node = &mut self.nodes[n];
+            let b = &mut node.bulk[pos];
+            let req = b.request;
+            let remaining = req.bytes - b.offset;
+            let chunk = remaining.min(tt_tempest::bulk::BULK_PACKET_DATA_BYTES);
+            let data = read_virtual_bytes(
+                &node.mem,
+                &node.ptable,
+                req.src_addr.offset(b.offset as u64),
+                chunk,
+            );
+            let packet = Packet {
+                src: NodeId::new(n as u16),
+                dst: req.dst,
+                vn: VirtualNet::Request,
+                handler: BULK_DATA,
+                payload: Payload {
+                    words: vec![req.dst_addr.raw() + b.offset as u64],
+                    data,
+                },
+            };
+            b.offset += chunk;
+            node.np.stats.bulk_packets.inc();
+            let done = if b.offset == req.bytes {
+                let notify_src = req
+                    .notify_src
+                    .map(|h| h.raw() as u64)
+                    .unwrap_or(NO_HANDLER);
+                let notify_dst = req
+                    .notify_dst
+                    .map(|h| h.raw() as u64)
+                    .unwrap_or(NO_HANDLER);
+                Some(Packet {
+                    src: NodeId::new(n as u16),
+                    dst: req.dst,
+                    vn: VirtualNet::Request,
+                    handler: BULK_DONE,
+                    payload: Payload::args(vec![
+                        req.src_addr.raw(),
+                        req.dst_addr.raw(),
+                        req.bytes as u64,
+                        notify_src,
+                        notify_dst,
+                    ]),
+                })
+            } else {
+                None
+            };
+            done
+                .map(|d| (packet.clone(), Some(d)))
+                .unwrap_or((packet, None))
+        };
+        let at = self.network.send(now, &packet);
+        queue.schedule_at(at, Event::Deliver(packet));
+        let np = &mut self.nodes[n].np;
+        np.busy_until = now + self.cfg.typhoon.bulk_packet_cycles;
+        if let Some(done) = done_packet {
+            let at = self.network.send(np.busy_until, &done);
+            queue.schedule_at(at, Event::Deliver(done));
+            self.nodes[n].bulk.remove(pos);
+        } else {
+            let at = np.busy_until;
+            queue.schedule_at(at, Event::BulkInject { node: n, id });
+        }
+    }
+
+    fn barrier_release(&mut self, generation: u64, now: Cycles, queue: &mut EventQueue<Event>) {
+        assert_eq!(generation, self.barrier.generation, "stale barrier release");
+        self.trace(now, TraceEvent::BarrierRelease);
+        self.barrier.generation += 1;
+        self.barrier.arrived = 0;
+        self.barrier.max_arrival = Cycles::ZERO;
+        self.barrier.releases += 1;
+        for n in 0..self.cfg.nodes {
+            let cpu = &mut self.nodes[n].cpu;
+            assert_eq!(cpu.status, CpuStatus::AtBarrier, "node {n} missed the barrier");
+            cpu.stats
+                .barrier_wait_cycles
+                .add((now - cpu.suspended_at).raw());
+            cpu.status = CpuStatus::Ready;
+            cpu.clock = now;
+            if !cpu.step_pending {
+                cpu.step_pending = true;
+                queue.schedule_at(now, Event::CpuStep(n));
+            }
+        }
+    }
+
+    // --- Reporting -------------------------------------------------------
+
+    fn build_report(&mut self, cycles: Cycles) -> Report {
+        let mut r = Report::new();
+        r.push_count("machine.cycles", cycles.raw());
+        r.push_count("machine.nodes", self.cfg.nodes as u64);
+        r.push_count("machine.barriers", self.barrier.releases);
+
+        let mut ops = 0u64;
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        let mut compute = 0u64;
+        let mut local_misses = 0u64;
+        let mut upgrades = 0u64;
+        let mut block_faults = 0u64;
+        let mut page_faults = 0u64;
+        let mut fault_stall = 0u64;
+        let mut barrier_wait = 0u64;
+        let mut call_stall = 0u64;
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        let mut tlb_misses = 0u64;
+        let mut rtlb_misses = 0u64;
+        for node in &self.nodes {
+            let s = &node.cpu.stats;
+            ops += s.ops.get();
+            reads += s.reads.get();
+            writes += s.writes.get();
+            compute += s.compute_cycles.get();
+            local_misses += s.local_misses.get();
+            upgrades += s.upgrades.get();
+            block_faults += s.block_faults.get();
+            page_faults += s.page_faults.get();
+            fault_stall += s.fault_stall_cycles.get();
+            barrier_wait += s.barrier_wait_cycles.get();
+            call_stall += s.call_stall_cycles.get();
+            cache_hits += node.cpu.cache.stats().hits.get();
+            cache_misses += node.cpu.cache.stats().misses.get();
+            tlb_misses += node.cpu.tlb.stats().misses.get();
+            rtlb_misses += s.rtlb_misses.get();
+        }
+        r.push_count("cpu.ops", ops);
+        r.push_count("cpu.reads", reads);
+        r.push_count("cpu.writes", writes);
+        r.push_count("cpu.compute_cycles", compute);
+        r.push_count("cpu.local_misses", local_misses);
+        r.push_count("cpu.upgrades", upgrades);
+        r.push_count("cpu.block_faults", block_faults);
+        r.push_count("cpu.page_faults", page_faults);
+        r.push_count("cpu.fault_stall_cycles", fault_stall);
+        r.push_count("cpu.barrier_wait_cycles", barrier_wait);
+        r.push_count("cpu.call_stall_cycles", call_stall);
+        r.push_count("cpu.cache_hits", cache_hits);
+        r.push_count("cpu.cache_misses", cache_misses);
+        r.push_count("cpu.tlb_misses", tlb_misses);
+        r.push_count("cpu.rtlb_misses", rtlb_misses);
+
+        let mut handlers = 0u64;
+        let mut instr = 0u64;
+        let mut messages = 0u64;
+        let mut busy = 0u64;
+        let mut bulk_packets = 0u64;
+        for node in &self.nodes {
+            let s = &node.np.stats;
+            handlers += s.handlers.get();
+            instr += s.instructions.get();
+            messages += s.messages.get();
+            busy += s.busy_cycles.get();
+            bulk_packets += s.bulk_packets.get();
+        }
+        r.push_count("np.handlers", handlers);
+        r.push_count("np.instructions", instr);
+        r.push_count("np.messages", messages);
+        r.push_count("np.busy_cycles", busy);
+        r.push_count("np.bulk_packets", bulk_packets);
+
+        let net = self.network.stats();
+        r.push_count("net.packets", net.total_packets());
+        r.push_count("net.bytes", net.total_bytes());
+        r.push_count("net.local_packets", net.local_packets.get());
+
+        // Aggregate protocol statistics across nodes by summing rows with
+        // equal names.
+        let mut order: Vec<String> = Vec::new();
+        let mut sums: HashMap<String, f64> = HashMap::new();
+        for proto in self.protocols.iter().flatten() {
+            let mut pr = Report::new();
+            proto.report(&mut pr);
+            for row in pr.iter() {
+                if !sums.contains_key(&row.name) {
+                    order.push(row.name.clone());
+                }
+                *sums.entry(row.name.clone()).or_insert(0.0) += row.value;
+            }
+        }
+        for name in order {
+            let v = sums[&name];
+            r.push(name, v);
+        }
+        r
+    }
+}
+
+/// Reads `len` bytes starting at virtual `addr` (word-aligned) through the
+/// node's page table.
+fn read_virtual_bytes(mem: &NodeMemory, pt: &PageTable, addr: VAddr, len: usize) -> Vec<u8> {
+    assert_eq!(addr.raw() % WORD_BYTES as u64, 0, "bulk source unaligned");
+    assert_eq!(len % WORD_BYTES, 0, "bulk length unaligned");
+    let mut out = Vec::with_capacity(len);
+    for w in 0..len / WORD_BYTES {
+        let va = addr.offset((w * WORD_BYTES) as u64);
+        let pa = pt
+            .translate_addr(va)
+            .unwrap_or_else(|| panic!("bulk read from unmapped address {va}"));
+        out.extend_from_slice(&mem.read_word(pa).to_le_bytes());
+    }
+    out
+}
+
+/// Writes bytes starting at virtual `addr` (word-aligned) through the
+/// node's page table.
+fn write_virtual_bytes(mem: &mut NodeMemory, pt: &PageTable, addr: VAddr, data: &[u8]) {
+    assert_eq!(addr.raw() % WORD_BYTES as u64, 0, "bulk destination unaligned");
+    assert_eq!(data.len() % WORD_BYTES, 0, "bulk length unaligned");
+    for (w, chunk) in data.chunks_exact(WORD_BYTES).enumerate() {
+        let va = addr.offset((w * WORD_BYTES) as u64);
+        let pa = pt
+            .translate_addr(va)
+            .unwrap_or_else(|| panic!("bulk write to unmapped address {va}"));
+        mem.write_word(pa, u64::from_le_bytes(chunk.try_into().unwrap()));
+    }
+}
+
+impl EventHandler for TyphoonMachine {
+    type Event = Event;
+
+    fn handle(&mut self, now: Cycles, event: Event, queue: &mut EventQueue<Event>) {
+        match event {
+            Event::CpuStep(n) => self.cpu_step(n, now, queue),
+            Event::NpDispatch(n) => {
+                self.nodes[n].np.dispatch_pending = false;
+                let np = &mut self.nodes[n].np;
+                if np.busy_until > now {
+                    np.dispatch_pending = true;
+                    let at = np.busy_until;
+                    queue.schedule_at(at, Event::NpDispatch(n));
+                } else if np.has_work() {
+                    self.run_one_handler(n, now, queue);
+                }
+            }
+            Event::NpWork { node, work } => {
+                self.nodes[node].np.enqueue(work);
+                self.try_dispatch(node, now, queue);
+            }
+            Event::Deliver(packet) => self.deliver(packet, now, queue),
+            Event::BarrierRelease { generation } => self.barrier_release(generation, now, queue),
+            Event::BulkInject { node, id } => self.bulk_inject(node, id, now, queue),
+        }
+    }
+}

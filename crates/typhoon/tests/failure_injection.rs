@@ -1,0 +1,216 @@
+//! Failure injection: deliberately broken protocols must be *caught* by
+//! the machine's invariants — value verification catches coherence bugs,
+//! and the deadlock detector catches lost resumes. These tests give
+//! confidence that the green runs elsewhere in the suite actually prove
+//! something.
+
+use tt_base::addr::PAGE_BYTES;
+use tt_base::workload::{Layout, Op, Placement, Region, ScriptWorkload, SHARED_SEGMENT_BASE};
+use tt_base::{NodeId, SystemConfig, VAddr};
+use tt_mem::{PageMeta, Tag};
+use tt_net::{Payload, VirtualNet};
+use tt_tempest::{
+    BlockFault, HandlerId, Message, PageFault, Protocol, TempestCtx,
+};
+use tt_typhoon::TyphoonMachine;
+
+const GET: HandlerId = HandlerId(0x60);
+const PUT: HandlerId = HandlerId(0x61);
+
+/// A broken "coherence" protocol: it hands out writable copies of the
+/// same block to everyone and never invalidates anything. Any two nodes
+/// writing then reading the same word will observe each other's lost
+/// updates.
+struct NeverInvalidate {
+    node: NodeId,
+    home_map: Vec<(tt_base::addr::Vpn, NodeId)>,
+    pending: Option<tt_tempest::ThreadId>,
+}
+
+impl NeverInvalidate {
+    fn new(node: NodeId, layout: &Layout, cfg: &SystemConfig) -> Self {
+        NeverInvalidate {
+            node,
+            home_map: layout.pages(cfg.nodes).map(|(v, h, _)| (v, h)).collect(),
+            pending: None,
+        }
+    }
+
+    fn home_of(&self, vpn: tt_base::addr::Vpn) -> NodeId {
+        self.home_map
+            .iter()
+            .find(|(v, _)| *v == vpn)
+            .map(|(_, h)| *h)
+            .expect("page in layout")
+    }
+}
+
+impl Protocol for NeverInvalidate {
+    fn init(&mut self, ctx: &mut dyn TempestCtx) {
+        let mine: Vec<_> = self
+            .home_map
+            .iter()
+            .filter(|(_, h)| *h == self.node)
+            .map(|(v, _)| *v)
+            .collect();
+        for vpn in mine {
+            let ppn = ctx.alloc_page();
+            ctx.map_page(vpn, ppn).unwrap();
+            ctx.set_page_tags(vpn, Tag::ReadWrite);
+            ctx.set_page_meta(
+                vpn,
+                PageMeta {
+                    vpn: Some(vpn),
+                    mode: 0,
+                    user: [self.node.raw() as u64, 0],
+                },
+            );
+        }
+    }
+
+    fn on_page_fault(&mut self, ctx: &mut dyn TempestCtx, fault: PageFault) {
+        let vpn = fault.addr.page();
+        let ppn = ctx.alloc_page();
+        ctx.map_page(vpn, ppn).unwrap();
+        ctx.set_page_tags(vpn, Tag::Invalid);
+        ctx.set_page_meta(
+            vpn,
+            PageMeta {
+                vpn: Some(vpn),
+                mode: 0,
+                user: [self.home_of(vpn).raw() as u64, 0],
+            },
+        );
+        ctx.resume(fault.thread);
+    }
+
+    fn on_block_fault(&mut self, ctx: &mut dyn TempestCtx, fault: BlockFault) {
+        let home = NodeId::new(fault.meta.user[0] as u16);
+        self.pending = Some(fault.thread);
+        ctx.send(
+            home,
+            VirtualNet::Request,
+            GET,
+            Payload::args(vec![fault.addr.block_base().raw()]),
+        );
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn TempestCtx, msg: Message) {
+        match msg.handler {
+            GET => {
+                // BUG: gives a writable copy without tracking or
+                // invalidating anyone.
+                let addr = VAddr::new(msg.arg(0));
+                let data = ctx.force_read_block(addr);
+                ctx.send(
+                    msg.src,
+                    VirtualNet::Response,
+                    PUT,
+                    Payload::with_block(vec![addr.raw()], data),
+                );
+            }
+            PUT => {
+                let addr = VAddr::new(msg.arg(0));
+                let data = msg.payload.block();
+                ctx.force_write_block(addr, &data);
+                ctx.set_tag(addr, Tag::ReadWrite);
+                ctx.resume(self.pending.take().expect("pending fault"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+/// A protocol that takes the fault and never resumes the thread.
+struct LoseResume;
+
+impl Protocol for LoseResume {
+    fn on_page_fault(&mut self, _ctx: &mut dyn TempestCtx, _fault: PageFault) {
+        // BUG: thread left suspended forever.
+    }
+    fn on_block_fault(&mut self, _ctx: &mut dyn TempestCtx, _fault: BlockFault) {}
+    fn on_message(&mut self, _ctx: &mut dyn TempestCtx, _msg: Message) {}
+}
+
+fn one_page_layout() -> Layout {
+    let mut l = Layout::new();
+    l.add(Region {
+        base: VAddr::new(SHARED_SEGMENT_BASE),
+        bytes: PAGE_BYTES,
+        placement: Placement::PerPage(vec![NodeId::new(0)]),
+        mode: 0,
+    });
+    l
+}
+
+#[test]
+#[should_panic(expected = "coherence violation")]
+fn verification_catches_a_protocol_that_never_invalidates() {
+    let word = VAddr::new(SHARED_SEGMENT_BASE);
+    let mut w = ScriptWorkload::new(2).with_layout(one_page_layout());
+    // Node 1 caches the block, node 0 (home) updates it, node 1 reads
+    // again and must see the new value — but the broken protocol never
+    // invalidated node 1's stale writable copy.
+    w.set(
+        0,
+        vec![
+            Op::Write { addr: word, value: 1 },
+            Op::Barrier,
+            Op::Barrier,
+            Op::Write { addr: word, value: 2 },
+            Op::Barrier,
+        ],
+    );
+    w.set(
+        1,
+        vec![
+            Op::Barrier,
+            Op::Read { addr: word, expect: Some(1) },
+            Op::Barrier,
+            Op::Barrier,
+            Op::Read { addr: word, expect: Some(2) },
+        ],
+    );
+    let mut m = TyphoonMachine::new(
+        SystemConfig::test_config(2),
+        Box::new(w),
+        &|id, layout, cfg| Box::new(NeverInvalidate::new(id, layout, cfg)),
+    );
+    let _ = m.run();
+}
+
+#[test]
+#[should_panic(expected = "deadlocked")]
+fn deadlock_detector_catches_a_lost_resume() {
+    let mut w = ScriptWorkload::new(1).with_layout(one_page_layout());
+    w.set(
+        0,
+        vec![Op::Read {
+            addr: VAddr::new(SHARED_SEGMENT_BASE + PAGE_BYTES as u64 * 10),
+            expect: None,
+        }],
+    );
+    let mut m = TyphoonMachine::new(
+        SystemConfig::test_config(1),
+        Box::new(w),
+        &|_, _, _| Box::new(LoseResume),
+    );
+    let _ = m.run();
+}
+
+#[test]
+#[should_panic(expected = "deadlocked")]
+fn mismatched_barrier_counts_are_detected() {
+    // Node 1 runs one barrier and finishes; node 0 waits at a second
+    // barrier that can never release: the run must end in the deadlock
+    // detector, not hang.
+    let mut w = ScriptWorkload::new(2).with_layout(one_page_layout());
+    w.set(0, vec![Op::Barrier, Op::Barrier]);
+    w.set(1, vec![Op::Barrier]);
+    let mut m = TyphoonMachine::new(
+        SystemConfig::test_config(2),
+        Box::new(w),
+        &|_, _, _| Box::new(LoseResume),
+    );
+    let _ = m.run();
+}

@@ -1,0 +1,425 @@
+//! Machine-level tests of Typhoon with minimal protocols: page-fault
+//! mapping, barrier synchronization, active-message round trips, bulk
+//! transfer, and determinism.
+
+use tt_base::addr::PAGE_BYTES;
+use tt_base::workload::{Layout, Op, Placement, Region, Workload, SHARED_SEGMENT_BASE};
+use tt_base::{Cycles, NodeId, SystemConfig, VAddr};
+use tt_mem::Tag;
+use tt_net::{Payload, VirtualNet};
+use tt_tempest::{
+    BlockFault, BulkRequest, HandlerId, Message, PageFault, Protocol, TempestCtx, ThreadId,
+    UserCall,
+};
+use tt_typhoon::TyphoonMachine;
+
+/// A workload from pre-built per-cpu op scripts.
+struct Script {
+    layout: Layout,
+    per_cpu: Vec<Option<Vec<Op>>>,
+}
+
+impl Script {
+    fn new(nodes: usize, layout: Layout) -> Self {
+        Script {
+            layout,
+            per_cpu: vec![Some(Vec::new()); nodes],
+        }
+    }
+
+    fn set(&mut self, cpu: usize, ops: Vec<Op>) {
+        self.per_cpu[cpu] = Some(ops);
+    }
+}
+
+impl Workload for Script {
+    fn name(&self) -> &'static str {
+        "script"
+    }
+    fn layout(&self) -> Layout {
+        self.layout.clone()
+    }
+    fn next_chunk(&mut self, cpu: NodeId) -> Option<Vec<Op>> {
+        self.per_cpu[cpu.index()].take()
+    }
+}
+
+/// Maps any faulting page locally with ReadWrite tags: private per-node
+/// memory, no coherence. Good enough to exercise the CPU/NP fault path.
+#[derive(Default)]
+struct LocalAlloc;
+
+impl Protocol for LocalAlloc {
+    fn on_page_fault(&mut self, ctx: &mut dyn TempestCtx, fault: PageFault) {
+        ctx.charge(50);
+        let ppn = ctx.alloc_page();
+        ctx.map_page(fault.addr.page(), ppn).unwrap();
+        ctx.set_page_tags(fault.addr.page(), Tag::ReadWrite);
+        ctx.resume(fault.thread);
+    }
+    fn on_block_fault(&mut self, _ctx: &mut dyn TempestCtx, fault: BlockFault) {
+        panic!("unexpected block fault at {}", fault.addr);
+    }
+    fn on_message(&mut self, _ctx: &mut dyn TempestCtx, msg: Message) {
+        panic!("unexpected message {:?}", msg.handler);
+    }
+}
+
+fn shared(addr_off: u64) -> VAddr {
+    VAddr::new(SHARED_SEGMENT_BASE + addr_off)
+}
+
+fn empty_layout() -> Layout {
+    Layout::new()
+}
+
+fn cfg(nodes: usize) -> SystemConfig {
+    let mut c = SystemConfig::test_config(nodes);
+    c.verify_values = true;
+    c
+}
+
+#[test]
+fn single_node_write_then_read_round_trips() {
+    let mut script = Script::new(1, empty_layout());
+    script.set(
+        0,
+        vec![
+            Op::Write {
+                addr: shared(0),
+                value: 0xABCD,
+            },
+            Op::Read {
+                addr: shared(0),
+                expect: Some(0xABCD),
+            },
+            Op::Compute(10),
+        ],
+    );
+    let mut m = TyphoonMachine::new(cfg(1), Box::new(script), &|_, _, _| {
+        Box::new(LocalAlloc)
+    });
+    let result = m.run();
+    assert!(result.cycles > Cycles::new(10));
+    assert_eq!(result.report.get("cpu.page_faults"), Some(1.0));
+    assert_eq!(result.report.get("cpu.writes"), Some(1.0));
+    assert_eq!(result.report.get("cpu.reads"), Some(1.0));
+}
+
+#[test]
+fn barrier_synchronizes_all_nodes() {
+    let nodes = 4;
+    let mut script = Script::new(nodes, empty_layout());
+    // Node 0 computes a long time before the barrier; all others arrive
+    // immediately. Everyone then computes 5 more cycles.
+    for n in 0..nodes {
+        let pre = if n == 0 { 10_000 } else { 1 };
+        script.set(
+            n,
+            vec![Op::Compute(pre), Op::Barrier, Op::Compute(5)],
+        );
+    }
+    let mut m = TyphoonMachine::new(cfg(nodes), Box::new(script), &|_, _, _| {
+        Box::new(LocalAlloc)
+    });
+    let result = m.run();
+    // All nodes finish just after the slowest + barrier latency.
+    assert!(result.cycles >= Cycles::new(10_000 + 11 + 5));
+    assert!(result.cycles < Cycles::new(10_100));
+    assert_eq!(result.report.get("machine.barriers"), Some(1.0));
+    // The fast nodes waited for the slow one.
+    let wait = result.report.get("cpu.barrier_wait_cycles").unwrap();
+    assert!(wait > 3.0 * 9_000.0, "barrier wait {wait}");
+}
+
+/// A ping protocol: a user call on node 0 sends a request to node 1; the
+/// handler there replies; the reply handler resumes the caller.
+#[derive(Default)]
+struct Ping {
+    node: u16,
+    waiting: Option<ThreadId>,
+    pings_served: u64,
+}
+
+const PING: HandlerId = HandlerId(1);
+const PONG: HandlerId = HandlerId(2);
+
+impl Protocol for Ping {
+    fn on_page_fault(&mut self, ctx: &mut dyn TempestCtx, fault: PageFault) {
+        let ppn = ctx.alloc_page();
+        ctx.map_page(fault.addr.page(), ppn).unwrap();
+        ctx.set_page_tags(fault.addr.page(), Tag::ReadWrite);
+        ctx.resume(fault.thread);
+    }
+    fn on_block_fault(&mut self, _ctx: &mut dyn TempestCtx, _fault: BlockFault) {
+        unreachable!()
+    }
+    fn on_message(&mut self, ctx: &mut dyn TempestCtx, msg: Message) {
+        match msg.handler {
+            PING => {
+                self.pings_served += 1;
+                ctx.charge(10);
+                ctx.send(msg.src, VirtualNet::Response, PONG, Payload::args(vec![]));
+            }
+            PONG => {
+                ctx.charge(5);
+                let t = self.waiting.take().expect("a thread is waiting");
+                ctx.resume(t);
+            }
+            other => panic!("unexpected handler {other:?}"),
+        }
+    }
+    fn on_user_call(&mut self, ctx: &mut dyn TempestCtx, thread: ThreadId, call: UserCall) {
+        assert_eq!(self.node, 0, "only node 0 pings");
+        assert_eq!(call.op, 42);
+        self.waiting = Some(thread);
+        ctx.charge(8);
+        ctx.send(
+            NodeId::new(1),
+            VirtualNet::Request,
+            PING,
+            Payload::args(vec![call.arg]),
+        );
+    }
+}
+
+#[test]
+fn user_call_message_round_trip() {
+    let nodes = 2;
+    let mut script = Script::new(nodes, empty_layout());
+    script.set(0, vec![Op::UserCall { op: 42, arg: 7 }, Op::Compute(1)]);
+    script.set(1, vec![Op::Compute(1)]);
+    let mut m = TyphoonMachine::new(cfg(nodes), Box::new(script), &|id, _, _| {
+        Box::new(Ping {
+            node: id.raw(),
+            ..Ping::default()
+        })
+    });
+    let result = m.run();
+    // Round trip: >= 2 network latencies plus handler costs.
+    assert!(result.cycles >= Cycles::new(2 * 11 + 10));
+    assert_eq!(result.report.get("net.packets"), Some(2.0));
+    assert!(result.report.get("cpu.call_stall_cycles").unwrap() >= 22.0);
+}
+
+/// Exercises the bulk-transfer engine: node 0 pushes a buffer to node 1
+/// and both sides get completion notifications.
+#[derive(Default)]
+struct Bulk {
+    node: u16,
+    waiting: Option<ThreadId>,
+    done_notifications: u64,
+}
+
+const SRC_DONE: HandlerId = HandlerId(3);
+const DST_DONE: HandlerId = HandlerId(4);
+
+impl Protocol for Bulk {
+    fn on_page_fault(&mut self, ctx: &mut dyn TempestCtx, fault: PageFault) {
+        let ppn = ctx.alloc_page();
+        ctx.map_page(fault.addr.page(), ppn).unwrap();
+        ctx.set_page_tags(fault.addr.page(), Tag::ReadWrite);
+        ctx.resume(fault.thread);
+    }
+    fn on_block_fault(&mut self, _ctx: &mut dyn TempestCtx, _f: BlockFault) {
+        unreachable!()
+    }
+    fn on_message(&mut self, ctx: &mut dyn TempestCtx, msg: Message) {
+        match msg.handler {
+            SRC_DONE => {
+                assert_eq!(self.node, 0);
+                self.done_notifications += 1;
+                let t = self.waiting.take().expect("caller waiting");
+                ctx.resume(t);
+            }
+            DST_DONE => {
+                assert_eq!(self.node, 1);
+                self.done_notifications += 1;
+                assert_eq!(msg.arg(2), 256, "transfer length");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    fn on_user_call(&mut self, ctx: &mut dyn TempestCtx, thread: ThreadId, _call: UserCall) {
+        self.waiting = Some(thread);
+        ctx.bulk_transfer(BulkRequest {
+            dst: NodeId::new(1),
+            src_addr: VAddr::new(SHARED_SEGMENT_BASE),
+            dst_addr: VAddr::new(SHARED_SEGMENT_BASE + PAGE_BYTES as u64),
+            bytes: 256,
+            notify_src: Some(SRC_DONE),
+            notify_dst: Some(DST_DONE),
+        });
+    }
+    fn report(&self, report: &mut tt_base::stats::Report) {
+        report.push_count("bulk.done_notifications", self.done_notifications);
+    }
+}
+
+#[test]
+fn bulk_transfer_moves_data_and_notifies() {
+    let nodes = 2;
+    let mut script = Script::new(nodes, empty_layout());
+    // Node 0 writes a pattern, transfers it, then node 1 reads it after a
+    // barrier. Node 1 pre-touches its destination page so it is mapped.
+    let mut ops0 = Vec::new();
+    for w in 0..32u64 {
+        ops0.push(Op::Write {
+            addr: VAddr::new(SHARED_SEGMENT_BASE + 8 * w),
+            value: 0x100 + w,
+        });
+    }
+    ops0.push(Op::UserCall { op: 1, arg: 0 });
+    ops0.push(Op::Barrier);
+    script.set(0, ops0);
+    let mut ops1 = vec![Op::Write {
+        addr: VAddr::new(SHARED_SEGMENT_BASE + PAGE_BYTES as u64 + 8 * 63),
+        value: 0,
+    }];
+    ops1.push(Op::Barrier);
+    for w in 0..32u64 {
+        ops1.push(Op::Read {
+            addr: VAddr::new(SHARED_SEGMENT_BASE + PAGE_BYTES as u64 + 8 * w),
+            expect: Some(0x100 + w),
+        });
+    }
+    script.set(1, ops1);
+
+    let mut m = TyphoonMachine::new(cfg(nodes), Box::new(script), &|id, _, _| {
+        Box::new(Bulk {
+            node: id.raw(),
+            ..Bulk::default()
+        })
+    });
+    let result = m.run();
+    assert_eq!(result.report.get("bulk.done_notifications"), Some(2.0));
+    // 256 bytes = 4 packets of 64.
+    assert_eq!(result.report.get("np.bulk_packets"), Some(4.0));
+}
+
+#[test]
+fn same_seed_is_bit_deterministic() {
+    let run = || {
+        let nodes = 2;
+        let mut script = Script::new(nodes, empty_layout());
+        for n in 0..nodes {
+            let mut ops = Vec::new();
+            for i in 0..200u64 {
+                ops.push(Op::Write {
+                    addr: shared((n as u64) * 65536 + 8 * i),
+                    value: i,
+                });
+                ops.push(Op::Compute(3));
+            }
+            ops.push(Op::Barrier);
+            script.set(n, ops);
+        }
+        let mut m = TyphoonMachine::new(cfg(nodes), Box::new(script), &|_, _, _| {
+            Box::new(LocalAlloc)
+        });
+        m.run().cycles
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn layout_is_visible_to_protocol_factory() {
+    let mut layout = Layout::new();
+    layout.add(Region {
+        base: VAddr::new(SHARED_SEGMENT_BASE),
+        bytes: 4 * PAGE_BYTES,
+        placement: Placement::Cyclic,
+        mode: 0,
+    });
+    let mut script = Script::new(2, layout);
+    script.set(0, vec![Op::Compute(1)]);
+    script.set(1, vec![Op::Compute(1)]);
+    // The factory can inspect the layout (this is how Stache gets its
+    // distributed home map).
+    let mut factory_pages = std::sync::atomic::AtomicUsize::new(0);
+    let mut m = TyphoonMachine::new(cfg(2), Box::new(script), &|_, layout, _| {
+        factory_pages.store(
+            layout.total_pages(),
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        Box::new(LocalAlloc)
+    });
+    let saw_pages = m.layout().total_pages();
+    let _ = m.run();
+    assert_eq!(saw_pages, 4);
+    assert_eq!(*factory_pages.get_mut(), 4);
+}
+
+#[test]
+fn software_tempest_is_correct_but_slower() {
+    // NpMode::OnCpu (the paper's software-Tempest direction): handlers
+    // interrupt the main processor and fault detection pays a software
+    // trap cost. Results must be identical, just slower.
+    let build = |mode| {
+        let mut script = Script::new(2, empty_layout());
+        let mut ops = Vec::new();
+        for i in 0..100u64 {
+            ops.push(Op::Write { addr: shared(8 * i), value: i });
+            ops.push(Op::Compute(10),);
+        }
+        ops.push(Op::Barrier);
+        script.set(0, ops);
+        script.set(1, vec![Op::Compute(1), Op::Barrier]);
+        let mut cfg = cfg(2);
+        cfg.typhoon.np_mode = mode;
+        let mut m = TyphoonMachine::new(cfg, Box::new(script), &|_, _, _| {
+            Box::new(LocalAlloc)
+        });
+        m.run()
+    };
+    let dedicated = build(tt_base::config::NpMode::Dedicated);
+    let software = build(tt_base::config::NpMode::OnCpu);
+    // Same work performed...
+    assert_eq!(
+        dedicated.report.get("cpu.writes"),
+        software.report.get("cpu.writes")
+    );
+    // ...but the software version pays the trap costs.
+    assert!(
+        software.cycles > dedicated.cycles,
+        "software {} !> dedicated {}",
+        software.cycles,
+        dedicated.cycles
+    );
+}
+
+#[test]
+fn tracer_records_the_fault_handler_sequence() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use tt_typhoon::trace::{HandlerKind, TraceEvent, TraceRecord};
+
+    let events: Rc<RefCell<Vec<TraceRecord>>> = Rc::default();
+    let sink = events.clone();
+
+    let mut script = Script::new(1, empty_layout());
+    script.set(
+        0,
+        vec![Op::Write {
+            addr: shared(0),
+            value: 1,
+        }],
+    );
+    let mut m = TyphoonMachine::new(cfg(1), Box::new(script), &|_, _, _| {
+        Box::new(LocalAlloc)
+    });
+    m.set_tracer(Box::new(move |r: TraceRecord| sink.borrow_mut().push(r)));
+    let _ = m.run();
+
+    let events = events.borrow();
+    // A page fault, then its handler dispatch, in time order.
+    assert!(matches!(events[0].event, TraceEvent::PageFault { .. }));
+    assert!(matches!(
+        events[1].event,
+        TraceEvent::HandlerStart {
+            what: HandlerKind::PageFault,
+            ..
+        }
+    ));
+    assert!(events[0].at <= events[1].at);
+}

@@ -1,0 +1,10 @@
+//! Facade crate re-exporting the whole Tempest/Typhoon reproduction.
+pub use tt_apps as apps;
+pub use tt_base as base;
+pub use tt_dirnnb as dirnnb;
+pub use tt_mem as mem;
+pub use tt_net as net;
+pub use tt_sim as sim;
+pub use tt_stache as stache;
+pub use tt_tempest as tempest;
+pub use tt_typhoon as typhoon;

@@ -1,0 +1,353 @@
+//! Property-based tests: randomized programs and reference models for
+//! the core data structures and, most importantly, an end-to-end
+//! coherence oracle — random race-free phase-structured programs must
+//! observe sequentially consistent values on both machines.
+
+use proptest::prelude::*;
+
+use tempest_typhoon::base::addr::{PAGE_BYTES, VAddr};
+use tempest_typhoon::base::workload::{
+    Layout, Op, Placement, Region, ScriptWorkload, SHARED_SEGMENT_BASE,
+};
+use tempest_typhoon::base::{DetRng, NodeId, SystemConfig};
+use tempest_typhoon::dirnnb::DirnnbMachine;
+use tempest_typhoon::mem::cache::Probe;
+use tempest_typhoon::mem::{CacheModel, FifoTlb};
+use tempest_typhoon::stache::dir::SharerSet;
+use tempest_typhoon::stache::StacheProtocol;
+use tempest_typhoon::typhoon::TyphoonMachine;
+
+// --- Reference-model properties ---------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache never holds more lines than its capacity, never reports
+    /// a hit for a block that was not filled (or was invalidated), and
+    /// ownership state round-trips.
+    #[test]
+    fn cache_model_matches_reference(ops in prop::collection::vec((0u64..64, 0u8..4), 1..400)) {
+        let mut cache = CacheModel::new(1024, 2, 32, DetRng::new(7)); // 16 sets x 2
+        let mut reference: std::collections::HashMap<u64, bool> = Default::default();
+        for (block, action) in ops {
+            match action {
+                0 => {
+                    // probe: a reference-absent block must miss; a hit
+                    // must agree on ownership.
+                    match cache.probe(block) {
+                        Probe::Miss => {}
+                        Probe::HitOwned => prop_assert_eq!(reference.get(&block), Some(&true)),
+                        Probe::HitShared => prop_assert_eq!(reference.get(&block), Some(&false)),
+                    }
+                }
+                1 => {
+                    if cache.peek(block) == Probe::Miss {
+                        if let Some(ev) = cache.fill(block, block % 2 == 0) {
+                            reference.remove(&ev.block);
+                        }
+                        reference.insert(block, block % 2 == 0);
+                    }
+                }
+                2 => {
+                    // Invalidation removes the block wherever it was;
+                    // the reference follows suit either way.
+                    cache.invalidate(block);
+                    reference.remove(&block);
+                }
+                _ => {
+                    if cache.set_owned(block, true) {
+                        reference.insert(block, true);
+                    }
+                }
+            }
+            prop_assert!(cache.resident() <= 32);
+        }
+    }
+
+    /// FIFO TLB: never exceeds capacity; an entry is resident iff it is
+    /// among the last `cap` distinct insertions (with FIFO, re-access
+    /// does not refresh position).
+    #[test]
+    fn fifo_tlb_matches_reference(keys in prop::collection::vec(0u64..20, 1..200)) {
+        use tempest_typhoon::base::addr::Vpn;
+        let cap = 4;
+        let mut tlb = FifoTlb::new(cap);
+        let mut fifo: Vec<u64> = Vec::new();
+        for k in keys {
+            let expect_hit = fifo.contains(&k);
+            let hit = tlb.access(Vpn(k));
+            prop_assert_eq!(hit, expect_hit);
+            if !expect_hit {
+                if fifo.len() == cap {
+                    fifo.remove(0);
+                }
+                fifo.push(k);
+            }
+            prop_assert_eq!(tlb.len(), fifo.len());
+        }
+    }
+
+    /// SharerSet agrees with a HashSet through arbitrary insert/remove
+    /// sequences, including across the pointer/bit-vector overflow.
+    #[test]
+    fn sharer_set_matches_reference(ops in prop::collection::vec((0u16..64, prop::bool::ANY), 1..200)) {
+        let mut set = SharerSet::new();
+        let mut reference = std::collections::HashSet::new();
+        for (node, insert) in ops {
+            let n = NodeId::new(node);
+            if insert {
+                set.insert(n);
+                reference.insert(n);
+            } else {
+                let a = set.remove(n);
+                let b = reference.remove(&n);
+                prop_assert_eq!(a, b);
+            }
+            prop_assert_eq!(set.len(), reference.len());
+            for cand in 0u16..64 {
+                prop_assert_eq!(set.contains(NodeId::new(cand)), reference.contains(&NodeId::new(cand)));
+            }
+        }
+    }
+}
+
+// --- End-to-end coherence oracle ---------------------------------------
+
+/// Builds a race-free variant: reads of a word are suppressed in phases
+/// where another node writes it.
+fn race_free_program(nodes: usize, words: usize, phases: usize, seed: u64) -> ScriptWorkload {
+    let mut rng = DetRng::new(seed.wrapping_mul(0x9E37_79B9));
+    let pages = 2usize;
+    let homes: Vec<NodeId> = (0..pages)
+        .map(|_| NodeId::new(rng.below(nodes as u64) as u16))
+        .collect();
+    let mut layout = Layout::new();
+    layout.add(Region {
+        base: VAddr::new(SHARED_SEGMENT_BASE),
+        bytes: pages * PAGE_BYTES,
+        placement: Placement::PerPage(homes),
+        mode: 0,
+    });
+    let addr_of = |w: usize| {
+        let page = w % pages;
+        let slot = (w / pages) * 40;
+        VAddr::new(SHARED_SEGMENT_BASE + (page * PAGE_BYTES + slot) as u64)
+    };
+    let mut values: Vec<Option<u64>> = vec![None; words];
+    let mut scripts: Vec<Vec<Op>> = vec![Vec::new(); nodes];
+    for phase in 0..phases {
+        let mut writer: Vec<Option<usize>> = vec![None; words];
+        for wr in writer.iter_mut() {
+            if rng.chance(0.6) {
+                *wr = Some(rng.below_usize(nodes));
+            }
+        }
+        let mut read_plan: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+        for (n, plan) in read_plan.iter_mut().enumerate() {
+            for (w, wr) in writer.iter().enumerate() {
+                // Race-free: skip reads of words someone else writes
+                // this phase.
+                let racy = wr.is_some() && *wr != Some(n);
+                if !racy && rng.chance(0.5) {
+                    plan.push(w);
+                }
+            }
+        }
+        let mut new_values = values.clone();
+        for (n, script) in scripts.iter_mut().enumerate() {
+            for &w in &read_plan[n] {
+                script.push(Op::Read {
+                    addr: addr_of(w),
+                    expect: values[w].or(Some(0)),
+                });
+            }
+            for w in 0..words {
+                if writer[w] == Some(n) {
+                    let v = ((phase as u64) << 32) | ((w as u64) << 8) | n as u64;
+                    script.push(Op::Write {
+                        addr: addr_of(w),
+                        value: v,
+                    });
+                    new_values[w] = Some(v);
+                }
+            }
+            script.push(Op::Compute(1 + (n as u32 * 7) % 23));
+            script.push(Op::Barrier);
+        }
+        values = new_values;
+    }
+    let mut w = ScriptWorkload::new(nodes).with_layout(layout);
+    for (n, script) in scripts.into_iter().enumerate() {
+        w.set(n, script);
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random race-free programs observe sequentially consistent values
+    /// on Typhoon/Stache (verify_values panics otherwise) and terminate.
+    #[test]
+    fn stache_is_sequentially_consistent_for_race_free_programs(
+        seed in 0u64..5_000,
+        nodes in 2usize..6,
+        words in 2usize..12,
+        phases in 1usize..8,
+    ) {
+        let w = race_free_program(nodes, words, phases, seed);
+        let cfg = SystemConfig::test_config(nodes);
+        let mut m = TyphoonMachine::new(cfg, Box::new(w), &|id, layout, cfg| {
+            Box::new(StacheProtocol::new(id, layout, cfg))
+        });
+        let r = m.run();
+        prop_assert!(r.cycles.raw() > 0);
+    }
+
+    /// The same programs on the DirNNB machine.
+    #[test]
+    fn dirnnb_is_sequentially_consistent_for_race_free_programs(
+        seed in 0u64..5_000,
+        nodes in 2usize..6,
+        words in 2usize..12,
+        phases in 1usize..8,
+    ) {
+        let w = race_free_program(nodes, words, phases, seed);
+        let cfg = SystemConfig::test_config(nodes);
+        let r = DirnnbMachine::new(cfg, Box::new(w)).run();
+        prop_assert!(r.cycles.raw() > 0);
+    }
+
+    /// Both machines run the same program deterministically.
+    #[test]
+    fn machines_deterministic_on_random_programs(seed in 0u64..1_000) {
+        let cfg = SystemConfig::test_config(3);
+        let run_t = |seed| {
+            let w = race_free_program(3, 6, 3, seed);
+            TyphoonMachine::new(cfg.clone(), Box::new(w), &|id, layout, cfg| {
+                Box::new(StacheProtocol::new(id, layout, cfg))
+            })
+            .run()
+            .cycles
+        };
+        prop_assert_eq!(run_t(seed), run_t(seed));
+        let run_d = |seed| {
+            let w = race_free_program(3, 6, 3, seed);
+            DirnnbMachine::new(cfg.clone(), Box::new(w)).run().cycles
+        };
+        prop_assert_eq!(run_d(seed), run_d(seed));
+    }
+}
+
+/// Sanity check that the race-free generator really generates work.
+#[test]
+fn race_free_generator_produces_reads_and_writes() {
+    let w = race_free_program(4, 8, 5, 42);
+    let mut reads = 0;
+    let mut writes = 0;
+    let mut w2 = w;
+    use tempest_typhoon::base::workload::Workload;
+    for n in 0..4 {
+        if let Some(ops) = w2.next_chunk(NodeId::new(n)) {
+            for op in ops {
+                match op {
+                    Op::Read { .. } => reads += 1,
+                    Op::Write { .. } => writes += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+    assert!(reads > 0, "generator produced no reads");
+    assert!(writes > 0, "generator produced no writes");
+}
+
+// --- Protocol-level property tests --------------------------------------
+
+use tempest_typhoon::apps::em3d::{Em3d, Em3dParams, SyncMode};
+use tempest_typhoon::apps::PhasedWorkload;
+use tempest_typhoon::stache::sync::{ACQUIRE_OP, RELEASE_OP};
+use tempest_typhoon::stache::{Em3dUpdateProtocol, LockLayer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The custom EM3D update protocol stays sequentially consistent at
+    /// phase boundaries for arbitrary graph shapes, remote fractions, and
+    /// machine sizes — the fuzzy barrier must never let a phase start
+    /// before its values arrived (verification would fail).
+    #[test]
+    fn em3d_update_protocol_is_correct_for_random_graphs(
+        seed in 0u64..10_000,
+        procs in 2usize..9,
+        degree in 1usize..6,
+        pct in 0u32..=100,
+        iterations in 1usize..5,
+    ) {
+        let params = Em3dParams {
+            graph_nodes: 40 * procs,
+            degree,
+            pct_remote: pct as f64 / 100.0,
+            iterations,
+            procs,
+            seed,
+            sync: SyncMode::Flush,
+        };
+        let cfg = SystemConfig::test_config(procs);
+        let mut m = TyphoonMachine::new(
+            cfg,
+            Box::new(PhasedWorkload::new(Em3d::new(params))),
+            &|id, layout, cfg| Box::new(Em3dUpdateProtocol::new(id, layout, cfg)),
+        );
+        let r = m.run();
+        prop_assert!(r.cycles.raw() > 0);
+        // The custom protocol must never fall back to invalidation for
+        // the graph-value pages.
+        prop_assert_eq!(r.report.get("stache.invals_sent"), Some(0.0));
+    }
+
+    /// Random lock-protected critical sections never interleave: each
+    /// one writes a private token and reads it back verified.
+    #[test]
+    fn random_lock_programs_are_mutually_exclusive(
+        seed in 0u64..10_000,
+        nodes in 2usize..7,
+        locks in 1usize..4,
+        rounds in 1usize..6,
+    ) {
+        let mut rng = DetRng::new(seed);
+        let mut layout = Layout::new();
+        layout.add(Region {
+            base: VAddr::new(SHARED_SEGMENT_BASE),
+            bytes: PAGE_BYTES,
+            placement: Placement::PerPage(vec![NodeId::new(0)]),
+            mode: 0,
+        });
+        let mut w = ScriptWorkload::new(nodes).with_layout(layout);
+        for n in 0..nodes {
+            let mut ops = Vec::new();
+            for round in 0..rounds {
+                let lock = rng.below(locks as u64);
+                // One guarded word per lock.
+                let addr = VAddr::new(SHARED_SEGMENT_BASE + 64 * lock);
+                let token = (seed << 20) ^ ((round as u64) << 10) ^ (n as u64 + 1);
+                ops.push(Op::UserCall { op: ACQUIRE_OP, arg: lock });
+                ops.push(Op::Read { addr, expect: None });
+                ops.push(Op::Write { addr, value: token });
+                ops.push(Op::Compute(1 + rng.below(120) as u32));
+                ops.push(Op::Read { addr, expect: Some(token) });
+                ops.push(Op::UserCall { op: RELEASE_OP, arg: lock });
+            }
+            w.set(n, ops);
+        }
+        let cfg = SystemConfig::test_config(nodes);
+        let mut m = TyphoonMachine::new(cfg, Box::new(w), &|id, layout, cfg| {
+            Box::new(LockLayer::new(StacheProtocol::new(id, layout, cfg), cfg.nodes))
+        });
+        let r = m.run();
+        prop_assert_eq!(
+            r.report.get("lock.acquires"),
+            Some((nodes * rounds) as f64)
+        );
+    }
+}
