@@ -28,6 +28,7 @@
 pub mod addr;
 pub mod config;
 pub mod cycles;
+pub mod fxhash;
 pub mod ids;
 pub mod rng;
 pub mod stats;
@@ -37,5 +38,6 @@ pub mod workload;
 pub use addr::{PAddr, Ppn, VAddr, Vpn};
 pub use config::SystemConfig;
 pub use cycles::Cycles;
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use ids::NodeId;
 pub use rng::DetRng;

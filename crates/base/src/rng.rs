@@ -6,8 +6,8 @@
 //! [`crate::config::SystemConfig`] therefore produce bit-identical cycle
 //! counts, which the integration tests rely on.
 //!
-//! We deliberately do not use `rand::thread_rng` anywhere; the `rand` crate
-//! is used only in tests, for convenience distributions.
+//! We deliberately do not depend on the `rand` crate anywhere; every
+//! random draw in the repository comes from this generator.
 
 /// Deterministic xoshiro256** random-number generator.
 ///

@@ -165,6 +165,53 @@ pub trait Workload {
     /// processor's program has ended. Chunks may be any nonzero length;
     /// the machine consumes them in order.
     fn next_chunk(&mut self, cpu: NodeId) -> Option<Vec<Op>>;
+
+    /// Refills `buf` with the next chunk for `cpu`, returning `false`
+    /// when the program has ended (in which case `buf` is left empty).
+    ///
+    /// The machines call this on each refill so a workload can reuse the
+    /// processor's chunk buffer instead of allocating a fresh `Vec` per
+    /// chunk. The default delegates to [`Workload::next_chunk`];
+    /// implementations that own their chunks should override it.
+    fn next_chunk_into(&mut self, cpu: NodeId, buf: &mut Vec<Op>) -> bool {
+        match self.next_chunk(cpu) {
+            Some(chunk) => {
+                *buf = chunk;
+                true
+            }
+            None => {
+                buf.clear();
+                false
+            }
+        }
+    }
+}
+
+/// Merges runs of consecutive [`Op::Compute`] ops in place, saturating
+/// each merged span at `u32::MAX` (a new op is started on overflow).
+///
+/// A chunk's total compute cycles — and therefore every simulated clock —
+/// is unchanged; only the number of ops the machine's inner loop touches
+/// shrinks. Workload generators that interleave many small compute spans
+/// (address arithmetic, per-element work) call this once per chunk at
+/// emission time.
+pub fn coalesce_computes(ops: &mut Vec<Op>) {
+    let mut w = 0usize;
+    for r in 0..ops.len() {
+        let op = ops[r];
+        if let (Some(prev_i), Op::Compute(k)) = (w.checked_sub(1), op) {
+            if let Op::Compute(prev) = ops[prev_i] {
+                let sum = prev as u64 + k as u64;
+                if sum <= u32::MAX as u64 {
+                    ops[prev_i] = Op::Compute(sum as u32);
+                    continue;
+                }
+            }
+        }
+        ops[w] = op;
+        w += 1;
+    }
+    ops.truncate(w);
 }
 
 /// A workload built from explicit per-processor op scripts.
@@ -223,6 +270,19 @@ impl Workload for ScriptWorkload {
     fn next_chunk(&mut self, cpu: NodeId) -> Option<Vec<Op>> {
         self.per_cpu[cpu.index()].take()
     }
+
+    fn next_chunk_into(&mut self, cpu: NodeId, buf: &mut Vec<Op>) -> bool {
+        match self.per_cpu[cpu.index()].take() {
+            Some(ops) => {
+                *buf = ops;
+                true
+            }
+            None => {
+                buf.clear();
+                false
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -279,6 +339,78 @@ mod tests {
             mode: 0,
         };
         assert_eq!(r.pages(), 2);
+    }
+
+    #[test]
+    fn coalesce_merges_runs_and_preserves_total() {
+        let mut ops = vec![
+            Op::Compute(3),
+            Op::Compute(4),
+            Op::Compute(5),
+            Op::Barrier,
+            Op::Compute(1),
+            Op::Read { addr: VAddr::new(SHARED_SEGMENT_BASE), expect: None },
+            Op::Compute(2),
+            Op::Compute(9),
+        ];
+        let total: u64 = ops
+            .iter()
+            .map(|op| match op {
+                Op::Compute(k) => *k as u64,
+                _ => 0,
+            })
+            .sum();
+        coalesce_computes(&mut ops);
+        assert_eq!(
+            ops,
+            vec![
+                Op::Compute(12),
+                Op::Barrier,
+                Op::Compute(1),
+                Op::Read { addr: VAddr::new(SHARED_SEGMENT_BASE), expect: None },
+                Op::Compute(11),
+            ]
+        );
+        let after: u64 = ops
+            .iter()
+            .map(|op| match op {
+                Op::Compute(k) => *k as u64,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, after);
+    }
+
+    #[test]
+    fn coalesce_splits_on_u32_overflow() {
+        let mut ops = vec![
+            Op::Compute(u32::MAX - 1),
+            Op::Compute(10),
+            Op::Compute(5),
+        ];
+        coalesce_computes(&mut ops);
+        assert_eq!(ops, vec![Op::Compute(u32::MAX - 1), Op::Compute(15)]);
+    }
+
+    #[test]
+    fn coalesce_handles_empty_and_singleton() {
+        let mut empty: Vec<Op> = vec![];
+        coalesce_computes(&mut empty);
+        assert!(empty.is_empty());
+        let mut one = vec![Op::Barrier];
+        coalesce_computes(&mut one);
+        assert_eq!(one, vec![Op::Barrier]);
+    }
+
+    #[test]
+    fn next_chunk_into_default_and_override_agree() {
+        let mut w = ScriptWorkload::new(1);
+        w.set(0, vec![Op::Compute(7), Op::Barrier]);
+        let mut buf = Vec::new();
+        assert!(w.next_chunk_into(NodeId::new(0), &mut buf));
+        assert_eq!(buf, vec![Op::Compute(7), Op::Barrier]);
+        assert!(!w.next_chunk_into(NodeId::new(0), &mut buf));
+        assert!(buf.is_empty());
     }
 
     #[test]

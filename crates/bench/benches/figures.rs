@@ -2,45 +2,28 @@
 //! headline comparisons are exercised by the standard bench entry point.
 //! The printable full-resolution figures come from the `figure3` /
 //! `figure4` binaries; these benches run single representative points at
-//! smoke scale and report the simulated-cycle results via criterion.
+//! smoke scale. Uses the internal `tt_bench::harness` (criterion is
+//! unavailable offline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use tt_bench::{bench_config, figure3_point, figure4_point, smoke};
 use tt_apps::{AppId, DataSet};
+use tt_bench::harness::Runner;
+use tt_bench::{bench_config, figure3_point, figure4_point, smoke};
 
-fn bench_figure3_points(c: &mut Criterion) {
+fn main() {
+    let r = Runner::from_args();
     let cfg = bench_config(smoke::NODES);
-    let mut group = c.benchmark_group("figure3");
-    group.sample_size(10);
-    group.bench_function("em3d_small_4k_point", |b| {
-        b.iter(|| {
-            let p = figure3_point(AppId::Em3d, DataSet::Small, 4 * 1024, smoke::SCALE, &cfg);
-            black_box(p.relative())
-        })
+    r.bench("figure3/em3d_small_4k_point", || {
+        let p = figure3_point(AppId::Em3d, DataSet::Small, 4 * 1024, smoke::SCALE, &cfg);
+        black_box(p.relative().to_bits())
     });
-    group.bench_function("ocean_small_4k_point", |b| {
-        b.iter(|| {
-            let p = figure3_point(AppId::Ocean, DataSet::Small, 4 * 1024, smoke::SCALE, &cfg);
-            black_box(p.relative())
-        })
+    r.bench("figure3/ocean_small_4k_point", || {
+        let p = figure3_point(AppId::Ocean, DataSet::Small, 4 * 1024, smoke::SCALE, &cfg);
+        black_box(p.relative().to_bits())
     });
-    group.finish();
+    r.bench("figure4/em3d_30pct_remote_all_systems", || {
+        let p = figure4_point(0.3, smoke::SCALE, &cfg);
+        black_box(p.cycles_per_edge[0].to_bits())
+    });
 }
-
-fn bench_figure4_midpoint(c: &mut Criterion) {
-    let cfg = bench_config(smoke::NODES);
-    let mut group = c.benchmark_group("figure4");
-    group.sample_size(10);
-    group.bench_function("em3d_30pct_remote_all_systems", |b| {
-        b.iter(|| {
-            let p = figure4_point(0.3, smoke::SCALE, &cfg);
-            black_box(p.cycles_per_edge)
-        })
-    });
-    group.finish();
-}
-
-criterion_group!(benches, bench_figure3_points, bench_figure4_midpoint);
-criterion_main!(benches);

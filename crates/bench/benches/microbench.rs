@@ -1,17 +1,22 @@
-//! Criterion microbenchmarks of the simulator substrate and the
-//! user-level shared-memory hot paths: the §5.1 claims about handler
-//! invocation live here (miss path, message round trip), plus raw engine
-//! throughput.
+//! Microbenchmarks of the simulator substrate and the user-level
+//! shared-memory hot paths: the §5.1 claims about handler invocation
+//! live here (miss path, message round trip), plus raw engine
+//! throughput. Uses the internal `tt_bench::harness` (criterion is
+//! unavailable offline).
+//!
+//! Run with `cargo bench --bench microbench [-- <filter>]`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use tt_base::addr::PAGE_BYTES;
 use tt_base::workload::{Layout, Op, Placement, Region, ScriptWorkload, SHARED_SEGMENT_BASE};
 use tt_base::{Cycles, DetRng, NodeId, SystemConfig, VAddr};
-use tt_mem::{CacheModel, FifoTlb};
+use tt_bench::harness::Runner;
+use tt_mem::{AccessKind, CacheModel, FifoTlb, NodeMemory, PageTable, Tag};
 use tt_sim::{EventHandler, EventQueue, RunLimit};
 use tt_stache::StacheProtocol;
+use tt_typhoon::cpu::{exec_access, AccessOutcome, CpuState};
+use tt_typhoon::np::NpState;
 use tt_typhoon::TyphoonMachine;
 
 struct Sink(u64);
@@ -25,86 +30,130 @@ impl EventHandler for Sink {
     }
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("sim/event_queue_chain_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            q.schedule_at(Cycles::ZERO, 10_000u64);
-            let mut h = Sink(0);
-            tt_sim::run(&mut h, &mut q, RunLimit::none());
-            black_box(h.0)
-        })
+/// A single self-rescheduling chain: the EventQueue front-slot fast
+/// path should make this nearly heap-free.
+fn bench_event_queue_chain(r: &Runner) {
+    r.bench("sim/event_queue_chain_10k", || {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles::ZERO, 10_000u64);
+        let mut h = Sink(0);
+        tt_sim::run(&mut h, &mut q, RunLimit::none());
+        black_box(h.0)
     });
 }
 
-fn bench_cache_model(c: &mut Criterion) {
-    c.bench_function("mem/cache_probe_fill_sweep", |b| {
-        b.iter(|| {
-            let mut cache = CacheModel::new(64 * 1024, 4, 32, DetRng::new(1));
-            let mut hits = 0u64;
-            for i in 0..16_384u64 {
-                let key = (i * 7) % 4096;
-                if cache.probe(key).is_hit() {
-                    hits += 1;
-                } else {
-                    cache.fill(key, i % 2 == 0);
-                }
-            }
-            black_box(hits)
-        })
+/// Heap churn with many interleaved "nodes": schedule/pop with 32
+/// outstanding events at staggered times, the pattern a full-machine
+/// simulation produces. Exercises the slow (heap) path.
+fn bench_event_queue_churn(r: &Runner) {
+    r.bench("sim/event_queue_schedule_pop_churn_32", || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut rng = DetRng::new(11);
+        for i in 0..32u64 {
+            q.schedule_at(Cycles::new(i % 7), i);
+        }
+        let mut acc = 0u64;
+        for _ in 0..20_000 {
+            let (now, ev) = q.pop().expect("queue never drains");
+            acc = acc.wrapping_add(ev);
+            q.schedule_at(now + Cycles::new(1 + rng.below(13)), ev);
+        }
+        while q.pop().is_some() {}
+        black_box(acc)
     });
-    c.bench_function("mem/tlb_fifo_sweep", |b| {
-        b.iter(|| {
-            let mut tlb = FifoTlb::new(64);
-            let mut hits = 0u64;
-            for i in 0..8_192u64 {
-                if tlb.access(tt_base::addr::Vpn(i % 96)) {
-                    hits += 1;
-                }
+}
+
+fn bench_cache_model(r: &Runner) {
+    r.bench("mem/cache_probe_fill_sweep", || {
+        let mut cache = CacheModel::new(64 * 1024, 4, 32, DetRng::new(1));
+        let mut hits = 0u64;
+        for i in 0..16_384u64 {
+            let key = (i * 7) % 4096;
+            if cache.probe(key).is_hit() {
+                hits += 1;
+            } else {
+                cache.fill(key, i % 2 == 0);
             }
-            black_box(hits)
-        })
+        }
+        black_box(hits)
+    });
+    r.bench("mem/tlb_fifo_sweep", || {
+        let mut tlb = FifoTlb::new(64);
+        let mut hits = 0u64;
+        for i in 0..8_192u64 {
+            if tlb.access(tt_base::addr::Vpn(i % 96)) {
+                hits += 1;
+            }
+        }
+        black_box(hits)
+    });
+}
+
+/// The `exec_access` cache-hit path: after one fill, every access hits
+/// the CPU cache and should cost a handful of nanoseconds — this is the
+/// per-op floor of the whole simulation.
+fn bench_exec_access_hit(r: &Runner) {
+    r.bench("typhoon/exec_access_cache_hit", || {
+        let cfg = SystemConfig::test_config(2);
+        let mut cpu = CpuState::new(NodeId::new(0), &cfg, DetRng::new(1));
+        let mut np = NpState::new(&cfg, DetRng::new(2));
+        let mut mem = NodeMemory::new();
+        let mut pt = PageTable::new();
+        let ppn = mem.alloc();
+        pt.map(tt_base::addr::Vpn(0x10000), ppn).unwrap();
+        mem.frame_mut(ppn).set_all_tags(Tag::ReadWrite);
+        let addr = VAddr::new(0x10000 * PAGE_BYTES as u64);
+        // Prime: TLB, RTLB, and cache fill.
+        exec_access(&cfg, &mut cpu, &mut np, &mut mem, &pt, addr, AccessKind::Load, 0);
+        let mut acc = 0u64;
+        for _ in 0..16_384 {
+            match exec_access(&cfg, &mut cpu, &mut np, &mut mem, &pt, addr, AccessKind::Load, 0)
+            {
+                AccessOutcome::Done { cost, .. } => acc = acc.wrapping_add(cost.raw()),
+                other => panic!("expected hit, got {other:?}"),
+            }
+        }
+        black_box(acc)
     });
 }
 
 /// One remote Stache miss, end to end: page fault, block fault, request,
 /// home handler, reply handler, resume, retry — the §5.1 critical path.
-fn bench_stache_miss_path(c: &mut Criterion) {
-    c.bench_function("stache/remote_miss_round_trip", |b| {
-        b.iter(|| {
-            let mut layout = Layout::new();
-            layout.add(Region {
-                base: VAddr::new(SHARED_SEGMENT_BASE),
-                bytes: PAGE_BYTES,
-                placement: Placement::PerPage(vec![NodeId::new(0)]),
-                mode: 0,
-            });
-            let mut w = ScriptWorkload::new(2).with_layout(layout);
-            w.set(0, vec![Op::Barrier]);
-            w.set(
-                1,
-                vec![
-                    Op::Barrier,
-                    Op::Read {
-                        addr: VAddr::new(SHARED_SEGMENT_BASE),
-                        expect: None,
-                    },
-                ],
-            );
-            let mut m = TyphoonMachine::new(
-                SystemConfig::test_config(2),
-                Box::new(w),
-                &|id, layout, cfg| Box::new(StacheProtocol::new(id, layout, cfg)),
-            );
-            black_box(m.run().cycles)
-        })
+fn bench_stache_miss_path(r: &Runner) {
+    r.bench("stache/remote_miss_round_trip", || {
+        let mut layout = Layout::new();
+        layout.add(Region {
+            base: VAddr::new(SHARED_SEGMENT_BASE),
+            bytes: PAGE_BYTES,
+            placement: Placement::PerPage(vec![NodeId::new(0)]),
+            mode: 0,
+        });
+        let mut w = ScriptWorkload::new(2).with_layout(layout);
+        w.set(0, vec![Op::Barrier]);
+        w.set(
+            1,
+            vec![
+                Op::Barrier,
+                Op::Read {
+                    addr: VAddr::new(SHARED_SEGMENT_BASE),
+                    expect: None,
+                },
+            ],
+        );
+        let mut m = TyphoonMachine::new(
+            SystemConfig::test_config(2),
+            Box::new(w),
+            &|id, layout, cfg| Box::new(StacheProtocol::new(id, layout, cfg)),
+        );
+        black_box(m.run().cycles.raw())
     });
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_cache_model,
-    bench_stache_miss_path
-);
-criterion_main!(benches);
+fn main() {
+    let r = Runner::from_args();
+    bench_event_queue_chain(&r);
+    bench_event_queue_churn(&r);
+    bench_cache_model(&r);
+    bench_exec_access_hit(&r);
+    bench_stache_miss_path(&r);
+}

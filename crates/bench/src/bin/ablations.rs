@@ -24,17 +24,37 @@
 //!    contention; a per-packet injection-port occupancy shows which way
 //!    the comparison moves when senders serialize.
 //!
-//! Usage: `ablations [--scale N] [--nodes N] [--full]` (default scale 16).
+//! Usage: `ablations [--scale N] [--nodes N] [--jobs N] [--json PATH]
+//! [--full]` (default scale 16). Each ablation's independent runs fan
+//! out across `--jobs` threads; the tables are byte-identical for any
+//! `jobs` value.
+
+use std::time::Instant;
 
 use tt_base::table::Table;
-use tt_bench::{bench_config, build_app, run_system, sync_for, System};
+use tt_bench::json::PointRecord;
+use tt_bench::{bench_config, build_app, par, run_system, sync_for, RunOutcome, System};
 use tt_apps::{AppId, DataSet};
+
+/// A throughput record for one completed run.
+fn record(point: String, system: &str, out: &RunOutcome) -> PointRecord {
+    PointRecord {
+        point,
+        system: system.into(),
+        cycles: out.cycles.raw(),
+        wall_secs: out.wall_secs,
+        ops: out.ops,
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, nodes) = tt_bench::parse_args(&args, 16);
+    let cli = tt_bench::parse_cli(&args, 16);
+    let (scale, nodes, jobs) = (cli.scale, cli.nodes, cli.jobs);
     let app = AppId::Em3d;
     let set = DataSet::Small;
+    let mut records: Vec<PointRecord> = Vec::new();
+    let sweep_start = Instant::now();
 
     println!("ABLATION 1. Stache handler path length (EM3D small, {nodes} nodes, 1/{scale}).\n");
     let mut t = Table::new(vec!["handler cost x", "Typhoon/Stache vs DirNNB"]);
@@ -43,51 +63,68 @@ fn main() {
         c.cpu.cache_bytes = 4 * 1024;
         c
     };
-    let dirnnb = run_system(
-        System::Dirnnb,
-        &base_cfg,
-        build_app(app, set, scale, nodes, sync_for(app, System::Dirnnb)),
-    )
-    .cycles;
-    for scale_factor in [0.5, 1.0, 2.0, 4.0] {
-        let mut cfg = base_cfg.clone();
-        cfg.typhoon.handler_cost_scale = scale_factor;
-        let t_cycles = run_system(
-            System::TyphoonStache,
-            &cfg,
-            build_app(app, set, scale, nodes, sync_for(app, System::TyphoonStache)),
-        )
-        .cycles;
+    let factors = [0.5, 1.0, 2.0, 4.0];
+    // Task 0 is the shared DirNNB comparator; tasks 1.. sweep the factor.
+    let outs = par::run_indexed(jobs, factors.len() + 1, |i| {
+        if i == 0 {
+            run_system(
+                System::Dirnnb,
+                &base_cfg,
+                build_app(app, set, scale, nodes, sync_for(app, System::Dirnnb)),
+            )
+        } else {
+            let mut cfg = base_cfg.clone();
+            cfg.typhoon.handler_cost_scale = factors[i - 1];
+            run_system(
+                System::TyphoonStache,
+                &cfg,
+                build_app(app, set, scale, nodes, sync_for(app, System::TyphoonStache)),
+            )
+        }
+    });
+    let dirnnb = outs[0].cycles;
+    records.push(record("ablation1 baseline".into(), "DirNNB", &outs[0]));
+    for (scale_factor, out) in factors.iter().zip(&outs[1..]) {
         t.row(vec![
             format!("{scale_factor:.1}"),
-            format!("{:.3}", t_cycles.as_f64() / dirnnb.as_f64()),
+            format!("{:.3}", out.cycles.as_f64() / dirnnb.as_f64()),
         ]);
+        records.push(record(
+            format!("ablation1 handler x{scale_factor:.1}"),
+            "Typhoon/Stache",
+            out,
+        ));
     }
     println!("{t}");
 
     println!("ABLATION 2. Network latency (EM3D small, 4K caches).\n");
     let mut t = Table::new(vec!["latency (cycles)", "Typhoon/Stache", "DirNNB", "relative"]);
-    for lat in [11u64, 22, 44] {
+    let latencies = [11u64, 22, 44];
+    // Two tasks per row: even index Typhoon/Stache, odd index DirNNB.
+    let outs = par::run_indexed(jobs, latencies.len() * 2, |i| {
         let mut cfg = base_cfg.clone();
-        cfg.timing.network_latency = tt_base::Cycles::new(lat);
-        let ty = run_system(
-            System::TyphoonStache,
+        cfg.timing.network_latency = tt_base::Cycles::new(latencies[i / 2]);
+        let system = if i % 2 == 0 {
+            System::TyphoonStache
+        } else {
+            System::Dirnnb
+        };
+        run_system(
+            system,
             &cfg,
-            build_app(app, set, scale, nodes, sync_for(app, System::TyphoonStache)),
+            build_app(app, set, scale, nodes, sync_for(app, system)),
         )
-        .cycles;
-        let d = run_system(
-            System::Dirnnb,
-            &cfg,
-            build_app(app, set, scale, nodes, sync_for(app, System::Dirnnb)),
-        )
-        .cycles;
+    });
+    for (r, lat) in latencies.into_iter().enumerate() {
+        let (ty, d) = (&outs[r * 2], &outs[r * 2 + 1]);
         t.row(vec![
             lat.to_string(),
-            ty.to_string(),
-            d.to_string(),
-            format!("{:.3}", ty.as_f64() / d.as_f64()),
+            ty.cycles.to_string(),
+            d.cycles.to_string(),
+            format!("{:.3}", ty.cycles.as_f64() / d.cycles.as_f64()),
         ]);
+        records.push(record(format!("ablation2 latency {lat}"), "Typhoon/Stache", ty));
+        records.push(record(format!("ablation2 latency {lat}"), "DirNNB", d));
     }
     println!("{t}");
     println!("(paper: a slower network shrinks Typhoon's relative overhead)\n");
@@ -99,50 +136,56 @@ fn main() {
         "replacements",
         "writebacks",
     ]);
-    for pages in [usize::MAX, 64, 32, 16] {
+    let budgets = [usize::MAX, 64, 32, 16];
+    let outs = par::run_indexed(jobs, budgets.len(), |i| {
         let mut cfg = base_cfg.clone();
-        cfg.stache_capacity_bytes = if pages == usize::MAX {
+        cfg.stache_capacity_bytes = if budgets[i] == usize::MAX {
             usize::MAX
         } else {
-            pages * 4096
+            budgets[i] * 4096
         };
-        let out = run_system(
+        run_system(
             System::TyphoonStache,
             &cfg,
             build_app(app, set, scale, nodes, sync_for(app, System::TyphoonStache)),
-        );
+        )
+    });
+    for (pages, out) in budgets.into_iter().zip(&outs) {
+        let label = if pages == usize::MAX {
+            "unbounded".to_string()
+        } else {
+            pages.to_string()
+        };
         t.row(vec![
-            if pages == usize::MAX {
-                "unbounded".to_string()
-            } else {
-                pages.to_string()
-            },
+            label.clone(),
             out.cycles.to_string(),
             format!("{}", out.report.get("stache.replacements").unwrap_or(0.0)),
             format!("{}", out.report.get("stache.writebacks_sent").unwrap_or(0.0)),
         ]);
+        records.push(record(format!("ablation3 budget {label}"), "Typhoon/Stache", out));
     }
     println!("{t}");
 
     println!("ABLATION 4. Dedicated NP vs software Tempest (handlers on the CPU).\n");
     let mut t = Table::new(vec!["handler placement", "cycles", "vs dedicated"]);
-    let mut base_cycles = 0f64;
-    for mode in [tt_base::config::NpMode::Dedicated, tt_base::config::NpMode::OnCpu] {
+    let modes = [tt_base::config::NpMode::Dedicated, tt_base::config::NpMode::OnCpu];
+    let outs = par::run_indexed(jobs, modes.len(), |i| {
         let mut cfg = base_cfg.clone();
-        cfg.typhoon.np_mode = mode;
-        let out = run_system(
+        cfg.typhoon.np_mode = modes[i];
+        run_system(
             System::TyphoonStache,
             &cfg,
             build_app(app, set, scale, nodes, sync_for(app, System::TyphoonStache)),
-        );
-        if mode == tt_base::config::NpMode::Dedicated {
-            base_cycles = out.cycles.as_f64();
-        }
+        )
+    });
+    let base_cycles = outs[0].cycles.as_f64();
+    for (mode, out) in modes.into_iter().zip(&outs) {
         t.row(vec![
             format!("{mode:?}"),
             out.cycles.to_string(),
             format!("{:.2}x", out.cycles.as_f64() / base_cycles),
         ]);
+        records.push(record(format!("ablation4 np {mode:?}"), "Typhoon/Stache", out));
     }
     println!("{t}");
     println!("(the dedicated NP is the hardware investment the paper argues for)\n");
@@ -157,29 +200,37 @@ fn main() {
     // Scale capped at 4 so each owner spans several pages (at deeper
     // scales every owner fits one page and the two policies coincide).
     let scale = scale.min(4);
-    let ty = run_system(
-        System::TyphoonStache,
-        &base_cfg,
-        build_app(oapp, oset, scale, nodes, sync_for(oapp, System::TyphoonStache)),
-    )
-    .cycles;
-    for placement in [
+    let placements = [
         tt_base::config::DirPlacement::RoundRobin,
         tt_base::config::DirPlacement::Owner,
-    ] {
-        let mut cfg = base_cfg.clone();
-        cfg.dirnnb.placement = placement;
-        let d = run_system(
-            System::Dirnnb,
-            &cfg,
-            build_app(oapp, oset, scale, nodes, sync_for(oapp, System::Dirnnb)),
-        )
-        .cycles;
+    ];
+    // Task 0 is the shared Typhoon/Stache run; tasks 1.. sweep placement.
+    let outs = par::run_indexed(jobs, placements.len() + 1, |i| {
+        if i == 0 {
+            run_system(
+                System::TyphoonStache,
+                &base_cfg,
+                build_app(oapp, oset, scale, nodes, sync_for(oapp, System::TyphoonStache)),
+            )
+        } else {
+            let mut cfg = base_cfg.clone();
+            cfg.dirnnb.placement = placements[i - 1];
+            run_system(
+                System::Dirnnb,
+                &cfg,
+                build_app(oapp, oset, scale, nodes, sync_for(oapp, System::Dirnnb)),
+            )
+        }
+    });
+    let ty = outs[0].cycles;
+    records.push(record("ablation5 baseline".into(), "Typhoon/Stache", &outs[0]));
+    for (placement, d) in placements.into_iter().zip(&outs[1..]) {
         t.row(vec![
             format!("{placement:?}"),
-            d.to_string(),
-            format!("{:.3}", ty.as_f64() / d.as_f64()),
+            d.cycles.to_string(),
+            format!("{:.3}", ty.as_f64() / d.cycles.as_f64()),
         ]);
+        records.push(record(format!("ablation5 {placement:?}"), "DirNNB", d));
     }
     println!("{t}");
     println!("(the paper: first-touch-quality placement 'eliminates much of the\ndifference' — Stache gets that locality automatically)\n");
@@ -194,25 +245,42 @@ fn main() {
         let mut p = OceanParams::table3(DataSet::Small, nodes);
         p.n = (p.n / (scale.min(4))).max(16);
         p.iterations = 6;
-        let stache = TyphoonMachine::new(
-            base_cfg.clone(),
-            Box::new(PhasedWorkload::new(Ocean::new(p.clone()))),
-            &|id, layout, cfg| Box::new(StacheProtocol::new(id, layout, cfg)),
-        )
-        .run();
-        p.sync = OceanSync::Push;
-        let push = TyphoonMachine::new(
-            base_cfg.clone(),
-            Box::new(PhasedWorkload::new(Ocean::new(p))),
-            &|id, layout, cfg| Box::new(DelayedUpdateProtocol::new(id, layout, cfg)),
-        )
-        .run();
-        for (name, r) in [("Typhoon/Stache", &stache), ("Typhoon/Push", &push)] {
+        // Task 0: transparent Stache; task 1: the custom push protocol.
+        let outs = par::run_indexed(jobs, 2, |i| {
+            let start = Instant::now();
+            let r = if i == 0 {
+                TyphoonMachine::new(
+                    base_cfg.clone(),
+                    Box::new(PhasedWorkload::new(Ocean::new(p.clone()))),
+                    &|id, layout, cfg| Box::new(StacheProtocol::new(id, layout, cfg)),
+                )
+                .run()
+            } else {
+                let mut p = p.clone();
+                p.sync = OceanSync::Push;
+                TyphoonMachine::new(
+                    base_cfg.clone(),
+                    Box::new(PhasedWorkload::new(Ocean::new(p))),
+                    &|id, layout, cfg| Box::new(DelayedUpdateProtocol::new(id, layout, cfg)),
+                )
+                .run()
+            };
+            let wall_secs = start.elapsed().as_secs_f64();
+            let ops = r.report.get("cpu.ops").unwrap_or(0.0) as u64;
+            RunOutcome {
+                cycles: r.cycles,
+                report: r.report,
+                wall_secs,
+                ops,
+            }
+        });
+        for (name, r) in [("Typhoon/Stache", &outs[0]), ("Typhoon/Push", &outs[1])] {
             t.row(vec![
                 name.to_string(),
                 r.cycles.to_string(),
                 format!("{}", r.report.get("net.packets").unwrap_or(0.0)),
             ]);
+            records.push(record("ablation6 ocean push".into(), name, r));
         }
     }
     println!("{t}");
@@ -224,28 +292,51 @@ fn main() {
     // user-level system is to a serializing network port.
     println!("ABLATION 7. Network injection-port occupancy (EM3D small, 4K caches).\n");
     let mut t = Table::new(vec!["occupancy (cycles/packet)", "Typhoon/Stache", "DirNNB", "relative"]);
-    for occ in [0u64, 4, 16] {
+    let occupancies = [0u64, 4, 16];
+    let outs = par::run_indexed(jobs, occupancies.len() * 2, |i| {
         let mut cfg = base_cfg.clone();
-        cfg.timing.network_occupancy = tt_base::Cycles::new(occ);
-        let ty = run_system(
-            System::TyphoonStache,
+        cfg.timing.network_occupancy = tt_base::Cycles::new(occupancies[i / 2]);
+        let system = if i % 2 == 0 {
+            System::TyphoonStache
+        } else {
+            System::Dirnnb
+        };
+        run_system(
+            system,
             &cfg,
-            build_app(app, set, scale, nodes, sync_for(app, System::TyphoonStache)),
+            build_app(app, set, scale, nodes, sync_for(app, system)),
         )
-        .cycles;
-        let d = run_system(
-            System::Dirnnb,
-            &cfg,
-            build_app(app, set, scale, nodes, sync_for(app, System::Dirnnb)),
-        )
-        .cycles;
+    });
+    for (r, occ) in occupancies.into_iter().enumerate() {
+        let (ty, d) = (&outs[r * 2], &outs[r * 2 + 1]);
         t.row(vec![
             occ.to_string(),
-            ty.to_string(),
-            d.to_string(),
-            format!("{:.3}", ty.as_f64() / d.as_f64()),
+            ty.cycles.to_string(),
+            d.cycles.to_string(),
+            format!("{:.3}", ty.cycles.as_f64() / d.cycles.as_f64()),
         ]);
+        records.push(record(format!("ablation7 occupancy {occ}"), "Typhoon/Stache", ty));
+        records.push(record(format!("ablation7 occupancy {occ}"), "DirNNB", d));
     }
     println!("{t}");
     println!("(the paper's zero-contention network is the occupancy-0 row; the\nDirNNB cost model abstracts injection, so only Typhoon moves)");
+
+    let total_wall_secs = sweep_start.elapsed().as_secs_f64();
+    eprintln!(
+        "  sweep: {n} runs in {total_wall_secs:.2}s wall ({jobs} jobs)",
+        n = records.len(),
+    );
+    if let Some(path) = &cli.json {
+        tt_bench::json::write_report(
+            path,
+            "ablations",
+            nodes,
+            cli.scale,
+            jobs,
+            total_wall_secs,
+            &records,
+        )
+        .expect("write --json report");
+        eprintln!("  wrote {}", path.display());
+    }
 }

@@ -5,21 +5,31 @@
 //! performance; the paper reports every bar within 1.3 and several below
 //! 1.0 when the working set exceeds the hardware cache.
 //!
-//! Usage: `figure3 [--scale N] [--nodes N] [--full]`
-//! (default scale 4; `--full` runs the paper's exact sizes).
+//! Usage: `figure3 [--scale N] [--nodes N] [--jobs N] [--json PATH] [--full]`
+//! (default scale 4; `--full` runs the paper's exact sizes). The table is
+//! byte-identical for any `--jobs` value.
+
+use std::time::Instant;
 
 use tt_base::table::Table;
-use tt_bench::{bench_config, figure3_point, FIGURE3_POINTS};
+use tt_bench::json::PointRecord;
+use tt_bench::{bench_config, figure3_sweep, FIGURE3_POINTS};
 use tt_apps::AppId;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, nodes) = tt_bench::parse_args(&args, 4);
-    let cfg = bench_config(nodes);
+    let cli = tt_bench::parse_cli(&args, 4);
+    let cfg = bench_config(cli.nodes);
     println!(
         "FIGURE 3. Typhoon/Stache execution time relative to DirNNB \
-         ({nodes} nodes, scale 1/{scale}).\n"
+         ({nodes} nodes, scale 1/{scale}).\n",
+        nodes = cli.nodes,
+        scale = cli.scale,
     );
+    let start = Instant::now();
+    let points = figure3_sweep(cli.scale, &cfg, cli.jobs);
+    let total_wall_secs = start.elapsed().as_secs_f64();
+
     let mut table = Table::new(vec![
         "benchmark",
         "small/4K",
@@ -28,10 +38,11 @@ fn main() {
         "small/256K",
         "large/256K",
     ]);
-    for app in AppId::ALL {
+    let mut records = Vec::new();
+    for (a, app) in AppId::ALL.into_iter().enumerate() {
         let mut row = vec![app.name().to_string()];
-        for (set, cache) in FIGURE3_POINTS {
-            let point = figure3_point(app, set, cache, scale, &cfg);
+        for (i, (set, cache)) in FIGURE3_POINTS.into_iter().enumerate() {
+            let point = &points[a * FIGURE3_POINTS.len() + i];
             row.push(format!("{:.3}", point.relative()));
             eprintln!(
                 "  {} {}/{}K: typhoon {} dirnnb {} -> {:.3}",
@@ -42,6 +53,21 @@ fn main() {
                 point.dirnnb,
                 point.relative()
             );
+            let name = format!("{} {}/{}K", app, set, cache / 1024);
+            records.push(PointRecord {
+                point: name.clone(),
+                system: "Typhoon/Stache".into(),
+                cycles: point.typhoon.raw(),
+                wall_secs: point.typhoon_stats.wall_secs,
+                ops: point.typhoon_stats.ops,
+            });
+            records.push(PointRecord {
+                point: name,
+                system: "DirNNB".into(),
+                cycles: point.dirnnb.raw(),
+                wall_secs: point.dirnnb_stats.wall_secs,
+                ops: point.dirnnb_stats.ops,
+            });
         }
         table.row(row);
     }
@@ -50,4 +76,22 @@ fn main() {
         "(paper: all bars <= ~1.3; Typhoon/Stache wins by up to ~25% when the\n\
          data set exceeds the CPU cache — small/4K and large/256K columns)"
     );
+    eprintln!(
+        "  sweep: {n} runs in {total_wall_secs:.2}s wall ({jobs} jobs)",
+        n = records.len(),
+        jobs = cli.jobs,
+    );
+    if let Some(path) = &cli.json {
+        tt_bench::json::write_report(
+            path,
+            "figure3",
+            cli.nodes,
+            cli.scale,
+            cli.jobs,
+            total_wall_secs,
+            &records,
+        )
+        .expect("write --json report");
+        eprintln!("  wrote {}", path.display());
+    }
 }

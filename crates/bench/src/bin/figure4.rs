@@ -4,20 +4,30 @@
 //! all three curves rise with the remote fraction; the update protocol is
 //! flattest and beats DirNNB by ~35% at 50% remote edges.
 //!
-//! Usage: `figure4 [--scale N] [--nodes N] [--full]`
-//! (default scale 4; `--full` runs 192,000 nodes, degree 15).
+//! Usage: `figure4 [--scale N] [--nodes N] [--jobs N] [--json PATH] [--full]`
+//! (default scale 4; `--full` runs 192,000 nodes, degree 15). The table
+//! is byte-identical for any `--jobs` value.
+
+use std::time::Instant;
 
 use tt_base::table::Table;
-use tt_bench::{bench_config, figure4_point};
+use tt_bench::json::PointRecord;
+use tt_bench::{bench_config, figure4_sweep, FIGURE4_SYSTEMS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, nodes) = tt_bench::parse_args(&args, 4);
-    let cfg = bench_config(nodes);
+    let cli = tt_bench::parse_cli(&args, 4);
+    let cfg = bench_config(cli.nodes);
     println!(
         "FIGURE 4. EM3D update-protocol performance, large data set \
-         ({nodes} nodes, scale 1/{scale}).\n"
+         ({nodes} nodes, scale 1/{scale}).\n",
+        nodes = cli.nodes,
+        scale = cli.scale,
     );
+    let start = Instant::now();
+    let points = figure4_sweep(cli.scale, &cfg, cli.jobs);
+    let total_wall_secs = start.elapsed().as_secs_f64();
+
     let mut table = Table::new(vec![
         "% non-local edges",
         "DirNNB",
@@ -25,17 +35,26 @@ fn main() {
         "Typhoon/Update",
         "Update vs DirNNB",
     ]);
-    for pct in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
-        let p = figure4_point(pct, scale, &cfg);
+    let mut records = Vec::new();
+    for p in &points {
         let [d, s, u] = p.cycles_per_edge;
         table.row(vec![
-            format!("{:.0}%", pct * 100.0),
+            format!("{:.0}%", p.pct_remote * 100.0),
             format!("{d:.2}"),
             format!("{s:.2}"),
             format!("{u:.2}"),
             format!("{:+.1}%", (u / d - 1.0) * 100.0),
         ]);
-        eprintln!("  {pct:.0}% done", pct = pct * 100.0);
+        eprintln!("  {pct:.0}% done", pct = p.pct_remote * 100.0);
+        for (i, system) in FIGURE4_SYSTEMS.into_iter().enumerate() {
+            records.push(PointRecord {
+                point: format!("{:.0}% remote", p.pct_remote * 100.0),
+                system: system.name().into(),
+                cycles: p.cycles[i].raw(),
+                wall_secs: p.stats[i].wall_secs,
+                ops: p.stats[i].ops,
+            });
+        }
     }
     println!("{table}");
     println!(
@@ -43,4 +62,22 @@ fn main() {
          up to ~35% at 50% non-local edges, and the advantage grows with the\n\
          remote fraction)"
     );
+    eprintln!(
+        "  sweep: {n} runs in {total_wall_secs:.2}s wall ({jobs} jobs)",
+        n = records.len(),
+        jobs = cli.jobs,
+    );
+    if let Some(path) = &cli.json {
+        tt_bench::json::write_report(
+            path,
+            "figure4",
+            cli.nodes,
+            cli.scale,
+            cli.jobs,
+            total_wall_secs,
+            &records,
+        )
+        .expect("write --json report");
+        eprintln!("  wrote {}", path.display());
+    }
 }

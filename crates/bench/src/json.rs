@@ -1,0 +1,168 @@
+//! Machine-readable benchmark output (`--json <path>`).
+//!
+//! Simulated results (cycle counts) are deterministic and comparable
+//! across machines; wall-clock throughput is not, but it is exactly what
+//! the hot-path optimization work needs to track. The `--json` flag on
+//! the figure/ablation binaries writes both: one record per (point,
+//! system) simulation run with its cycle count, wall seconds, and the
+//! derived simulated-cycles/sec and ops/sec rates.
+//!
+//! The format is deliberately tiny and hand-rolled — the build container
+//! has no crates.io access, so `serde` is not available.
+
+use std::io::Write;
+use std::path::Path;
+
+/// One simulation run inside a sweep.
+#[derive(Clone, Debug)]
+pub struct PointRecord {
+    /// Sweep coordinate, e.g. `"barnes small/64K"` or `"30% remote"`.
+    pub point: String,
+    /// System simulated, e.g. `"Typhoon/Stache"`.
+    pub system: String,
+    /// Simulated execution time in cycles.
+    pub cycles: u64,
+    /// Host wall-clock seconds the simulation took.
+    pub wall_secs: f64,
+    /// Workload ops the simulated CPUs executed (`cpu.ops`).
+    pub ops: u64,
+}
+
+impl PointRecord {
+    /// Simulated cycles advanced per host second.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.cycles as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Workload ops simulated per host second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.ops as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"point\": {}, \"system\": {}, \"cycles\": {}, \
+             \"wall_secs\": {:.6}, \"ops\": {}, \
+             \"sim_cycles_per_sec\": {:.1}, \"ops_per_sec\": {:.1}}}",
+            escape(&self.point),
+            escape(&self.system),
+            self.cycles,
+            self.wall_secs,
+            self.ops,
+            self.sim_cycles_per_sec(),
+            self.ops_per_sec(),
+        )
+    }
+}
+
+/// JSON string literal with the required escapes.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Writes a sweep report to `path`, creating parent directories.
+pub fn write_report(
+    path: &Path,
+    figure: &str,
+    nodes: usize,
+    scale: usize,
+    jobs: usize,
+    total_wall_secs: f64,
+    points: &[PointRecord],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"figure\": {},", escape(figure))?;
+    writeln!(f, "  \"nodes\": {nodes},")?;
+    writeln!(f, "  \"scale\": {scale},")?;
+    writeln!(f, "  \"jobs\": {jobs},")?;
+    writeln!(f, "  \"total_wall_secs\": {total_wall_secs:.6},")?;
+    writeln!(f, "  \"points\": [")?;
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        writeln!(f, "{}{sep}", p.to_json())?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_derived() {
+        let p = PointRecord {
+            point: "x".into(),
+            system: "s".into(),
+            cycles: 1000,
+            wall_secs: 0.5,
+            ops: 200,
+        };
+        assert_eq!(p.sim_cycles_per_sec(), 2000.0);
+        assert_eq!(p.ops_per_sec(), 400.0);
+    }
+
+    #[test]
+    fn zero_wall_time_does_not_divide_by_zero() {
+        let p = PointRecord {
+            point: "x".into(),
+            system: "s".into(),
+            cycles: 1000,
+            wall_secs: 0.0,
+            ops: 200,
+        };
+        assert_eq!(p.sim_cycles_per_sec(), 0.0);
+        assert_eq!(p.ops_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(escape("tab\there"), "\"tab\\u0009here\"");
+    }
+
+    #[test]
+    fn report_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("tt_bench_json_test");
+        let path = dir.join("report.json");
+        let points = vec![PointRecord {
+            point: "em3d small/4K".into(),
+            system: "DirNNB".into(),
+            cycles: 42,
+            wall_secs: 0.001,
+            ops: 7,
+        }];
+        write_report(&path, "figure3", 8, 64, 2, 0.123, &points).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"figure\": \"figure3\""));
+        assert!(text.contains("\"cycles\": 42"));
+        assert!(text.contains("\"jobs\": 2"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

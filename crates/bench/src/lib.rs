@@ -11,9 +11,21 @@
 //!   Typhoon/Stache, and Typhoon with the custom update protocol;
 //! - `ablations` — the design-choice sweeps listed in DESIGN.md §5.
 //!
-//! Criterion benches (`cargo bench`): `microbench` measures the simulator
-//! substrate's hot paths, and `figures` runs reduced-scale figure points
-//! so the paper's comparisons are exercised under `cargo bench` too.
+//! Benches (`cargo bench`, on the dependency-free [`harness`]):
+//! `microbench` measures the simulator substrate's hot paths, and
+//! `figures` runs reduced-scale figure points so the paper's comparisons
+//! are exercised under `cargo bench` too.
+//!
+//! Sweeps fan out across OS threads via [`par`] (`--jobs N`); each point
+//! is an independent single-threaded simulation, so tables are
+//! byte-identical whatever `jobs` is. `--json PATH` writes per-run
+//! throughput records (see [`json`]).
+
+pub mod harness;
+pub mod json;
+pub mod par;
+
+use std::time::Instant;
 
 use tt_base::stats::Report;
 use tt_base::workload::Workload;
@@ -58,6 +70,20 @@ pub struct RunOutcome {
     pub cycles: Cycles,
     /// Machine/protocol statistics.
     pub report: Report,
+    /// Host wall-clock seconds the run took.
+    pub wall_secs: f64,
+    /// Workload ops the simulated CPUs executed (`cpu.ops`).
+    pub ops: u64,
+}
+
+/// Simulator throughput of one run: the host-side cost of a simulation,
+/// as opposed to the simulated result.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    /// Host wall-clock seconds.
+    pub wall_secs: f64,
+    /// Workload ops executed by the simulated CPUs.
+    pub ops: u64,
 }
 
 /// Builds one of the five applications at a Table 3 data set, divided by
@@ -108,36 +134,36 @@ pub fn build_app(
     }
 }
 
-/// Runs a workload on the chosen system.
+/// Runs a workload on the chosen system, measuring host wall time.
 pub fn run_system(system: System, cfg: &SystemConfig, workload: Box<dyn Workload>) -> RunOutcome {
-    match system {
+    let start = Instant::now();
+    let (cycles, report) = match system {
         System::Dirnnb => {
             let r = DirnnbMachine::new(cfg.clone(), workload).run();
-            RunOutcome {
-                cycles: r.cycles,
-                report: r.report,
-            }
+            (r.cycles, r.report)
         }
         System::TyphoonStache => {
             let r = TyphoonMachine::new(cfg.clone(), workload, &|id, layout, cfg| {
                 Box::new(StacheProtocol::new(id, layout, cfg))
             })
             .run();
-            RunOutcome {
-                cycles: r.cycles,
-                report: r.report,
-            }
+            (r.cycles, r.report)
         }
         System::TyphoonUpdate => {
             let r = TyphoonMachine::new(cfg.clone(), workload, &|id, layout, cfg| {
                 Box::new(Em3dUpdateProtocol::new(id, layout, cfg))
             })
             .run();
-            RunOutcome {
-                cycles: r.cycles,
-                report: r.report,
-            }
+            (r.cycles, r.report)
         }
+    };
+    let wall_secs = start.elapsed().as_secs_f64();
+    let ops = report.get("cpu.ops").unwrap_or(0.0) as u64;
+    RunOutcome {
+        cycles,
+        report,
+        wall_secs,
+        ops,
     }
 }
 
@@ -164,6 +190,10 @@ pub struct Figure3Point {
     pub typhoon: Cycles,
     /// DirNNB execution time.
     pub dirnnb: Cycles,
+    /// Host-side throughput of the Typhoon/Stache run.
+    pub typhoon_stats: RunStats,
+    /// Host-side throughput of the DirNNB run.
+    pub dirnnb_stats: RunStats,
 }
 
 impl Figure3Point {
@@ -209,7 +239,31 @@ pub fn figure3_point(
         cache_bytes,
         typhoon: typhoon.cycles,
         dirnnb: dirnnb.cycles,
+        typhoon_stats: RunStats {
+            wall_secs: typhoon.wall_secs,
+            ops: typhoon.ops,
+        },
+        dirnnb_stats: RunStats {
+            wall_secs: dirnnb.wall_secs,
+            ops: dirnnb.ops,
+        },
     }
+}
+
+/// Runs the whole Figure 3 grid — every application at every data-set /
+/// cache-size point — fanning independent points across `jobs` threads
+/// (see [`par::run_indexed`]; any `jobs` yields identical results).
+/// Points are returned app-major in `AppId::ALL` × [`FIGURE3_POINTS`]
+/// order.
+pub fn figure3_sweep(scale: usize, cfg: &SystemConfig, jobs: usize) -> Vec<Figure3Point> {
+    let grid: Vec<(AppId, DataSet, usize)> = AppId::ALL
+        .into_iter()
+        .flat_map(|app| FIGURE3_POINTS.into_iter().map(move |(set, cache)| (app, set, cache)))
+        .collect();
+    par::run_indexed(jobs, grid.len(), |i| {
+        let (app, set, cache) = grid[i];
+        figure3_point(app, set, cache, scale, cfg)
+    })
 }
 
 /// A Figure 4 measurement point: EM3D cycles per edge at a remote-edge
@@ -221,7 +275,15 @@ pub struct Figure4Point {
     /// Cycles per edge per iteration for each system
     /// (DirNNB, Typhoon/Stache, Typhoon/Update).
     pub cycles_per_edge: [f64; 3],
+    /// Raw execution time per system (same order).
+    pub cycles: [Cycles; 3],
+    /// Host-side throughput per system (same order).
+    pub stats: [RunStats; 3],
 }
+
+/// The three systems of a Figure 4 point, in column order.
+pub const FIGURE4_SYSTEMS: [System; 3] =
+    [System::Dirnnb, System::TyphoonStache, System::TyphoonUpdate];
 
 /// Measures one Figure 4 x-axis point (all three curves).
 pub fn figure4_point(
@@ -243,10 +305,9 @@ pub fn figure4_point(
         (Box::new(PhasedWorkload::new(app)), denom)
     };
     let mut cpe = [0.0f64; 3];
-    for (i, system) in [System::Dirnnb, System::TyphoonStache, System::TyphoonUpdate]
-        .into_iter()
-        .enumerate()
-    {
+    let mut cycles = [Cycles::ZERO; 3];
+    let mut stats = [RunStats::default(); 3];
+    for (i, system) in FIGURE4_SYSTEMS.into_iter().enumerate() {
         let sync = if system == System::TyphoonUpdate {
             SyncMode::Flush
         } else {
@@ -262,11 +323,29 @@ pub fn figure4_point(
         let (w, denom) = mk(sync);
         let out = run_system(system, &cfg, w);
         cpe[i] = out.cycles.as_f64() / denom;
+        cycles[i] = out.cycles;
+        stats[i] = RunStats {
+            wall_secs: out.wall_secs,
+            ops: out.ops,
+        };
     }
     Figure4Point {
         pct_remote,
         cycles_per_edge: cpe,
+        cycles,
+        stats,
     }
+}
+
+/// The remote-edge fractions of the Figure 4 x-axis.
+pub const FIGURE4_PCTS: [f64; 6] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+
+/// Runs the whole Figure 4 sweep across `jobs` threads (results are
+/// identical for any `jobs`; see [`par::run_indexed`]).
+pub fn figure4_sweep(scale: usize, cfg: &SystemConfig, jobs: usize) -> Vec<Figure4Point> {
+    par::run_indexed(jobs, FIGURE4_PCTS.len(), |i| {
+        figure4_point(FIGURE4_PCTS[i], scale, cfg)
+    })
 }
 
 /// Standard bench configuration: the paper's 32 nodes, verification off
@@ -279,30 +358,75 @@ pub fn bench_config(nodes: usize) -> SystemConfig {
     cfg
 }
 
-/// Parses `--scale N`, `--nodes N`, `--full` style arguments shared by
-/// the harness binaries. Returns `(scale, nodes)`.
-pub fn parse_args(args: &[String], default_scale: usize) -> (usize, usize) {
-    let mut scale = default_scale;
-    let mut nodes = 32;
+/// Command-line options shared by the figure/ablation binaries.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// Data-set divisor (1 = the paper's sizes).
+    pub scale: usize,
+    /// Simulated machine size.
+    pub nodes: usize,
+    /// Worker threads for the point sweep (default: available
+    /// parallelism). Any value produces identical tables.
+    pub jobs: usize,
+    /// Where to write the machine-readable run report, if anywhere.
+    pub json: Option<std::path::PathBuf>,
+}
+
+/// Parses `--scale N`, `--nodes N`, `--full`, `--jobs N`, and
+/// `--json PATH` arguments shared by the harness binaries.
+pub fn parse_cli(args: &[String], default_scale: usize) -> Cli {
+    let mut cli = Cli {
+        scale: default_scale,
+        nodes: 32,
+        jobs: par::default_jobs(),
+        json: None,
+    };
     let mut i = 0;
+    let value = |i: usize, flag: &str| -> &str {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} requires a value"))
+    };
+    let number = |i: usize, flag: &str| -> usize {
+        value(i, flag)
+            .parse()
+            .unwrap_or_else(|e| panic!("{flag} N: {e}"))
+    };
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                scale = args[i + 1].parse().expect("--scale N");
+                cli.scale = number(i, "--scale");
                 i += 2;
             }
             "--nodes" => {
-                nodes = args[i + 1].parse().expect("--nodes N");
+                cli.nodes = number(i, "--nodes");
+                i += 2;
+            }
+            "--jobs" => {
+                cli.jobs = number(i, "--jobs");
+                i += 2;
+            }
+            "--json" => {
+                cli.json = Some(std::path::PathBuf::from(value(i, "--json")));
                 i += 2;
             }
             "--full" => {
-                scale = 1;
+                cli.scale = 1;
                 i += 1;
             }
-            other => panic!("unknown argument {other}; use --scale N | --nodes N | --full"),
+            other => panic!(
+                "unknown argument {other}; use --scale N | --nodes N | --jobs N \
+                 | --json PATH | --full"
+            ),
         }
     }
-    (scale, nodes)
+    cli
+}
+
+/// Parses `--scale N`, `--nodes N`, `--full` style arguments shared by
+/// the harness binaries. Returns `(scale, nodes)`.
+pub fn parse_args(args: &[String], default_scale: usize) -> (usize, usize) {
+    let cli = parse_cli(args, default_scale);
+    (cli.scale, cli.nodes)
 }
 
 /// Smoke-level constants so `cargo test -p tt-bench` stays quick.

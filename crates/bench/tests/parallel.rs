@@ -1,0 +1,64 @@
+//! Parallel-sweep regression tests: `--jobs N` must never change a
+//! simulated result. Every point is an independent single-threaded
+//! simulation built from its own seed, so the worker count can only
+//! affect wall-clock time — these tests pin that guarantee.
+
+use tt_bench::{bench_config, figure3_sweep, figure4_sweep, smoke};
+
+#[test]
+fn figure3_sweep_is_identical_for_any_job_count() {
+    let cfg = bench_config(smoke::NODES);
+    let seq = figure3_sweep(smoke::SCALE, &cfg, 1);
+    let par = figure3_sweep(smoke::SCALE, &cfg, 4);
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(a.app, b.app, "point order must not depend on jobs");
+        assert_eq!(a.set, b.set);
+        assert_eq!(a.cache_bytes, b.cache_bytes);
+        assert_eq!(
+            a.typhoon, b.typhoon,
+            "typhoon cycles differ at {} {}/{}K",
+            a.app,
+            a.set,
+            a.cache_bytes / 1024
+        );
+        assert_eq!(
+            a.dirnnb, b.dirnnb,
+            "dirnnb cycles differ at {} {}/{}K",
+            a.app,
+            a.set,
+            a.cache_bytes / 1024
+        );
+    }
+}
+
+#[test]
+fn figure4_sweep_is_identical_for_any_job_count() {
+    let cfg = bench_config(smoke::NODES);
+    let seq = figure4_sweep(smoke::SCALE, &cfg, 1);
+    let par = figure4_sweep(smoke::SCALE, &cfg, 4);
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(a.pct_remote, b.pct_remote);
+        assert_eq!(
+            a.cycles, b.cycles,
+            "cycles differ at {}% remote",
+            a.pct_remote * 100.0
+        );
+    }
+}
+
+#[test]
+fn repeated_sweeps_are_bit_reproducible() {
+    // Same-process determinism: two identical sweeps, identical cycles.
+    // (Cross-process determinism additionally requires that no map with a
+    // randomized hasher is iterated on a semantics-bearing path; see
+    // tt_base::fxhash and StacheProtocol::init.)
+    let cfg = bench_config(smoke::NODES);
+    let first = figure3_sweep(smoke::SCALE, &cfg, 2);
+    let second = figure3_sweep(smoke::SCALE, &cfg, 2);
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.typhoon, b.typhoon);
+        assert_eq!(a.dirnnb, b.dirnnb);
+    }
+}

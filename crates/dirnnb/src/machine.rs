@@ -1,16 +1,14 @@
 //! The DirNNB machine: CPUs + hardware directory, driven by the same
 //! event engine and workload op streams as Typhoon.
 
-use std::collections::HashMap;
-
 use tt_base::addr::{VAddr, Vpn, BLOCK_BYTES, PAGE_BYTES, WORD_BYTES};
 use tt_base::config::SystemConfig;
 use tt_base::stats::{Counter, Report};
 use tt_base::workload::{Op, Workload};
-use tt_base::{Cycles, DetRng, NodeId};
+use tt_base::{Cycles, DetRng, FxHashMap, NodeId};
 use tt_mem::cache::Probe;
 use tt_mem::{AccessKind, CacheModel, FifoTlb};
-use tt_net::{Network, Packet, Payload, VirtualNet};
+use tt_net::{Network, VirtualNet, ARG_WORD_BYTES, HANDLER_WORD_BYTES};
 use tt_sim::{EventHandler, EventQueue, RunLimit};
 
 use crate::dir::{DirBusy, DirEntry, DirReq, DirState};
@@ -102,9 +100,9 @@ pub struct DirnnbMachine {
     cfg: SystemConfig,
     quantum: Cycles,
     cpus: Vec<Cpu>,
-    dirs: HashMap<u64, DirEntry>,
-    home_map: HashMap<Vpn, NodeId>,
-    store: HashMap<Vpn, Box<[u64; PAGE_BYTES / WORD_BYTES]>>,
+    dirs: FxHashMap<u64, DirEntry>,
+    home_map: FxHashMap<Vpn, NodeId>,
+    store: FxHashMap<Vpn, Box<[u64; PAGE_BYTES / WORD_BYTES]>>,
     network: Network,
     barrier: BarrierState,
     workload: Box<dyn Workload>,
@@ -117,7 +115,7 @@ impl DirnnbMachine {
     /// Builds the machine for a workload.
     pub fn new(cfg: SystemConfig, workload: Box<dyn Workload>) -> Self {
         let layout = workload.layout();
-        let mut home_map = HashMap::new();
+        let mut home_map = FxHashMap::default();
         for (vpn, owner, _mode) in layout.pages(cfg.nodes) {
             let home = match cfg.dirnnb.placement {
                 tt_base::config::DirPlacement::RoundRobin => {
@@ -156,9 +154,9 @@ impl DirnnbMachine {
             cfg,
             quantum,
             cpus,
-            dirs: HashMap::new(),
+            dirs: FxHashMap::default(),
             home_map,
-            store: HashMap::new(),
+            store: FxHashMap::default(),
             network,
             barrier: BarrierState::default(),
             workload,
@@ -240,25 +238,21 @@ impl DirnnbMachine {
     }
 
     /// Records a protocol message for traffic statistics (the cost model
-    /// charges latencies separately).
-    fn count_packet(&mut self, now: Cycles, src: NodeId, dst: NodeId, data: bool) {
-        let payload = if data {
-            Payload::with_block(vec![0], [0u8; BLOCK_BYTES])
-        } else {
-            Payload::args(vec![0])
-        };
-        let packet = Packet {
-            src,
-            dst,
-            vn: VirtualNet::Request,
-            handler: 0,
-            payload,
-        };
-        let _ = self.network.send(now, &packet);
+    /// charges latencies separately). Wire size matches the one-argument
+    /// packet `send` would have been handed: handler word + one argument
+    /// word, plus a coherence block when `data` is set.
+    fn count_packet(&mut self, _now: Cycles, src: NodeId, dst: NodeId, data: bool) {
+        let wire = HANDLER_WORD_BYTES + ARG_WORD_BYTES + if data { BLOCK_BYTES } else { 0 };
+        self.network.count(src, dst, VirtualNet::Request, wire);
     }
 
     // --- CPU execution ----------------------------------------------------
 
+    /// The per-op inner loop. Ops that touch only this CPU (compute,
+    /// calls, barriers, chunk refills) run under one split borrow of
+    /// `self` — no re-indexing of `self.cpus[n]` per op, mirroring
+    /// `TyphoonMachine::cpu_step`. Memory ops break out to [`Self::access`],
+    /// which needs the directory and network.
     fn cpu_step(&mut self, n: usize, now: Cycles, queue: &mut EventQueue<Event>) {
         {
             let cpu = &mut self.cpus[n];
@@ -272,73 +266,80 @@ impl DirnnbMachine {
         }
         let deadline = now + self.quantum;
         loop {
-            if self.cpus[n].pc >= self.cpus[n].chunk.len() {
-                match self.workload.next_chunk(NodeId::new(n as u16)) {
-                    Some(chunk) => {
-                        let cpu = &mut self.cpus[n];
-                        cpu.chunk = chunk;
-                        cpu.pc = 0;
-                        if cpu.chunk.is_empty() {
-                            continue;
+            let (addr, kind, value, expect) = {
+                let DirnnbMachine {
+                    cfg,
+                    cpus,
+                    barrier,
+                    workload,
+                    done,
+                    ..
+                } = self;
+                let cpu = &mut cpus[n];
+                loop {
+                    // Refill the op chunk if exhausted, reusing its allocation.
+                    if cpu.pc >= cpu.chunk.len() {
+                        let mut chunk = std::mem::take(&mut cpu.chunk);
+                        if workload.next_chunk_into(NodeId::new(n as u16), &mut chunk) {
+                            cpu.chunk = chunk;
+                            cpu.pc = 0;
+                            if cpu.chunk.is_empty() {
+                                continue;
+                            }
+                        } else {
+                            cpu.status = CpuStatus::Done;
+                            done[n] = Some(cpu.clock);
+                            return;
                         }
                     }
-                    None => {
-                        let cpu = &mut self.cpus[n];
-                        cpu.status = CpuStatus::Done;
-                        cpu.chunk = Vec::new();
-                        self.done[n] = Some(cpu.clock);
+                    let op = cpu.chunk[cpu.pc];
+                    match op {
+                        Op::Compute(k) => {
+                            cpu.clock += Cycles::new(k as u64);
+                            cpu.stats.compute_cycles.add(k as u64);
+                            cpu.stats.ops.inc();
+                            cpu.pc += 1;
+                        }
+                        Op::UserCall { .. } => {
+                            // A hardware shared-memory machine has no user-level
+                            // protocol; calls complete immediately.
+                            cpu.clock += Cycles::new(1);
+                            cpu.stats.ops.inc();
+                            cpu.pc += 1;
+                        }
+                        Op::Barrier => {
+                            cpu.pc += 1;
+                            cpu.stats.ops.inc();
+                            cpu.status = CpuStatus::AtBarrier;
+                            cpu.suspended_at = cpu.clock;
+                            let arrival = cpu.clock;
+                            barrier.arrived += 1;
+                            if arrival > barrier.max_arrival {
+                                barrier.max_arrival = arrival;
+                            }
+                            if barrier.arrived == cfg.nodes {
+                                queue.schedule_at(
+                                    barrier.max_arrival + cfg.timing.barrier_latency,
+                                    Event::BarrierRelease {
+                                        generation: barrier.generation,
+                                    },
+                                );
+                            }
+                            return;
+                        }
+                        Op::Read { addr, expect } => break (addr, AccessKind::Load, 0, expect),
+                        Op::Write { addr, value } => break (addr, AccessKind::Store, value, None),
+                    }
+                    if cpu.clock >= deadline {
+                        cpu.step_pending = true;
+                        let at = cpu.clock;
+                        queue.schedule_at(at, Event::CpuStep(n));
                         return;
                     }
                 }
-            }
-            let op = self.cpus[n].chunk[self.cpus[n].pc];
-            match op {
-                Op::Compute(k) => {
-                    let cpu = &mut self.cpus[n];
-                    cpu.clock += Cycles::new(k as u64);
-                    cpu.stats.compute_cycles.add(k as u64);
-                    cpu.stats.ops.inc();
-                    cpu.pc += 1;
-                }
-                Op::UserCall { .. } => {
-                    // A hardware shared-memory machine has no user-level
-                    // protocol; calls complete immediately.
-                    let cpu = &mut self.cpus[n];
-                    cpu.clock += Cycles::new(1);
-                    cpu.stats.ops.inc();
-                    cpu.pc += 1;
-                }
-                Op::Barrier => {
-                    let cpu = &mut self.cpus[n];
-                    cpu.pc += 1;
-                    cpu.stats.ops.inc();
-                    cpu.status = CpuStatus::AtBarrier;
-                    cpu.suspended_at = cpu.clock;
-                    let arrival = cpu.clock;
-                    self.barrier.arrived += 1;
-                    if arrival > self.barrier.max_arrival {
-                        self.barrier.max_arrival = arrival;
-                    }
-                    if self.barrier.arrived == self.cfg.nodes {
-                        queue.schedule_at(
-                            self.barrier.max_arrival + self.cfg.timing.barrier_latency,
-                            Event::BarrierRelease {
-                                generation: self.barrier.generation,
-                            },
-                        );
-                    }
-                    return;
-                }
-                Op::Read { addr, expect } => {
-                    if !self.access(n, queue, addr, AccessKind::Load, 0, expect) {
-                        return;
-                    }
-                }
-                Op::Write { addr, value } => {
-                    if !self.access(n, queue, addr, AccessKind::Store, value, None) {
-                        return;
-                    }
-                }
+            };
+            if !self.access(n, queue, addr, kind, value, expect) {
+                return;
             }
             if self.cpus[n].clock >= deadline {
                 let cpu = &mut self.cpus[n];

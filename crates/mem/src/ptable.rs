@@ -6,9 +6,8 @@
 //! functional side of that mechanism; the TLB models in [`crate::tlb`]
 //! supply the timing.
 
-use std::collections::HashMap;
-
 use tt_base::addr::{PAddr, Ppn, VAddr, Vpn};
+use tt_base::FxHashMap;
 
 /// Error returned when a mapping operation is invalid.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,7 +45,12 @@ impl std::error::Error for MapError {}
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct PageTable {
-    map: HashMap<Vpn, Ppn>,
+    map: FxHashMap<Vpn, Ppn>,
+    /// Memoized result of the most recent successful translation —
+    /// consecutive accesses to the same page skip the hash lookup.
+    /// Invalidated on [`PageTable::unmap`]; `map` never overwrites an
+    /// existing entry, so a cached mapping cannot go stale any other way.
+    last: std::cell::Cell<Option<(Vpn, Ppn)>>,
 }
 
 impl PageTable {
@@ -80,12 +84,24 @@ impl PageTable {
     ///
     /// Returns [`MapError::NotMapped`] if `vpn` has no mapping.
     pub fn unmap(&mut self, vpn: Vpn) -> Result<Ppn, MapError> {
+        if matches!(self.last.get(), Some((v, _)) if v == vpn) {
+            self.last.set(None);
+        }
         self.map.remove(&vpn).ok_or(MapError::NotMapped(vpn))
     }
 
     /// The frame `vpn` maps to, if any.
     pub fn translate(&self, vpn: Vpn) -> Option<Ppn> {
-        self.map.get(&vpn).copied()
+        if let Some((v, p)) = self.last.get() {
+            if v == vpn {
+                return Some(p);
+            }
+        }
+        let ppn = self.map.get(&vpn).copied();
+        if let Some(p) = ppn {
+            self.last.set(Some((vpn, p)));
+        }
+        ppn
     }
 
     /// Translates a full virtual address to a physical address.

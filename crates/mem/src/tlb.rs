@@ -15,6 +15,7 @@ use std::collections::VecDeque;
 use std::hash::Hash;
 
 use tt_base::stats::Counter;
+use tt_base::FxHashSet;
 
 /// TLB statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -39,7 +40,15 @@ pub struct TlbStats {
 /// ```
 #[derive(Clone, Debug)]
 pub struct FifoTlb<K> {
+    /// Entries in fill order; the front is the next FIFO victim.
     entries: VecDeque<K>,
+    /// Residency index so the per-access membership test is O(1) instead
+    /// of a scan over all 64 entries. Always mirrors `entries`.
+    resident: FxHashSet<K>,
+    /// The key of the most recent hit or fill — consecutive accesses to
+    /// the same page skip even the hash probe. `None` or stale-free:
+    /// cleared whenever its entry could have left the TLB.
+    last: Option<K>,
     capacity: usize,
     stats: TlbStats,
 }
@@ -54,6 +63,8 @@ impl<K: Eq + Hash + Copy> FifoTlb<K> {
         assert!(capacity > 0, "TLB needs at least one entry");
         FifoTlb {
             entries: VecDeque::with_capacity(capacity),
+            resident: FxHashSet::default(),
+            last: None,
             capacity,
             stats: TlbStats::default(),
         }
@@ -63,27 +74,43 @@ impl<K: Eq + Hash + Copy> FifoTlb<K> {
     /// loaded, evicting the oldest entry if the TLB is full (FIFO), and
     /// `false` is returned so the caller can charge the miss penalty.
     pub fn access(&mut self, key: K) -> bool {
-        if self.entries.contains(&key) {
+        if self.last == Some(key) {
             self.stats.hits.inc();
+            return true;
+        }
+        if self.resident.contains(&key) {
+            self.stats.hits.inc();
+            self.last = Some(key);
             true
         } else {
             self.stats.misses.inc();
             if self.entries.len() == self.capacity {
-                self.entries.pop_front();
+                let victim = self.entries.pop_front().expect("TLB is full");
+                self.resident.remove(&victim);
             }
             self.entries.push_back(key);
+            self.resident.insert(key);
+            self.last = Some(key);
             false
         }
     }
 
     /// Whether `key` is currently resident (no statistics, no fill).
     pub fn contains(&self, key: K) -> bool {
-        self.entries.contains(&key)
+        self.resident.contains(&key)
     }
 
     /// Removes `key` (e.g. on unmap/remap). Returns `true` if present.
     pub fn flush(&mut self, key: K) -> bool {
-        if let Some(pos) = self.entries.iter().position(|e| *e == key) {
+        if self.last == Some(key) {
+            self.last = None;
+        }
+        if self.resident.remove(&key) {
+            let pos = self
+                .entries
+                .iter()
+                .position(|e| *e == key)
+                .expect("residency index mirrors entries");
             self.entries.remove(pos);
             true
         } else {
@@ -94,6 +121,8 @@ impl<K: Eq + Hash + Copy> FifoTlb<K> {
     /// Removes every entry.
     pub fn flush_all(&mut self) {
         self.entries.clear();
+        self.resident.clear();
+        self.last = None;
     }
 
     /// Accumulated statistics.

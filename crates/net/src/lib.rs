@@ -236,6 +236,23 @@ impl Network {
         }
     }
 
+    /// Records traffic statistics for a packet the caller does not build.
+    ///
+    /// The DirNNB machine charges protocol latencies from its own cost
+    /// tables and uses the network for traffic accounting only; this is
+    /// the accounting half of [`Network::send`] (same packet/byte/local
+    /// counters) without constructing a [`Payload`] per message or
+    /// advancing injection-port state.
+    pub fn count(&mut self, src: NodeId, dst: NodeId, vn: VirtualNet, wire_bytes: usize) {
+        if src == dst {
+            self.stats.local_packets.inc();
+            return;
+        }
+        let vn = vn.index();
+        self.stats.packets[vn].inc();
+        self.stats.bytes[vn].add(wire_bytes as u64);
+    }
+
     /// Traffic statistics so far.
     pub fn stats(&self) -> &NetStats {
         &self.stats

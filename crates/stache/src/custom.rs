@@ -29,13 +29,12 @@
 //! the fuzzy barrier alone synchronizes. (The paper makes the same
 //! static-graph argument.)
 
-use std::collections::HashMap;
 
 use tt_base::addr::VAddr;
 use tt_base::config::SystemConfig;
 use tt_base::stats::{Counter, Report};
 use tt_base::workload::Layout;
-use tt_base::NodeId;
+use tt_base::{FxHashMap, NodeId};
 use tt_mem::{AccessKind, Tag};
 use tt_net::{Payload, VirtualNet};
 use tt_tempest::{
@@ -105,17 +104,17 @@ pub struct Em3dUpdateProtocol {
     /// Default protocol for ordinary pages.
     stache: StacheProtocol,
     /// Home side: per custom block, the nodes holding copies.
-    copies: HashMap<u64, Vec<NodeId>>,
+    copies: FxHashMap<u64, Vec<NodeId>>,
     /// Home side: blocks with at least one copy, per mode, in first-copy
     /// order (the paper's outstanding-copy list).
-    flush_list: HashMap<u8, Vec<u64>>,
+    flush_list: FxHashMap<u8, Vec<u64>>,
     /// Stacher side: custom blocks stached, per mode (the expected number
     /// of updates per flush).
-    expected: HashMap<u8, u64>,
+    expected: FxHashMap<u8, u64>,
     /// Stacher side: updates received, per (mode, phase).
-    received: HashMap<(u8, u64), u64>,
+    received: FxHashMap<(u8, u64), u64>,
     /// Stacher side: how many flushes of each mode this node has passed.
-    phase: HashMap<u8, u64>,
+    phase: FxHashMap<u8, u64>,
     /// A thread blocked in a flush wait: `(thread, mode, phase, target)`.
     waiting: Option<(ThreadId, u8, u64, u64)>,
     /// Outstanding custom-block fault.
@@ -129,11 +128,11 @@ impl Em3dUpdateProtocol {
         Em3dUpdateProtocol {
             node,
             stache: StacheProtocol::new(node, layout, cfg),
-            copies: HashMap::new(),
-            flush_list: HashMap::new(),
-            expected: HashMap::new(),
-            received: HashMap::new(),
-            phase: HashMap::new(),
+            copies: FxHashMap::default(),
+            flush_list: FxHashMap::default(),
+            expected: FxHashMap::default(),
+            received: FxHashMap::default(),
+            phase: FxHashMap::default(),
             waiting: None,
             pending: None,
             stats: Em3dStats::default(),

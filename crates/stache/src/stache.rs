@@ -17,13 +17,11 @@
 //! respond at the home, 20 to install the reply) are charged through the
 //! Tempest context and come from `SystemConfig::typhoon`.
 
-use std::collections::HashMap;
-
 use tt_base::addr::{VAddr, Vpn, BLOCK_BYTES, PAGE_BYTES};
 use tt_base::config::SystemConfig;
 use tt_base::stats::{Counter, Report};
 use tt_base::workload::Layout;
-use tt_base::NodeId;
+use tt_base::{FxHashMap, NodeId};
 use tt_mem::{AccessKind, PageMeta, Tag};
 use tt_net::{Payload, VirtualNet};
 use tt_tempest::{
@@ -104,9 +102,13 @@ struct PendingFault {
 pub struct StacheProtocol {
     node: NodeId,
     /// The distributed mapping table: every shared page's home and mode.
-    home_map: HashMap<Vpn, (NodeId, u8)>,
-    /// Directories for pages homed on this node.
-    dirs: HashMap<Vpn, PageDirectory>,
+    /// `init` iterates it, so that path sorts by [`Vpn`] first — bucket
+    /// order must never leak into frame-allocation order (with the std
+    /// hasher's per-process random seed it made runs irreproducible).
+    home_map: FxHashMap<Vpn, (NodeId, u8)>,
+    /// Directories for pages homed on this node (lookup-only: safe to
+    /// key with the fast hasher).
+    dirs: FxHashMap<Vpn, PageDirectory>,
     /// Outstanding fault of the local computation thread.
     pending: Option<PendingFault>,
     /// Stache pages in allocation order (FIFO replacement).
@@ -124,7 +126,7 @@ pub struct StacheProtocol {
 impl StacheProtocol {
     /// Builds the node's Stache instance from the workload layout.
     pub fn new(node: NodeId, layout: &Layout, cfg: &SystemConfig) -> Self {
-        let mut home_map = HashMap::new();
+        let mut home_map = FxHashMap::default();
         for (vpn, home, mode) in layout.pages(cfg.nodes) {
             home_map.insert(vpn, (home, mode));
         }
@@ -136,7 +138,7 @@ impl StacheProtocol {
         StacheProtocol {
             node,
             home_map,
-            dirs: HashMap::new(),
+            dirs: FxHashMap::default(),
             pending: None,
             stache_fifo: Vec::new(),
             capacity_pages,
@@ -569,13 +571,18 @@ impl StacheProtocol {
 impl Protocol for StacheProtocol {
     fn init(&mut self, ctx: &mut dyn TempestCtx) {
         // Create home pages: map them writable and allocate directories
-        // (the paper's shared-memory allocation functions).
-        let mine: Vec<(Vpn, u8)> = self
+        // (the paper's shared-memory allocation functions). Sorted by
+        // virtual page so physical frames are handed out in a canonical
+        // order: frame numbers feed the NP data-cache set mapping, and
+        // allocating in hash-bucket order made cycle counts vary from
+        // run to run.
+        let mut mine: Vec<(Vpn, u8)> = self
             .home_map
             .iter()
             .filter(|(_, (h, _))| *h == self.node)
             .map(|(vpn, (_, mode))| (*vpn, *mode))
             .collect();
+        mine.sort_unstable_by_key(|&(vpn, _)| vpn);
         for (vpn, mode) in mine {
             let ppn = ctx.alloc_page();
             ctx.map_page(vpn, ppn).expect("fresh mapping");

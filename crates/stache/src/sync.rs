@@ -22,10 +22,10 @@
 //!
 //! [`UserCall`]: tt_tempest::UserCall
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use tt_base::stats::{Counter, Report};
-use tt_base::NodeId;
+use tt_base::{FxHashMap, NodeId};
 use tt_net::{Payload, VirtualNet};
 use tt_tempest::{
     BlockFault, HandlerId, Message, PageFault, Protocol, TempestCtx, ThreadId, UserCall,
@@ -70,7 +70,7 @@ pub struct LockStats {
 pub struct LockLayer<P> {
     inner: P,
     nodes: usize,
-    locks: HashMap<u64, LockState>,
+    locks: FxHashMap<u64, LockState>,
     /// The local thread suspended in `ACQUIRE`, with the lock id.
     waiting: Option<(ThreadId, u64)>,
     stats: LockStats,
@@ -82,7 +82,7 @@ impl<P: Protocol> LockLayer<P> {
         LockLayer {
             inner,
             nodes,
-            locks: HashMap::new(),
+            locks: FxHashMap::default(),
             waiting: None,
             stats: LockStats::default(),
         }

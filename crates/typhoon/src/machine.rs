@@ -258,82 +258,99 @@ impl TyphoonMachine {
 
     // --- CPU execution -------------------------------------------------
 
+    /// The per-op inner loop. `self` is destructured once so the op loop
+    /// works on a single `&mut NodeState` instead of re-indexing
+    /// `self.nodes[n]` per op — this is the simulation's hottest code.
     fn cpu_step(&mut self, n: usize, now: Cycles, queue: &mut EventQueue<Event>) {
-        {
-            let cpu = &mut self.nodes[n].cpu;
-            cpu.step_pending = false;
-            if cpu.status != CpuStatus::Ready {
-                return;
-            }
-            if cpu.clock < now {
-                cpu.clock = now;
-            }
+        let TyphoonMachine {
+            cfg,
+            quantum,
+            nodes,
+            barrier,
+            workload,
+            done,
+            tracer,
+            ..
+        } = self;
+        let node = &mut nodes[n];
+        node.cpu.step_pending = false;
+        if node.cpu.status != CpuStatus::Ready {
+            return;
         }
-        let deadline = now + self.quantum;
+        if node.cpu.clock < now {
+            node.cpu.clock = now;
+        }
+        let deadline = now + *quantum;
         loop {
-            // Refill the op chunk if exhausted.
-            if self.nodes[n].cpu.pc >= self.nodes[n].cpu.chunk.len() {
-                match self.workload.next_chunk(NodeId::new(n as u16)) {
-                    Some(chunk) => {
-                        let cpu = &mut self.nodes[n].cpu;
-                        cpu.chunk = chunk;
-                        cpu.pc = 0;
-                        if cpu.chunk.is_empty() {
-                            continue;
-                        }
+            // Refill the op chunk if exhausted, reusing its allocation.
+            if node.cpu.pc >= node.cpu.chunk.len() {
+                let mut chunk = std::mem::take(&mut node.cpu.chunk);
+                if workload.next_chunk_into(NodeId::new(n as u16), &mut chunk) {
+                    node.cpu.chunk = chunk;
+                    node.cpu.pc = 0;
+                    if node.cpu.chunk.is_empty() {
+                        continue;
                     }
-                    None => {
-                        let cpu = &mut self.nodes[n].cpu;
-                        cpu.status = CpuStatus::Done;
-                        cpu.chunk = Vec::new();
-                        self.done[n] = Some(cpu.clock);
-                        return;
-                    }
+                } else {
+                    node.cpu.status = CpuStatus::Done;
+                    done[n] = Some(node.cpu.clock);
+                    return;
                 }
             }
 
-            let op = self.nodes[n].cpu.chunk[self.nodes[n].cpu.pc];
+            let op = node.cpu.chunk[node.cpu.pc];
             match op {
                 Op::Compute(k) => {
-                    let cpu = &mut self.nodes[n].cpu;
+                    let cpu = &mut node.cpu;
                     cpu.clock += Cycles::new(k as u64);
                     cpu.stats.compute_cycles.add(k as u64);
                     cpu.stats.ops.inc();
                     cpu.pc += 1;
                 }
                 Op::Read { addr, expect } => {
-                    if !self.access(n, now, queue, addr, AccessKind::Load, 0, expect) {
+                    if !Self::access(cfg, tracer, node, n, queue, addr, AccessKind::Load, 0, expect)
+                    {
                         return;
                     }
                 }
                 Op::Write { addr, value } => {
-                    if !self.access(n, now, queue, addr, AccessKind::Store, value, None) {
+                    if !Self::access(
+                        cfg,
+                        tracer,
+                        node,
+                        n,
+                        queue,
+                        addr,
+                        AccessKind::Store,
+                        value,
+                        None,
+                    ) {
                         return;
                     }
                 }
                 Op::Barrier => {
-                    let cpu = &mut self.nodes[n].cpu;
+                    let cpu = &mut node.cpu;
                     cpu.pc += 1;
                     cpu.stats.ops.inc();
                     cpu.status = CpuStatus::AtBarrier;
                     cpu.suspended_at = cpu.clock;
                     let arrival = cpu.clock;
-                    self.barrier.arrived += 1;
-                    if arrival > self.barrier.max_arrival {
-                        self.barrier.max_arrival = arrival;
+                    barrier.arrived += 1;
+                    if arrival > barrier.max_arrival {
+                        barrier.max_arrival = arrival;
                     }
-                    if self.barrier.arrived == self.cfg.nodes {
+                    if barrier.arrived == cfg.nodes {
                         queue.schedule_at(
-                            self.barrier.max_arrival + self.cfg.timing.barrier_latency,
+                            barrier.max_arrival + cfg.timing.barrier_latency,
                             Event::BarrierRelease {
-                                generation: self.barrier.generation,
+                                generation: barrier.generation,
                             },
                         );
                     }
                     return;
                 }
                 Op::UserCall { op, arg } => {
-                    let cpu = &mut self.nodes[n].cpu;
+                    let cpu = &mut node.cpu;
                     cpu.pc += 1;
                     cpu.stats.ops.inc();
                     cpu.status = CpuStatus::BlockedCall;
@@ -351,8 +368,8 @@ impl TyphoonMachine {
                 }
             }
 
-            if self.nodes[n].cpu.clock >= deadline {
-                let cpu = &mut self.nodes[n].cpu;
+            if node.cpu.clock >= deadline {
+                let cpu = &mut node.cpu;
                 cpu.step_pending = true;
                 let at = cpu.clock;
                 queue.schedule_at(at, Event::CpuStep(n));
@@ -362,21 +379,22 @@ impl TyphoonMachine {
     }
 
     /// Executes one tag-checked access; returns `false` if the CPU
-    /// suspended (fault taken).
+    /// suspended (fault taken). An associated function over the split
+    /// borrows so [`Self::cpu_step`] can call it while holding `node`.
     #[allow(clippy::too_many_arguments)]
     fn access(
-        &mut self,
+        cfg: &SystemConfig,
+        tracer: &mut Option<Box<dyn Tracer>>,
+        node: &mut NodeState,
         n: usize,
-        _now: Cycles,
         queue: &mut EventQueue<Event>,
         addr: VAddr,
         kind: AccessKind,
         value: u64,
         expect: Option<u64>,
     ) -> bool {
-        let node = &mut self.nodes[n];
         let outcome = exec_access(
-            &self.cfg,
+            cfg,
             &mut node.cpu,
             &mut node.np,
             &mut node.mem,
@@ -387,7 +405,7 @@ impl TyphoonMachine {
         );
         match outcome {
             AccessOutcome::Done { cost, value: loaded } => {
-                if self.cfg.verify_values {
+                if cfg.verify_values {
                     if let (Some(expect), Some(got)) = (expect, loaded) {
                         assert_eq!(
                             got,
@@ -403,11 +421,12 @@ impl TyphoonMachine {
                 true
             }
             AccessOutcome::PageFault(fault, cost) => {
-                node.cpu.clock += cost + self.cfg.typhoon.effective_fault_detect();
+                node.cpu.clock += cost + cfg.typhoon.effective_fault_detect();
                 node.cpu.status = CpuStatus::BlockedFault;
                 node.cpu.suspended_at = node.cpu.clock;
                 let at = node.cpu.clock;
-                self.trace(
+                trace_into(
+                    tracer,
                     at,
                     TraceEvent::PageFault {
                         node: NodeId::new(n as u16),
@@ -428,7 +447,8 @@ impl TyphoonMachine {
                 node.cpu.status = CpuStatus::BlockedFault;
                 node.cpu.suspended_at = node.cpu.clock;
                 let at = node.cpu.clock;
-                self.trace(
+                trace_into(
+                    tracer,
                     at,
                     TraceEvent::BlockFault {
                         node: NodeId::new(n as u16),
@@ -798,6 +818,15 @@ impl TyphoonMachine {
             r.push(name, v);
         }
         r
+    }
+}
+
+/// Records a trace event through an optional tracer; the out-of-line
+/// equivalent of [`TyphoonMachine::trace`] for code holding split borrows.
+#[inline]
+fn trace_into(tracer: &mut Option<Box<dyn Tracer>>, at: Cycles, event: TraceEvent) {
+    if let Some(t) = tracer {
+        t.record(TraceRecord { at, event });
     }
 }
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Full local verification: release build, workspace tests, lint, and a
+# tiny end-to-end figure3 smoke that exercises the parallel sweep path.
+# Run from anywhere inside the repository.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> figure3 smoke (--scale 64 --nodes 8 --jobs 2)"
+cargo run --release -p tt-bench --bin figure3 -- \
+    --scale 64 --nodes 8 --jobs 2 >/dev/null
+
+echo "==> verify OK"

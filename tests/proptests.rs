@@ -1,9 +1,12 @@
-//! Property-based tests: randomized programs and reference models for
+//! Randomized property tests: random programs and reference models for
 //! the core data structures and, most importantly, an end-to-end
 //! coherence oracle — random race-free phase-structured programs must
 //! observe sequentially consistent values on both machines.
-
-use proptest::prelude::*;
+//!
+//! Cases are generated from [`DetRng`] with fixed seeds (the container
+//! has no network access to crates.io, so the original `proptest`
+//! dependency was replaced with explicit deterministic case loops —
+//! same properties, reproducible by construction).
 
 use tempest_typhoon::base::addr::{PAGE_BYTES, VAddr};
 use tempest_typhoon::base::workload::{
@@ -19,33 +22,34 @@ use tempest_typhoon::typhoon::TyphoonMachine;
 
 // --- Reference-model properties ---------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The cache never holds more lines than its capacity, never reports
-    /// a hit for a block that was not filled (or was invalidated), and
-    /// ownership state round-trips.
-    #[test]
-    fn cache_model_matches_reference(ops in prop::collection::vec((0u64..64, 0u8..4), 1..400)) {
+/// The cache never holds more lines than its capacity, never reports
+/// a hit for a block that was not filled (or was invalidated), and
+/// ownership state round-trips.
+#[test]
+fn cache_model_matches_reference() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0xCAC4E ^ case);
         let mut cache = CacheModel::new(1024, 2, 32, DetRng::new(7)); // 16 sets x 2
         let mut reference: std::collections::HashMap<u64, bool> = Default::default();
-        for (block, action) in ops {
-            match action {
+        let n_ops = 1 + rng.below_usize(399);
+        for _ in 0..n_ops {
+            let block = rng.below(64);
+            match rng.below(4) {
                 0 => {
                     // probe: a reference-absent block must miss; a hit
                     // must agree on ownership.
                     match cache.probe(block) {
                         Probe::Miss => {}
-                        Probe::HitOwned => prop_assert_eq!(reference.get(&block), Some(&true)),
-                        Probe::HitShared => prop_assert_eq!(reference.get(&block), Some(&false)),
+                        Probe::HitOwned => assert_eq!(reference.get(&block), Some(&true)),
+                        Probe::HitShared => assert_eq!(reference.get(&block), Some(&false)),
                     }
                 }
                 1 => {
                     if cache.peek(block) == Probe::Miss {
-                        if let Some(ev) = cache.fill(block, block % 2 == 0) {
+                        if let Some(ev) = cache.fill(block, block.is_multiple_of(2)) {
                             reference.remove(&ev.block);
                         }
-                        reference.insert(block, block % 2 == 0);
+                        reference.insert(block, block.is_multiple_of(2));
                     }
                 }
                 2 => {
@@ -60,40 +64,51 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(cache.resident() <= 32);
+            assert!(cache.resident() <= 32);
         }
     }
+}
 
-    /// FIFO TLB: never exceeds capacity; an entry is resident iff it is
-    /// among the last `cap` distinct insertions (with FIFO, re-access
-    /// does not refresh position).
-    #[test]
-    fn fifo_tlb_matches_reference(keys in prop::collection::vec(0u64..20, 1..200)) {
-        use tempest_typhoon::base::addr::Vpn;
+/// FIFO TLB: never exceeds capacity; an entry is resident iff it is
+/// among the last `cap` distinct insertions (with FIFO, re-access
+/// does not refresh position).
+#[test]
+fn fifo_tlb_matches_reference() {
+    use tempest_typhoon::base::addr::Vpn;
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0x71B ^ (case << 8));
         let cap = 4;
         let mut tlb = FifoTlb::new(cap);
         let mut fifo: Vec<u64> = Vec::new();
-        for k in keys {
+        let n_keys = 1 + rng.below_usize(199);
+        for _ in 0..n_keys {
+            let k = rng.below(20);
             let expect_hit = fifo.contains(&k);
             let hit = tlb.access(Vpn(k));
-            prop_assert_eq!(hit, expect_hit);
+            assert_eq!(hit, expect_hit);
             if !expect_hit {
                 if fifo.len() == cap {
                     fifo.remove(0);
                 }
                 fifo.push(k);
             }
-            prop_assert_eq!(tlb.len(), fifo.len());
+            assert_eq!(tlb.len(), fifo.len());
         }
     }
+}
 
-    /// SharerSet agrees with a HashSet through arbitrary insert/remove
-    /// sequences, including across the pointer/bit-vector overflow.
-    #[test]
-    fn sharer_set_matches_reference(ops in prop::collection::vec((0u16..64, prop::bool::ANY), 1..200)) {
+/// SharerSet agrees with a HashSet through arbitrary insert/remove
+/// sequences, including across the pointer/bit-vector overflow.
+#[test]
+fn sharer_set_matches_reference() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0x54A2E2 ^ (case << 4));
         let mut set = SharerSet::new();
         let mut reference = std::collections::HashSet::new();
-        for (node, insert) in ops {
+        let n_ops = 1 + rng.below_usize(199);
+        for _ in 0..n_ops {
+            let node = rng.below(64) as u16;
+            let insert = rng.chance(0.5);
             let n = NodeId::new(node);
             if insert {
                 set.insert(n);
@@ -101,11 +116,14 @@ proptest! {
             } else {
                 let a = set.remove(n);
                 let b = reference.remove(&n);
-                prop_assert_eq!(a, b);
+                assert_eq!(a, b);
             }
-            prop_assert_eq!(set.len(), reference.len());
+            assert_eq!(set.len(), reference.len());
             for cand in 0u16..64 {
-                prop_assert_eq!(set.contains(NodeId::new(cand)), reference.contains(&NodeId::new(cand)));
+                assert_eq!(
+                    set.contains(NodeId::new(cand)),
+                    reference.contains(&NodeId::new(cand))
+                );
             }
         }
     }
@@ -183,45 +201,53 @@ fn race_free_program(nodes: usize, words: usize, phases: usize, seed: u64) -> Sc
     w
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Draws the (seed, nodes, words, phases) parameters of one oracle case.
+fn oracle_params(rng: &mut DetRng) -> (u64, usize, usize, usize) {
+    (
+        rng.below(5_000),
+        2 + rng.below_usize(4),
+        2 + rng.below_usize(10),
+        1 + rng.below_usize(7),
+    )
+}
 
-    /// Random race-free programs observe sequentially consistent values
-    /// on Typhoon/Stache (verify_values panics otherwise) and terminate.
-    #[test]
-    fn stache_is_sequentially_consistent_for_race_free_programs(
-        seed in 0u64..5_000,
-        nodes in 2usize..6,
-        words in 2usize..12,
-        phases in 1usize..8,
-    ) {
+/// Random race-free programs observe sequentially consistent values
+/// on Typhoon/Stache (verify_values panics otherwise) and terminate.
+#[test]
+fn stache_is_sequentially_consistent_for_race_free_programs() {
+    let mut rng = DetRng::new(0x0C0_FFEE);
+    for _ in 0..24 {
+        let (seed, nodes, words, phases) = oracle_params(&mut rng);
         let w = race_free_program(nodes, words, phases, seed);
         let cfg = SystemConfig::test_config(nodes);
         let mut m = TyphoonMachine::new(cfg, Box::new(w), &|id, layout, cfg| {
             Box::new(StacheProtocol::new(id, layout, cfg))
         });
         let r = m.run();
-        prop_assert!(r.cycles.raw() > 0);
+        assert!(r.cycles.raw() > 0);
     }
+}
 
-    /// The same programs on the DirNNB machine.
-    #[test]
-    fn dirnnb_is_sequentially_consistent_for_race_free_programs(
-        seed in 0u64..5_000,
-        nodes in 2usize..6,
-        words in 2usize..12,
-        phases in 1usize..8,
-    ) {
+/// The same programs on the DirNNB machine.
+#[test]
+fn dirnnb_is_sequentially_consistent_for_race_free_programs() {
+    let mut rng = DetRng::new(0xD14B);
+    for _ in 0..24 {
+        let (seed, nodes, words, phases) = oracle_params(&mut rng);
         let w = race_free_program(nodes, words, phases, seed);
         let cfg = SystemConfig::test_config(nodes);
         let r = DirnnbMachine::new(cfg, Box::new(w)).run();
-        prop_assert!(r.cycles.raw() > 0);
+        assert!(r.cycles.raw() > 0);
     }
+}
 
-    /// Both machines run the same program deterministically.
-    #[test]
-    fn machines_deterministic_on_random_programs(seed in 0u64..1_000) {
-        let cfg = SystemConfig::test_config(3);
+/// Both machines run the same program deterministically.
+#[test]
+fn machines_deterministic_on_random_programs() {
+    let mut case_rng = DetRng::new(0xDE7);
+    let cfg = SystemConfig::test_config(3);
+    for _ in 0..16 {
+        let seed = case_rng.below(1_000);
         let run_t = |seed| {
             let w = race_free_program(3, 6, 3, seed);
             TyphoonMachine::new(cfg.clone(), Box::new(w), &|id, layout, cfg| {
@@ -230,12 +256,12 @@ proptest! {
             .run()
             .cycles
         };
-        prop_assert_eq!(run_t(seed), run_t(seed));
+        assert_eq!(run_t(seed), run_t(seed));
         let run_d = |seed| {
             let w = race_free_program(3, 6, 3, seed);
             DirnnbMachine::new(cfg.clone(), Box::new(w)).run().cycles
         };
-        prop_assert_eq!(run_d(seed), run_d(seed));
+        assert_eq!(run_d(seed), run_d(seed));
     }
 }
 
@@ -269,28 +295,22 @@ use tempest_typhoon::apps::PhasedWorkload;
 use tempest_typhoon::stache::sync::{ACQUIRE_OP, RELEASE_OP};
 use tempest_typhoon::stache::{Em3dUpdateProtocol, LockLayer};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// The custom EM3D update protocol stays sequentially consistent at
-    /// phase boundaries for arbitrary graph shapes, remote fractions, and
-    /// machine sizes — the fuzzy barrier must never let a phase start
-    /// before its values arrived (verification would fail).
-    #[test]
-    fn em3d_update_protocol_is_correct_for_random_graphs(
-        seed in 0u64..10_000,
-        procs in 2usize..9,
-        degree in 1usize..6,
-        pct in 0u32..=100,
-        iterations in 1usize..5,
-    ) {
+/// The custom EM3D update protocol stays sequentially consistent at
+/// phase boundaries for arbitrary graph shapes, remote fractions, and
+/// machine sizes — the fuzzy barrier must never let a phase start
+/// before its values arrived (verification would fail).
+#[test]
+fn em3d_update_protocol_is_correct_for_random_graphs() {
+    let mut rng = DetRng::new(0xE3D);
+    for _ in 0..12 {
+        let procs = 2 + rng.below_usize(7);
         let params = Em3dParams {
             graph_nodes: 40 * procs,
-            degree,
-            pct_remote: pct as f64 / 100.0,
-            iterations,
+            degree: 1 + rng.below_usize(5),
+            pct_remote: rng.below(101) as f64 / 100.0,
+            iterations: 1 + rng.below_usize(4),
             procs,
-            seed,
+            seed: rng.below(10_000),
             sync: SyncMode::Flush,
         };
         let cfg = SystemConfig::test_config(procs);
@@ -300,21 +320,23 @@ proptest! {
             &|id, layout, cfg| Box::new(Em3dUpdateProtocol::new(id, layout, cfg)),
         );
         let r = m.run();
-        prop_assert!(r.cycles.raw() > 0);
+        assert!(r.cycles.raw() > 0);
         // The custom protocol must never fall back to invalidation for
         // the graph-value pages.
-        prop_assert_eq!(r.report.get("stache.invals_sent"), Some(0.0));
+        assert_eq!(r.report.get("stache.invals_sent"), Some(0.0));
     }
+}
 
-    /// Random lock-protected critical sections never interleave: each
-    /// one writes a private token and reads it back verified.
-    #[test]
-    fn random_lock_programs_are_mutually_exclusive(
-        seed in 0u64..10_000,
-        nodes in 2usize..7,
-        locks in 1usize..4,
-        rounds in 1usize..6,
-    ) {
+/// Random lock-protected critical sections never interleave: each
+/// one writes a private token and reads it back verified.
+#[test]
+fn random_lock_programs_are_mutually_exclusive() {
+    let mut case_rng = DetRng::new(0x10C2);
+    for _ in 0..12 {
+        let seed = case_rng.below(10_000);
+        let nodes = 2 + case_rng.below_usize(5);
+        let locks = 1 + case_rng.below_usize(3);
+        let rounds = 1 + case_rng.below_usize(5);
         let mut rng = DetRng::new(seed);
         let mut layout = Layout::new();
         layout.add(Region {
@@ -345,9 +367,6 @@ proptest! {
             Box::new(LockLayer::new(StacheProtocol::new(id, layout, cfg), cfg.nodes))
         });
         let r = m.run();
-        prop_assert_eq!(
-            r.report.get("lock.acquires"),
-            Some((nodes * rounds) as f64)
-        );
+        assert_eq!(r.report.get("lock.acquires"), Some((nodes * rounds) as f64));
     }
 }
