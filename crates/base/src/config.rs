@@ -240,6 +240,13 @@ pub struct SystemConfig {
     /// When true, every simulated read is checked against the workload's
     /// natively computed value — an end-to-end coherence check.
     pub verify_values: bool,
+    /// When true (the default), the machines use direct execution: a
+    /// node's CPU keeps running guaranteed-local work inline past the
+    /// scheduling quantum whenever the event queue proves nothing can
+    /// interact with it (see `EventQueue::safe_horizon`). Purely a
+    /// simulator-speed knob — reported cycles and statistics are
+    /// identical either way; equivalence tests pin that by toggling it.
+    pub direct_execution: bool,
     /// Bytes of local memory each node may devote to stache pages.
     /// `usize::MAX` (the default) means "as much as needed"; benchmarks of
     /// page replacement set a finite budget.
@@ -260,6 +267,7 @@ impl Default for SystemConfig {
             nodes: 32,
             seed: 0x7EA9_0457,
             verify_values: false,
+            direct_execution: true,
             stache_capacity_bytes: usize::MAX,
             cpu: CpuConfig::default(),
             timing: TimingConfig::default(),

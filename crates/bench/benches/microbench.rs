@@ -117,6 +117,76 @@ fn bench_exec_access_hit(r: &Runner) {
     });
 }
 
+/// A hit-run-heavy Typhoon workload (one node streaming loads over its
+/// own pages) with the direct-execution bypass on vs. off: the "on"
+/// variant executes whole runs of hits inline in one handler invocation,
+/// the "off" variant round-trips every quantum through the event heap.
+/// Cycle counts are identical; only host time differs.
+fn bench_hit_run_direct_vs_scheduled(r: &Runner) {
+    let build = || {
+        let mut layout = Layout::new();
+        layout.add(Region {
+            base: VAddr::new(SHARED_SEGMENT_BASE),
+            bytes: 4 * PAGE_BYTES,
+            placement: Placement::PerPage(vec![NodeId::new(0); 4]),
+            mode: 0,
+        });
+        let mut w = ScriptWorkload::new(2).with_layout(layout);
+        let ops: Vec<Op> = (0..16_384u64)
+            .map(|i| Op::Read {
+                addr: VAddr::new(SHARED_SEGMENT_BASE + (i % 512) * 8),
+                expect: None,
+            })
+            .collect();
+        w.set(0, ops);
+        w.set(1, Vec::new());
+        w
+    };
+    for (name, direct) in [
+        ("typhoon/hit_run_direct_on", true),
+        ("typhoon/hit_run_scheduled_off", false),
+    ] {
+        r.bench(name, || {
+            let mut cfg = SystemConfig::test_config(2);
+            cfg.direct_execution = direct;
+            let mut m = TyphoonMachine::new(cfg, Box::new(build()), &|id, layout, cfg| {
+                Box::new(StacheProtocol::new(id, layout, cfg))
+            });
+            black_box(m.run().cycles.raw())
+        });
+    }
+}
+
+/// Tag validation, packed 2-bit words vs. a one-byte-per-block array —
+/// the check the inline run loop performs per access.
+fn bench_tag_check_packed_vs_byte(r: &Runner) {
+    use tt_mem::tags::PackedTags;
+    const BLOCKS: usize = tt_base::addr::BLOCKS_PER_PAGE;
+    r.bench("mem/tag_check_packed", || {
+        let mut tags = PackedTags::default();
+        tags.set_all(Tag::ReadOnly);
+        tags.set(17, Tag::ReadWrite);
+        let mut ok = 0u64;
+        for i in 0..64 * BLOCKS {
+            if tags.get(i % BLOCKS).permits(AccessKind::Load) {
+                ok += 1;
+            }
+        }
+        black_box(ok)
+    });
+    r.bench("mem/tag_check_byte_array", || {
+        let mut tags = [Tag::ReadOnly; BLOCKS];
+        tags[17] = Tag::ReadWrite;
+        let mut ok = 0u64;
+        for i in 0..64 * BLOCKS {
+            if black_box(&tags)[i % BLOCKS].permits(AccessKind::Load) {
+                ok += 1;
+            }
+        }
+        black_box(ok)
+    });
+}
+
 /// One remote Stache miss, end to end: page fault, block fault, request,
 /// home handler, reply handler, resume, retry — the §5.1 critical path.
 fn bench_stache_miss_path(r: &Runner) {
@@ -155,5 +225,7 @@ fn main() {
     bench_event_queue_churn(&r);
     bench_cache_model(&r);
     bench_exec_access_hit(&r);
+    bench_hit_run_direct_vs_scheduled(&r);
+    bench_tag_check_packed_vs_byte(&r);
     bench_stache_miss_path(&r);
 }

@@ -24,16 +24,19 @@
 //!    contention; a per-packet injection-port occupancy shows which way
 //!    the comparison moves when senders serialize.
 //!
-//! Usage: `ablations [--scale N] [--nodes N] [--jobs N] [--json PATH]
-//! [--full]` (default scale 16). Each ablation's independent runs fan
-//! out across `--jobs` threads; the tables are byte-identical for any
-//! `jobs` value.
+//! Usage: `ablations [--scale N] [--nodes N] [--jobs N] [--repeat N]
+//! [--json PATH] [--full]` (default scale 16). Each ablation's
+//! independent runs fan out across `--jobs` threads; the tables are
+//! byte-identical for any `jobs` or `repeat` value (`--repeat N` takes
+//! min-of-N wall timings for stable throughput records).
 
 use std::time::Instant;
 
 use tt_base::table::Table;
 use tt_bench::json::PointRecord;
-use tt_bench::{bench_config, build_app, par, run_system, sync_for, RunOutcome, System};
+use tt_bench::{
+    bench_config, build_app, min_of_runs, par, run_system_min, sync_for, RunOutcome, System,
+};
 use tt_apps::{AppId, DataSet};
 
 /// A throughput record for one completed run.
@@ -50,7 +53,7 @@ fn record(point: String, system: &str, out: &RunOutcome) -> PointRecord {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = tt_bench::parse_cli(&args, 16);
-    let (scale, nodes, jobs) = (cli.scale, cli.nodes, cli.jobs);
+    let (scale, nodes, jobs, repeat) = (cli.scale, cli.nodes, cli.jobs, cli.repeat);
     let app = AppId::Em3d;
     let set = DataSet::Small;
     let mut records: Vec<PointRecord> = Vec::new();
@@ -67,19 +70,15 @@ fn main() {
     // Task 0 is the shared DirNNB comparator; tasks 1.. sweep the factor.
     let outs = par::run_indexed(jobs, factors.len() + 1, |i| {
         if i == 0 {
-            run_system(
-                System::Dirnnb,
-                &base_cfg,
-                build_app(app, set, scale, nodes, sync_for(app, System::Dirnnb)),
-            )
+            run_system_min(System::Dirnnb, &base_cfg, repeat, || {
+                build_app(app, set, scale, nodes, sync_for(app, System::Dirnnb))
+            })
         } else {
             let mut cfg = base_cfg.clone();
             cfg.typhoon.handler_cost_scale = factors[i - 1];
-            run_system(
-                System::TyphoonStache,
-                &cfg,
-                build_app(app, set, scale, nodes, sync_for(app, System::TyphoonStache)),
-            )
+            run_system_min(System::TyphoonStache, &cfg, repeat, || {
+                build_app(app, set, scale, nodes, sync_for(app, System::TyphoonStache))
+            })
         }
     });
     let dirnnb = outs[0].cycles;
@@ -109,11 +108,9 @@ fn main() {
         } else {
             System::Dirnnb
         };
-        run_system(
-            system,
-            &cfg,
-            build_app(app, set, scale, nodes, sync_for(app, system)),
-        )
+        run_system_min(system, &cfg, repeat, || {
+            build_app(app, set, scale, nodes, sync_for(app, system))
+        })
     });
     for (r, lat) in latencies.into_iter().enumerate() {
         let (ty, d) = (&outs[r * 2], &outs[r * 2 + 1]);
@@ -144,11 +141,9 @@ fn main() {
         } else {
             budgets[i] * 4096
         };
-        run_system(
-            System::TyphoonStache,
-            &cfg,
-            build_app(app, set, scale, nodes, sync_for(app, System::TyphoonStache)),
-        )
+        run_system_min(System::TyphoonStache, &cfg, repeat, || {
+            build_app(app, set, scale, nodes, sync_for(app, System::TyphoonStache))
+        })
     });
     for (pages, out) in budgets.into_iter().zip(&outs) {
         let label = if pages == usize::MAX {
@@ -172,11 +167,9 @@ fn main() {
     let outs = par::run_indexed(jobs, modes.len(), |i| {
         let mut cfg = base_cfg.clone();
         cfg.typhoon.np_mode = modes[i];
-        run_system(
-            System::TyphoonStache,
-            &cfg,
-            build_app(app, set, scale, nodes, sync_for(app, System::TyphoonStache)),
-        )
+        run_system_min(System::TyphoonStache, &cfg, repeat, || {
+            build_app(app, set, scale, nodes, sync_for(app, System::TyphoonStache))
+        })
     });
     let base_cycles = outs[0].cycles.as_f64();
     for (mode, out) in modes.into_iter().zip(&outs) {
@@ -207,19 +200,15 @@ fn main() {
     // Task 0 is the shared Typhoon/Stache run; tasks 1.. sweep placement.
     let outs = par::run_indexed(jobs, placements.len() + 1, |i| {
         if i == 0 {
-            run_system(
-                System::TyphoonStache,
-                &base_cfg,
-                build_app(oapp, oset, scale, nodes, sync_for(oapp, System::TyphoonStache)),
-            )
+            run_system_min(System::TyphoonStache, &base_cfg, repeat, || {
+                build_app(oapp, oset, scale, nodes, sync_for(oapp, System::TyphoonStache))
+            })
         } else {
             let mut cfg = base_cfg.clone();
             cfg.dirnnb.placement = placements[i - 1];
-            run_system(
-                System::Dirnnb,
-                &cfg,
-                build_app(oapp, oset, scale, nodes, sync_for(oapp, System::Dirnnb)),
-            )
+            run_system_min(System::Dirnnb, &cfg, repeat, || {
+                build_app(oapp, oset, scale, nodes, sync_for(oapp, System::Dirnnb))
+            })
         }
     });
     let ty = outs[0].cycles;
@@ -247,32 +236,34 @@ fn main() {
         p.iterations = 6;
         // Task 0: transparent Stache; task 1: the custom push protocol.
         let outs = par::run_indexed(jobs, 2, |i| {
-            let start = Instant::now();
-            let r = if i == 0 {
-                TyphoonMachine::new(
-                    base_cfg.clone(),
-                    Box::new(PhasedWorkload::new(Ocean::new(p.clone()))),
-                    &|id, layout, cfg| Box::new(StacheProtocol::new(id, layout, cfg)),
-                )
-                .run()
-            } else {
-                let mut p = p.clone();
-                p.sync = OceanSync::Push;
-                TyphoonMachine::new(
-                    base_cfg.clone(),
-                    Box::new(PhasedWorkload::new(Ocean::new(p))),
-                    &|id, layout, cfg| Box::new(DelayedUpdateProtocol::new(id, layout, cfg)),
-                )
-                .run()
-            };
-            let wall_secs = start.elapsed().as_secs_f64();
-            let ops = r.report.get("cpu.ops").unwrap_or(0.0) as u64;
-            RunOutcome {
-                cycles: r.cycles,
-                report: r.report,
-                wall_secs,
-                ops,
-            }
+            min_of_runs(repeat, || {
+                let start = Instant::now();
+                let r = if i == 0 {
+                    TyphoonMachine::new(
+                        base_cfg.clone(),
+                        Box::new(PhasedWorkload::new(Ocean::new(p.clone()))),
+                        &|id, layout, cfg| Box::new(StacheProtocol::new(id, layout, cfg)),
+                    )
+                    .run()
+                } else {
+                    let mut p = p.clone();
+                    p.sync = OceanSync::Push;
+                    TyphoonMachine::new(
+                        base_cfg.clone(),
+                        Box::new(PhasedWorkload::new(Ocean::new(p))),
+                        &|id, layout, cfg| Box::new(DelayedUpdateProtocol::new(id, layout, cfg)),
+                    )
+                    .run()
+                };
+                let wall_secs = start.elapsed().as_secs_f64();
+                let ops = r.report.get("cpu.ops").unwrap_or(0.0) as u64;
+                RunOutcome {
+                    cycles: r.cycles,
+                    report: r.report,
+                    wall_secs,
+                    ops,
+                }
+            })
         });
         for (name, r) in [("Typhoon/Stache", &outs[0]), ("Typhoon/Push", &outs[1])] {
             t.row(vec![
@@ -301,11 +292,9 @@ fn main() {
         } else {
             System::Dirnnb
         };
-        run_system(
-            system,
-            &cfg,
-            build_app(app, set, scale, nodes, sync_for(app, system)),
-        )
+        run_system_min(system, &cfg, repeat, || {
+            build_app(app, set, scale, nodes, sync_for(app, system))
+        })
     });
     for (r, occ) in occupancies.into_iter().enumerate() {
         let (ty, d) = (&outs[r * 2], &outs[r * 2 + 1]);
@@ -333,6 +322,7 @@ fn main() {
             nodes,
             cli.scale,
             jobs,
+            repeat,
             total_wall_secs,
             &records,
         )

@@ -5,15 +5,17 @@
 //! performance; the paper reports every bar within 1.3 and several below
 //! 1.0 when the working set exceeds the hardware cache.
 //!
-//! Usage: `figure3 [--scale N] [--nodes N] [--jobs N] [--json PATH] [--full]`
-//! (default scale 4; `--full` runs the paper's exact sizes). The table is
-//! byte-identical for any `--jobs` value.
+//! Usage: `figure3 [--scale N] [--nodes N] [--jobs N] [--repeat N]
+//! [--json PATH] [--full]` (default scale 4; `--full` runs the paper's
+//! exact sizes). The table is byte-identical for any `--jobs` or
+//! `--repeat` value; `--repeat N` reruns each point N times and reports
+//! min-of-N wall timings for stable `sim_cycles_per_sec`.
 
 use std::time::Instant;
 
 use tt_base::table::Table;
 use tt_bench::json::PointRecord;
-use tt_bench::{bench_config, figure3_sweep, FIGURE3_POINTS};
+use tt_bench::{bench_config, figure3_sweep_min, FIGURE3_POINTS};
 use tt_apps::AppId;
 
 fn main() {
@@ -27,7 +29,7 @@ fn main() {
         scale = cli.scale,
     );
     let start = Instant::now();
-    let points = figure3_sweep(cli.scale, &cfg, cli.jobs);
+    let points = figure3_sweep_min(cli.scale, &cfg, cli.jobs, cli.repeat);
     let total_wall_secs = start.elapsed().as_secs_f64();
 
     let mut table = Table::new(vec![
@@ -88,6 +90,7 @@ fn main() {
             cli.nodes,
             cli.scale,
             cli.jobs,
+            cli.repeat,
             total_wall_secs,
             &records,
         )

@@ -4,15 +4,17 @@
 //! all three curves rise with the remote fraction; the update protocol is
 //! flattest and beats DirNNB by ~35% at 50% remote edges.
 //!
-//! Usage: `figure4 [--scale N] [--nodes N] [--jobs N] [--json PATH] [--full]`
-//! (default scale 4; `--full` runs 192,000 nodes, degree 15). The table
-//! is byte-identical for any `--jobs` value.
+//! Usage: `figure4 [--scale N] [--nodes N] [--jobs N] [--repeat N]
+//! [--json PATH] [--full]` (default scale 4; `--full` runs 192,000
+//! nodes, degree 15). The table is byte-identical for any `--jobs` or
+//! `--repeat` value; `--repeat N` reruns each point N times and reports
+//! min-of-N wall timings for stable `sim_cycles_per_sec`.
 
 use std::time::Instant;
 
 use tt_base::table::Table;
 use tt_bench::json::PointRecord;
-use tt_bench::{bench_config, figure4_sweep, FIGURE4_SYSTEMS};
+use tt_bench::{bench_config, figure4_sweep_min, FIGURE4_SYSTEMS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,7 +27,7 @@ fn main() {
         scale = cli.scale,
     );
     let start = Instant::now();
-    let points = figure4_sweep(cli.scale, &cfg, cli.jobs);
+    let points = figure4_sweep_min(cli.scale, &cfg, cli.jobs, cli.repeat);
     let total_wall_secs = start.elapsed().as_secs_f64();
 
     let mut table = Table::new(vec![
@@ -74,6 +76,7 @@ fn main() {
             cli.nodes,
             cli.scale,
             cli.jobs,
+            cli.repeat,
             total_wall_secs,
             &records,
         )

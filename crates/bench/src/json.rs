@@ -63,6 +63,36 @@ impl PointRecord {
     }
 }
 
+/// Best-effort short git revision of the working tree, so committed
+/// `results/BENCH_*.json` snapshots are attributable to the code that
+/// produced them. `"unknown"` outside a git checkout.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Best-effort host name (wall-clock rates are host-specific). Tries the
+/// `HOSTNAME` environment variable, then the kernel's node name;
+/// `"unknown"` if neither is available.
+pub fn hostname() -> String {
+    std::env::var("HOSTNAME")
+        .ok()
+        .or_else(|| {
+            std::fs::read_to_string("/proc/sys/kernel/hostname")
+                .ok()
+                .map(|s| s.trim().to_string())
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
 /// JSON string literal with the required escapes.
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -79,13 +109,18 @@ fn escape(s: &str) -> String {
     out
 }
 
-/// Writes a sweep report to `path`, creating parent directories.
+/// Writes a sweep report to `path`, creating parent directories. The
+/// header records the sweep shape plus provenance (`git_rev`, `host`,
+/// `jobs`, `repeat`) so snapshots are attributable and wall-clock rates
+/// can be compared like-for-like across PRs.
+#[allow(clippy::too_many_arguments)] // flat header fields, one call site per binary
 pub fn write_report(
     path: &Path,
     figure: &str,
     nodes: usize,
     scale: usize,
     jobs: usize,
+    repeat: usize,
     total_wall_secs: f64,
     points: &[PointRecord],
 ) -> std::io::Result<()> {
@@ -97,9 +132,12 @@ pub fn write_report(
     let mut f = std::fs::File::create(path)?;
     writeln!(f, "{{")?;
     writeln!(f, "  \"figure\": {},", escape(figure))?;
+    writeln!(f, "  \"git_rev\": {},", escape(&git_rev()))?;
+    writeln!(f, "  \"host\": {},", escape(&hostname()))?;
     writeln!(f, "  \"nodes\": {nodes},")?;
     writeln!(f, "  \"scale\": {scale},")?;
     writeln!(f, "  \"jobs\": {jobs},")?;
+    writeln!(f, "  \"repeat\": {repeat},")?;
     writeln!(f, "  \"total_wall_secs\": {total_wall_secs:.6},")?;
     writeln!(f, "  \"points\": [")?;
     for (i, p) in points.iter().enumerate() {
@@ -158,11 +196,20 @@ mod tests {
             wall_secs: 0.001,
             ops: 7,
         }];
-        write_report(&path, "figure3", 8, 64, 2, 0.123, &points).unwrap();
+        write_report(&path, "figure3", 8, 64, 2, 3, 0.123, &points).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"figure\": \"figure3\""));
         assert!(text.contains("\"cycles\": 42"));
         assert!(text.contains("\"jobs\": 2"));
+        assert!(text.contains("\"repeat\": 3"));
+        assert!(text.contains("\"git_rev\": "));
+        assert!(text.contains("\"host\": "));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn provenance_helpers_never_return_empty() {
+        assert!(!git_rev().is_empty());
+        assert!(!hostname().is_empty());
     }
 }

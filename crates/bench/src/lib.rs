@@ -167,6 +167,37 @@ pub fn run_system(system: System, cfg: &SystemConfig, workload: Box<dyn Workload
     }
 }
 
+/// Runs `run` `repeat` times (at least once), asserting the simulated
+/// cycle count is identical across repeats — the simulation is
+/// deterministic, so any divergence is a bug — and keeping the outcome
+/// with the smallest wall time. Min-of-N is the standard way to take a
+/// wall-clock measurement on a machine with background noise.
+pub fn min_of_runs(repeat: usize, run: impl Fn() -> RunOutcome) -> RunOutcome {
+    let mut best = run();
+    for _ in 1..repeat.max(1) {
+        let out = run();
+        assert_eq!(
+            best.cycles, out.cycles,
+            "repeated run diverged: simulation is not deterministic"
+        );
+        if out.wall_secs < best.wall_secs {
+            best = out;
+        }
+    }
+    best
+}
+
+/// [`run_system`] repeated `repeat` times (min-of-N wall time); `build`
+/// constructs a fresh workload for each repeat.
+pub fn run_system_min(
+    system: System,
+    cfg: &SystemConfig,
+    repeat: usize,
+    build: impl Fn() -> Box<dyn Workload>,
+) -> RunOutcome {
+    min_of_runs(repeat, || run_system(system, cfg, build()))
+}
+
 /// The sync mode an app must use on a system (only EM3D on
 /// Typhoon/Update uses flush synchronization).
 pub fn sync_for(app: AppId, system: System) -> SyncMode {
@@ -221,18 +252,27 @@ pub fn figure3_point(
     scale: usize,
     cfg_base: &SystemConfig,
 ) -> Figure3Point {
+    figure3_point_min(app, set, cache_bytes, scale, cfg_base, 1)
+}
+
+/// [`figure3_point`] with min-of-`repeat` wall timings (cycles are
+/// asserted identical across repeats).
+pub fn figure3_point_min(
+    app: AppId,
+    set: DataSet,
+    cache_bytes: usize,
+    scale: usize,
+    cfg_base: &SystemConfig,
+    repeat: usize,
+) -> Figure3Point {
     let mut cfg = cfg_base.clone();
     cfg.cpu.cache_bytes = cache_bytes;
-    let typhoon = run_system(
-        System::TyphoonStache,
-        &cfg,
-        build_app(app, set, scale, cfg.nodes, sync_for(app, System::TyphoonStache)),
-    );
-    let dirnnb = run_system(
-        System::Dirnnb,
-        &cfg,
-        build_app(app, set, scale, cfg.nodes, sync_for(app, System::Dirnnb)),
-    );
+    let typhoon = run_system_min(System::TyphoonStache, &cfg, repeat, || {
+        build_app(app, set, scale, cfg.nodes, sync_for(app, System::TyphoonStache))
+    });
+    let dirnnb = run_system_min(System::Dirnnb, &cfg, repeat, || {
+        build_app(app, set, scale, cfg.nodes, sync_for(app, System::Dirnnb))
+    });
     Figure3Point {
         app,
         set,
@@ -256,13 +296,23 @@ pub fn figure3_point(
 /// Points are returned app-major in `AppId::ALL` × [`FIGURE3_POINTS`]
 /// order.
 pub fn figure3_sweep(scale: usize, cfg: &SystemConfig, jobs: usize) -> Vec<Figure3Point> {
+    figure3_sweep_min(scale, cfg, jobs, 1)
+}
+
+/// [`figure3_sweep`] with min-of-`repeat` wall timings per point.
+pub fn figure3_sweep_min(
+    scale: usize,
+    cfg: &SystemConfig,
+    jobs: usize,
+    repeat: usize,
+) -> Vec<Figure3Point> {
     let grid: Vec<(AppId, DataSet, usize)> = AppId::ALL
         .into_iter()
         .flat_map(|app| FIGURE3_POINTS.into_iter().map(move |(set, cache)| (app, set, cache)))
         .collect();
     par::run_indexed(jobs, grid.len(), |i| {
         let (app, set, cache) = grid[i];
-        figure3_point(app, set, cache, scale, cfg)
+        figure3_point_min(app, set, cache, scale, cfg, repeat)
     })
 }
 
@@ -286,10 +336,17 @@ pub const FIGURE4_SYSTEMS: [System; 3] =
     [System::Dirnnb, System::TyphoonStache, System::TyphoonUpdate];
 
 /// Measures one Figure 4 x-axis point (all three curves).
-pub fn figure4_point(
+pub fn figure4_point(pct_remote: f64, scale: usize, cfg: &SystemConfig) -> Figure4Point {
+    figure4_point_min(pct_remote, scale, cfg, 1)
+}
+
+/// [`figure4_point`] with min-of-`repeat` wall timings (cycles are
+/// asserted identical across repeats).
+pub fn figure4_point_min(
     pct_remote: f64,
     scale: usize,
     cfg: &SystemConfig,
+    repeat: usize,
 ) -> Figure4Point {
     let mk = |sync: SyncMode| -> (Box<dyn Workload>, f64) {
         let mut p = Em3dParams::table3(DataSet::Large, cfg.nodes);
@@ -320,8 +377,8 @@ pub fn figure4_point(
         let mut cfg = cfg.clone();
         cfg.dirnnb.placement = tt_base::config::DirPlacement::Owner;
         cfg.cpu.cache_bytes = 256 * 1024;
-        let (w, denom) = mk(sync);
-        let out = run_system(system, &cfg, w);
+        let (_, denom) = mk(sync);
+        let out = min_of_runs(repeat, || run_system(system, &cfg, mk(sync).0));
         cpe[i] = out.cycles.as_f64() / denom;
         cycles[i] = out.cycles;
         stats[i] = RunStats {
@@ -343,8 +400,18 @@ pub const FIGURE4_PCTS: [f64; 6] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
 /// Runs the whole Figure 4 sweep across `jobs` threads (results are
 /// identical for any `jobs`; see [`par::run_indexed`]).
 pub fn figure4_sweep(scale: usize, cfg: &SystemConfig, jobs: usize) -> Vec<Figure4Point> {
+    figure4_sweep_min(scale, cfg, jobs, 1)
+}
+
+/// [`figure4_sweep`] with min-of-`repeat` wall timings per point.
+pub fn figure4_sweep_min(
+    scale: usize,
+    cfg: &SystemConfig,
+    jobs: usize,
+    repeat: usize,
+) -> Vec<Figure4Point> {
     par::run_indexed(jobs, FIGURE4_PCTS.len(), |i| {
-        figure4_point(FIGURE4_PCTS[i], scale, cfg)
+        figure4_point_min(FIGURE4_PCTS[i], scale, cfg, repeat)
     })
 }
 
@@ -368,17 +435,21 @@ pub struct Cli {
     /// Worker threads for the point sweep (default: available
     /// parallelism). Any value produces identical tables.
     pub jobs: usize,
+    /// Runs per point; wall timings are min-of-N (default 1). Cycle
+    /// counts are asserted identical across repeats.
+    pub repeat: usize,
     /// Where to write the machine-readable run report, if anywhere.
     pub json: Option<std::path::PathBuf>,
 }
 
-/// Parses `--scale N`, `--nodes N`, `--full`, `--jobs N`, and
-/// `--json PATH` arguments shared by the harness binaries.
+/// Parses `--scale N`, `--nodes N`, `--full`, `--jobs N`, `--repeat N`,
+/// and `--json PATH` arguments shared by the harness binaries.
 pub fn parse_cli(args: &[String], default_scale: usize) -> Cli {
     let mut cli = Cli {
         scale: default_scale,
         nodes: 32,
         jobs: par::default_jobs(),
+        repeat: 1,
         json: None,
     };
     let mut i = 0;
@@ -405,6 +476,10 @@ pub fn parse_cli(args: &[String], default_scale: usize) -> Cli {
                 cli.jobs = number(i, "--jobs");
                 i += 2;
             }
+            "--repeat" => {
+                cli.repeat = number(i, "--repeat").max(1);
+                i += 2;
+            }
             "--json" => {
                 cli.json = Some(std::path::PathBuf::from(value(i, "--json")));
                 i += 2;
@@ -415,7 +490,7 @@ pub fn parse_cli(args: &[String], default_scale: usize) -> Cli {
             }
             other => panic!(
                 "unknown argument {other}; use --scale N | --nodes N | --jobs N \
-                 | --json PATH | --full"
+                 | --repeat N | --json PATH | --full"
             ),
         }
     }
@@ -464,6 +539,48 @@ mod tests {
             let w = build_app(app, DataSet::Small, smoke::SCALE, 4, SyncMode::Barrier);
             assert_eq!(w.name(), app.name());
         }
+    }
+
+    #[test]
+    fn repeat_flag_parses_and_defaults_to_one() {
+        let args: Vec<String> = ["--repeat", "5"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_cli(&args, 1).repeat, 5);
+        assert_eq!(parse_cli(&[], 1).repeat, 1);
+        let zero: Vec<String> = ["--repeat", "0"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_cli(&zero, 1).repeat, 1, "repeat 0 clamps to 1");
+    }
+
+    #[test]
+    fn min_of_runs_keeps_fastest_wall_time() {
+        let walls = std::cell::Cell::new(0usize);
+        let out = min_of_runs(3, || {
+            let wall = [0.5, 0.1, 0.3][walls.get()];
+            walls.set(walls.get() + 1);
+            RunOutcome {
+                cycles: Cycles::new(42),
+                report: Report::default(),
+                wall_secs: wall,
+                ops: 7,
+            }
+        });
+        assert_eq!(walls.get(), 3);
+        assert_eq!(out.wall_secs, 0.1);
+        assert_eq!(out.cycles, Cycles::new(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "not deterministic")]
+    fn min_of_runs_rejects_diverging_cycles() {
+        let calls = std::cell::Cell::new(0u64);
+        min_of_runs(2, || {
+            calls.set(calls.get() + 1);
+            RunOutcome {
+                cycles: Cycles::new(calls.get()),
+                report: Report::default(),
+                wall_secs: 1.0,
+                ops: 0,
+            }
+        });
     }
 
     #[test]

@@ -176,7 +176,7 @@ impl DirnnbMachine {
         let mut queue = EventQueue::new();
         for n in 0..self.cfg.nodes {
             self.cpus[n].step_pending = true;
-            queue.schedule_at(Cycles::ZERO, Event::CpuStep(n));
+            queue.schedule_at_for(Cycles::ZERO, Some(n), Event::CpuStep(n));
         }
         tt_sim::run(self, &mut queue, RunLimit::none());
         let stuck: Vec<_> = self
@@ -264,11 +264,12 @@ impl DirnnbMachine {
                 cpu.clock = now;
             }
         }
-        let deadline = now + self.quantum;
+        let mut deadline = now + self.quantum;
         loop {
             let (addr, kind, value, expect) = {
                 let DirnnbMachine {
                     cfg,
+                    quantum,
                     cpus,
                     barrier,
                     workload,
@@ -318,8 +319,9 @@ impl DirnnbMachine {
                                 barrier.max_arrival = arrival;
                             }
                             if barrier.arrived == cfg.nodes {
-                                queue.schedule_at(
+                                queue.schedule_at_for(
                                     barrier.max_arrival + cfg.timing.barrier_latency,
+                                    None,
                                     Event::BarrierRelease {
                                         generation: barrier.generation,
                                     },
@@ -331,9 +333,21 @@ impl DirnnbMachine {
                         Op::Write { addr, value } => break (addr, AccessKind::Store, value, None),
                     }
                     if cpu.clock >= deadline {
-                        cpu.step_pending = true;
                         let at = cpu.clock;
-                        queue.schedule_at(at, Event::CpuStep(n));
+                        // Direct execution (WWT-style): if every pending
+                        // event lies strictly beyond this CPU's clock, the
+                        // wakeup we are about to schedule would be the very
+                        // next event popped — skip the queue round trip and
+                        // keep executing inline. Only the self-wakeup is
+                        // elided, so reported cycles stay byte-identical.
+                        if cfg.direct_execution
+                            && queue.peek_time().is_none_or(|t| t > at)
+                        {
+                            deadline = at + *quantum;
+                            continue;
+                        }
+                        cpu.step_pending = true;
+                        queue.schedule_at_for(at, Some(n), Event::CpuStep(n));
                         return;
                     }
                 }
@@ -342,10 +356,15 @@ impl DirnnbMachine {
                 return;
             }
             if self.cpus[n].clock >= deadline {
+                let at = self.cpus[n].clock;
+                // Same direct-execution bypass as the inner loop; see there.
+                if self.cfg.direct_execution && queue.peek_time().is_none_or(|t| t > at) {
+                    deadline = at + self.quantum;
+                    continue;
+                }
                 let cpu = &mut self.cpus[n];
                 cpu.step_pending = true;
-                let at = cpu.clock;
-                queue.schedule_at(at, Event::CpuStep(n));
+                queue.schedule_at_for(at, Some(n), Event::CpuStep(n));
                 return;
             }
         }
@@ -362,7 +381,6 @@ impl DirnnbMachine {
         expect: Option<u64>,
     ) -> bool {
         let me = NodeId::new(n as u16);
-        let home = self.home_of(addr.raw());
         let block = addr.block_base().raw();
         let key = block / BLOCK_BYTES as u64;
         let mut cost = Cycles::new(1);
@@ -378,11 +396,14 @@ impl DirnnbMachine {
             (Probe::Miss, AccessKind::Store) => Some(DirReq::Write),
         };
         let Some(req) = req else {
+            // Cache hit: no directory involvement, so the home lookup is
+            // not needed — this is the per-op fast path.
             self.complete_access(n, addr, kind, value, expect);
             self.cpus[n].clock += cost;
             self.cpus[n].pc += 1;
             return true;
         };
+        let home = self.home_of(addr.raw());
 
         // Fast local path: home is this node and the directory can grant
         // immediately — a plain 29-cycle local miss.
@@ -440,8 +461,9 @@ impl DirnnbMachine {
         cpu.suspended_at = cpu.clock;
         cpu.pending_block = Some(block);
         let at = cpu.clock + self.hop(me, home);
-        queue.schedule_at(
+        queue.schedule_at_for(
             at,
+            Some(home.index()),
             Event::HomeRequest {
                 addr: block,
                 from: me.raw(),
@@ -503,8 +525,9 @@ impl DirnnbMachine {
                 let me = NodeId::new(n as u16);
                 self.count_packet(self.cpus[n].clock, me, home, true);
                 let at = self.cpus[n].clock.max(queue.now()) + self.hop(me, home);
-                queue.schedule_at(
+                queue.schedule_at_for(
                     at,
+                    Some(home.index()),
                     Event::Writeback {
                         addr: victim_addr,
                         from: n as u16,
@@ -556,8 +579,9 @@ impl DirnnbMachine {
                 self.dir_stats.invalidations.add(targets.len() as u64);
                 for t in &targets {
                     self.count_packet(now, home, *t, false);
-                    queue.schedule_at(
+                    queue.schedule_at_for(
                         now + cost + self.hop(home, *t),
+                        Some(t.index()),
                         Event::Invalidate {
                             addr,
                             node: t.raw(),
@@ -574,8 +598,9 @@ impl DirnnbMachine {
                 self.dir_stats.recalls.inc();
                 let cost = base + self.cfg.dirnnb.dir_op_per_msg;
                 self.count_packet(now, home, owner, false);
-                queue.schedule_at(
+                queue.schedule_at_for(
                     now + cost + self.hop(home, owner),
+                    Some(owner.index()),
                     Event::Recall {
                         addr,
                         node: owner.raw(),
@@ -606,8 +631,9 @@ impl DirnnbMachine {
             cost += self.cfg.dirnnb.dir_op_block_send;
         }
         self.count_packet(at, home, to, req.needs_data());
-        queue.schedule_at(
+        queue.schedule_at_for(
             at + cost + self.hop(home, to),
+            Some(to.index()),
             Event::Grant {
                 addr,
                 node: to.raw(),
@@ -693,7 +719,11 @@ impl DirnnbMachine {
         let home = self.home_of(addr);
         let me = NodeId::new(node as u16);
         self.count_packet(now, me, home, false);
-        queue.schedule_at(now + cost + self.hop(me, home), Event::HomeAck { addr });
+        queue.schedule_at_for(
+            now + cost + self.hop(me, home),
+            Some(home.index()),
+            Event::HomeAck { addr },
+        );
     }
 
     fn recall_at(
@@ -716,8 +746,9 @@ impl DirnnbMachine {
                 // block (grants and recalls travel on different virtual
                 // networks). Nack-and-retry, as a busy hardware owner
                 // would: try again after the grant has landed.
-                queue.schedule_at(
+                queue.schedule_at_for(
                     now + self.cfg.timing.network_latency,
+                    Some(node),
                     Event::Recall {
                         addr,
                         node: node as u16,
@@ -734,8 +765,9 @@ impl DirnnbMachine {
         let home = self.home_of(addr);
         let me = NodeId::new(node as u16);
         self.count_packet(now, me, home, true);
-        queue.schedule_at(
+        queue.schedule_at_for(
             now + cost + self.hop(me, home),
+            Some(home.index()),
             Event::HomeData {
                 addr,
                 from: me.raw(),
@@ -816,7 +848,7 @@ impl DirnnbMachine {
         if !cpu.step_pending {
             cpu.step_pending = true;
             let at = cpu.clock;
-            queue.schedule_at(at, Event::CpuStep(node));
+            queue.schedule_at_for(at, Some(node), Event::CpuStep(node));
         }
     }
 
@@ -836,7 +868,7 @@ impl DirnnbMachine {
             cpu.clock = now;
             if !cpu.step_pending {
                 cpu.step_pending = true;
-                queue.schedule_at(now, Event::CpuStep(n));
+                queue.schedule_at_for(now, Some(n), Event::CpuStep(n));
             }
         }
     }

@@ -14,10 +14,10 @@
 //! ID and a 32-bit pointer to an arbitrary user data structure"; we
 //! generalize to two 64-bit words so protocol state needn't be packed).
 
-use tt_base::addr::{PAddr, Ppn, Vpn, BLOCKS_PER_PAGE, BLOCK_BYTES, PAGE_BYTES, WORD_BYTES};
+use tt_base::addr::{PAddr, Ppn, Vpn, BLOCK_BYTES, PAGE_BYTES, WORD_BYTES};
 use tt_base::Cycles;
 
-use crate::tags::Tag;
+use crate::tags::{PackedTags, Tag};
 
 /// Per-page metadata visible to protocol handlers via the RTLB.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -32,10 +32,14 @@ pub struct PageMeta {
 }
 
 /// One 4 KB physical page frame: data, tags, and metadata.
+///
+/// Block tags are stored packed (2 bits per block plus a uniform-tag
+/// summary, see [`crate::tags::PackedTags`]) so `set_all_tags` is O(1)
+/// and "is this whole page tagged T?" is one comparison.
 #[derive(Clone, Debug)]
 pub struct PageFrame {
     data: Box<[u8; PAGE_BYTES]>,
-    tags: [Tag; BLOCKS_PER_PAGE],
+    tags: PackedTags,
     /// Protocol-visible metadata.
     pub meta: PageMeta,
 }
@@ -44,31 +48,36 @@ impl Default for PageFrame {
     fn default() -> Self {
         PageFrame {
             data: Box::new([0; PAGE_BYTES]),
-            tags: [Tag::Invalid; BLOCKS_PER_PAGE],
+            tags: PackedTags::default(),
             meta: PageMeta::default(),
         }
     }
 }
 
 impl PageFrame {
-    /// The tag of block `idx` (0..[`BLOCKS_PER_PAGE`]).
+    /// The tag of block `idx` (0..[`tt_base::addr::BLOCKS_PER_PAGE`]).
     pub fn tag(&self, idx: usize) -> Tag {
-        self.tags[idx]
+        self.tags.get(idx)
     }
 
     /// Sets the tag of block `idx`.
     pub fn set_tag(&mut self, idx: usize, tag: Tag) {
-        self.tags[idx] = tag;
+        self.tags.set(idx, tag);
     }
 
-    /// Sets every block tag on the page.
+    /// Sets every block tag on the page (O(1) on the packed store).
     pub fn set_all_tags(&mut self, tag: Tag) {
-        self.tags = [tag; BLOCKS_PER_PAGE];
+        self.tags.set_all(tag);
+    }
+
+    /// The tag every block on the page carries, or `None` if mixed.
+    pub fn uniform_tag(&self) -> Option<Tag> {
+        self.tags.uniform()
     }
 
     /// Iterates over `(block_index, tag)` pairs.
     pub fn tags(&self) -> impl Iterator<Item = (usize, Tag)> + '_ {
-        self.tags.iter().copied().enumerate()
+        self.tags.iter()
     }
 }
 

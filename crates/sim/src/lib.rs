@@ -83,6 +83,27 @@ impl<E> Ord for Entry<E> {
 /// Invariant: whenever `front` is occupied it orders before every entry
 /// in `heap` (entries are totally ordered by `(time, seq)`, so FIFO
 /// delivery of same-cycle events is preserved).
+///
+/// # Per-node horizons
+///
+/// Schedulers that know which node an event affects can say so via
+/// [`EventQueue::schedule_at_for`]. With horizon tracking enabled
+/// ([`EventQueue::enable_horizon_tracking`]), the queue mirrors every
+/// pending `(time, seq)` key into a small per-target heap, which makes
+/// two queries cheap:
+///
+/// - [`EventQueue::node_horizon`]: the earliest pending event that can
+///   touch a given node (its own events plus untargeted ones), and
+/// - [`EventQueue::safe_horizon`]: the earliest cycle at which *anything*
+///   still in the queue could influence the node, given a minimum
+///   cross-node interaction latency — the bound a WWT-style simulator
+///   may run a node ahead to without violating causality.
+///
+/// Tracking is **off by default**: the mirrors cost a second heap
+/// push/pop per event, and the machines' direct-execution path needs
+/// only [`EventQueue::peek_time`] (a CPU keeps executing inline while
+/// every pending event lies strictly beyond its clock, which preserves
+/// event order *exactly*, not merely causally — see DESIGN.md).
 #[derive(Clone, Debug)]
 pub struct EventQueue<E> {
     now: Cycles,
@@ -90,6 +111,17 @@ pub struct EventQueue<E> {
     scheduled: u64,
     front: Option<Entry<E>>,
     heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Whether per-node horizon mirrors are maintained.
+    track_horizons: bool,
+    /// Mirrors of the pending `(time, seq)` keys, one heap per declared
+    /// target node (grown on demand). Empty unless `track_horizons`.
+    tracks: Vec<BinaryHeap<Reverse<(Cycles, u64)>>>,
+    /// Mirror for untargeted (global-effect) events.
+    global_track: BinaryHeap<Reverse<(Cycles, u64)>>,
+    /// Declared target of every pending entry, keyed by sequence number.
+    /// Kept out of `Entry` so the hot heap stays compact; only populated
+    /// when `track_horizons`.
+    targets: std::collections::HashMap<u64, Option<usize>>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -107,7 +139,26 @@ impl<E> EventQueue<E> {
             scheduled: 0,
             front: None,
             heap: BinaryHeap::new(),
+            track_horizons: false,
+            tracks: Vec::new(),
+            global_track: BinaryHeap::new(),
+            targets: std::collections::HashMap::new(),
         }
+    }
+
+    /// Turns on per-node horizon tracking (see the struct docs). Must be
+    /// called before any event is scheduled, or the mirrors would miss
+    /// what is already pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are already pending.
+    pub fn enable_horizon_tracking(&mut self) {
+        assert!(
+            self.is_empty(),
+            "enable horizon tracking on an empty queue, before scheduling"
+        );
+        self.track_horizons = true;
     }
 
     /// The current simulated time (the timestamp of the last popped event).
@@ -123,9 +174,32 @@ impl<E> EventQueue<E> {
     /// Panics if `t` is in the past (`t < self.now()`): the simulation
     /// would no longer be causal.
     pub fn schedule_at(&mut self, t: Cycles, event: E) {
+        self.schedule_at_for(t, None, event);
+    }
+
+    /// Schedules `event` at absolute time `t`, declaring the node whose
+    /// state the event (directly) touches. `None` means the event has
+    /// global effect and counts against every node's horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past (`t < self.now()`).
+    pub fn schedule_at_for(&mut self, t: Cycles, target: Option<usize>, event: E) {
         assert!(t >= self.now, "scheduling into the past: {t:?} < {:?}", self.now);
         self.seq += 1;
         self.scheduled += 1;
+        if self.track_horizons {
+            match target {
+                Some(node) => {
+                    if node >= self.tracks.len() {
+                        self.tracks.resize_with(node + 1, BinaryHeap::new);
+                    }
+                    self.tracks[node].push(Reverse((t, self.seq)));
+                }
+                None => self.global_track.push(Reverse((t, self.seq))),
+            }
+            self.targets.insert(self.seq, target);
+        }
         let entry = Entry {
             time: t,
             seq: self.seq,
@@ -149,6 +223,11 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now + delay, event);
     }
 
+    /// Schedules `event` at `now + delay` for a declared target node.
+    pub fn schedule_after_for(&mut self, delay: Cycles, target: Option<usize>, event: E) {
+        self.schedule_at_for(self.now + delay, target, event);
+    }
+
     /// Removes and returns the earliest event, advancing `now` to its time.
     pub fn pop(&mut self) -> Option<(Cycles, E)> {
         let e = match self.front.take() {
@@ -156,8 +235,87 @@ impl<E> EventQueue<E> {
             None => self.heap.pop()?.0,
         };
         debug_assert!(e.time >= self.now);
+        if self.track_horizons {
+            // The popped entry is the global minimum, hence also the
+            // minimum of the track mirroring it.
+            let target = self
+                .targets
+                .remove(&e.seq)
+                .expect("every tracked entry has a recorded target");
+            let mirrored = match target {
+                Some(node) => self.tracks[node].pop(),
+                None => self.global_track.pop(),
+            };
+            debug_assert_eq!(
+                mirrored.map(|Reverse(k)| k),
+                Some((e.time, e.seq)),
+                "track mirrors diverged from the queue"
+            );
+        }
         self.now = e.time;
         Some((e.time, e.event))
+    }
+
+    /// The earliest pending event that can touch `node`: the minimum over
+    /// events targeted at `node` and untargeted (global) events.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`EventQueue::enable_horizon_tracking`] was called.
+    pub fn node_horizon(&self, node: usize) -> Option<Cycles> {
+        assert!(self.track_horizons, "horizon queries need tracking enabled");
+        let own = self
+            .tracks
+            .get(node)
+            .and_then(|t| t.peek())
+            .map(|Reverse((t, _))| *t);
+        let global = self.global_track.peek().map(|Reverse((t, _))| *t);
+        match (own, global) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// The earliest pending event targeted at any node other than `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`EventQueue::enable_horizon_tracking`] was called.
+    pub fn foreign_horizon(&self, node: usize) -> Option<Cycles> {
+        assert!(self.track_horizons, "horizon queries need tracking enabled");
+        let mut best: Option<Cycles> = None;
+        for (i, track) in self.tracks.iter().enumerate() {
+            if i == node {
+                continue;
+            }
+            if let Some(Reverse((t, _))) = track.peek() {
+                best = Some(best.map_or(*t, |b: Cycles| b.min(*t)));
+            }
+        }
+        best
+    }
+
+    /// The earliest cycle at which anything still pending (or any event
+    /// it later spawns) could influence `node`, assuming every cross-node
+    /// interaction costs at least `cross_latency` cycles from the event
+    /// that initiates it. Work by `node` at cycles strictly below this
+    /// bound cannot observe, and is not observed by, the rest of the
+    /// machine. `None` means nothing pending constrains the node at all.
+    ///
+    /// Soundness: an event already targeted at `node` (or global) acts at
+    /// its own timestamp — that is `node_horizon`. Any *future* event for
+    /// `node` must descend from some currently-pending foreign event, and
+    /// the cross-node step of that chain adds at least `cross_latency`
+    /// after an ancestor whose time is at least `foreign_horizon`.
+    pub fn safe_horizon(&self, node: usize, cross_latency: Cycles) -> Option<Cycles> {
+        let own = self.node_horizon(node);
+        let foreign = self
+            .foreign_horizon(node)
+            .map(|t| Cycles::new(t.raw().saturating_add(cross_latency.raw())));
+        match (own, foreign) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// The timestamp of the earliest pending event, if any.
@@ -335,6 +493,76 @@ mod tests {
         let (t, _) = q.pop().unwrap();
         assert_eq!(t, Cycles::new(10));
         assert_eq!(q.total_scheduled(), 2);
+    }
+
+    #[test]
+    fn targeted_and_untargeted_events_interleave_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule_at_for(Cycles::new(5), Some(0), 0);
+        q.schedule_at(Cycles::new(5), 1);
+        q.schedule_at_for(Cycles::new(5), Some(1), 2);
+        let mut h = Recorder::default();
+        run(&mut h, &mut q, RunLimit::none());
+        assert_eq!(h.seen, vec![(5, 0), (5, 1), (5, 2)]);
+    }
+
+    #[test]
+    fn node_horizon_sees_own_and_global_events() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.enable_horizon_tracking();
+        q.schedule_at_for(Cycles::new(30), Some(0), 0);
+        q.schedule_at_for(Cycles::new(10), Some(1), 1);
+        assert_eq!(q.node_horizon(0), Some(Cycles::new(30)));
+        assert_eq!(q.node_horizon(1), Some(Cycles::new(10)));
+        assert_eq!(q.node_horizon(7), None, "untouched node is unconstrained");
+        q.schedule_at(Cycles::new(20), 2); // global: constrains everyone
+        assert_eq!(q.node_horizon(0), Some(Cycles::new(20)));
+        assert_eq!(q.node_horizon(7), Some(Cycles::new(20)));
+    }
+
+    #[test]
+    fn foreign_horizon_excludes_own_and_global() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.enable_horizon_tracking();
+        q.schedule_at_for(Cycles::new(10), Some(0), 0);
+        q.schedule_at_for(Cycles::new(40), Some(2), 1);
+        q.schedule_at(Cycles::new(5), 2);
+        assert_eq!(q.foreign_horizon(0), Some(Cycles::new(40)));
+        assert_eq!(q.foreign_horizon(2), Some(Cycles::new(10)));
+        assert_eq!(q.foreign_horizon(1), Some(Cycles::new(10)));
+    }
+
+    #[test]
+    fn safe_horizon_pads_foreign_events_by_latency() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.enable_horizon_tracking();
+        q.schedule_at_for(Cycles::new(10), Some(1), 0);
+        // Node 0: nothing own, foreign at 10 + latency 11 = 21.
+        assert_eq!(q.safe_horizon(0, Cycles::new(11)), Some(Cycles::new(21)));
+        // Node 1's own event is not padded.
+        assert_eq!(q.safe_horizon(1, Cycles::new(11)), Some(Cycles::new(10)));
+        q.schedule_at_for(Cycles::new(15), Some(0), 1);
+        assert_eq!(q.safe_horizon(0, Cycles::new(11)), Some(Cycles::new(15)));
+        // Popping restores the mirrors.
+        q.pop();
+        assert_eq!(q.safe_horizon(1, Cycles::new(11)), Some(Cycles::new(26)));
+        q.pop();
+        assert_eq!(q.safe_horizon(1, Cycles::new(11)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "tracking enabled")]
+    fn horizon_queries_require_tracking() {
+        let q: EventQueue<u32> = EventQueue::new();
+        q.node_horizon(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty queue")]
+    fn tracking_must_be_enabled_before_scheduling() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule_at(Cycles::new(1), 0);
+        q.enable_horizon_tracking();
     }
 
     #[test]

@@ -84,7 +84,7 @@ impl NodeCtx<'_> {
                 self.cpu.status = CpuStatus::BlockedFault;
                 self.cpu.suspended_at = self.cpu.clock;
                 let at = self.cpu.clock;
-                self.queue.schedule_at(
+                crate::machine::schedule(self.queue, 
                     at,
                     Event::NpWork {
                         node: self.id.index(),
@@ -97,7 +97,7 @@ impl NodeCtx<'_> {
                 self.cpu.status = CpuStatus::BlockedFault;
                 self.cpu.suspended_at = self.cpu.clock;
                 let at = self.cpu.clock;
-                self.queue.schedule_at(
+                crate::machine::schedule(self.queue, 
                     at,
                     Event::NpWork {
                         node: self.id.index(),
@@ -194,7 +194,7 @@ impl TempestCtx for NodeCtx<'_> {
             payload,
         };
         let deliver_at = self.network.send(self.now(), &packet);
-        self.queue.schedule_at(deliver_at, Event::Deliver(packet));
+        crate::machine::schedule(self.queue, deliver_at, Event::Deliver(packet));
     }
 
     fn bulk_transfer(&mut self, request: BulkRequest) {
@@ -206,7 +206,7 @@ impl TempestCtx for NodeCtx<'_> {
             request,
             offset: 0,
         });
-        self.queue.schedule_at(
+        crate::machine::schedule(self.queue, 
             self.now(),
             Event::BulkInject {
                 node: self.id.index(),
@@ -368,7 +368,7 @@ impl TempestCtx for NodeCtx<'_> {
         if self.cpu.status == CpuStatus::Ready && !self.cpu.step_pending {
             self.cpu.step_pending = true;
             let at = self.cpu.clock;
-            self.queue.schedule_at(at, Event::CpuStep(self.id.index()));
+            crate::machine::schedule(self.queue, at, Event::CpuStep(self.id.index()));
         }
     }
 }

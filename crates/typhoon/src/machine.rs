@@ -61,6 +61,27 @@ pub enum Event {
     },
 }
 
+impl Event {
+    /// The node whose state handling this event touches, or `None` for
+    /// events with machine-global effect. Feeds the event queue's
+    /// per-node horizon tracking (`EventQueue::node_horizon`).
+    pub fn target(&self) -> Option<usize> {
+        match self {
+            Event::CpuStep(n) | Event::NpDispatch(n) => Some(*n),
+            Event::NpWork { node, .. } | Event::BulkInject { node, .. } => Some(*node),
+            Event::Deliver(p) => Some(p.dst.index()),
+            Event::BarrierRelease { .. } => None,
+        }
+    }
+}
+
+/// Schedules a machine event with its per-node target declared, keeping
+/// the queue's horizon bookkeeping exact.
+pub(crate) fn schedule(queue: &mut EventQueue<Event>, at: Cycles, event: Event) {
+    let target = event.target();
+    queue.schedule_at_for(at, target, event);
+}
+
 /// An in-progress outgoing bulk transfer.
 #[derive(Clone, Debug)]
 pub struct BulkState {
@@ -198,7 +219,7 @@ impl TyphoonMachine {
         }
         for n in 0..self.cfg.nodes {
             self.nodes[n].cpu.step_pending = true;
-            queue.schedule_at(Cycles::ZERO, Event::CpuStep(n));
+            schedule(&mut queue, Cycles::ZERO, Event::CpuStep(n));
         }
         tt_sim::run(self, &mut queue, RunLimit::none());
 
@@ -280,7 +301,7 @@ impl TyphoonMachine {
         if node.cpu.clock < now {
             node.cpu.clock = now;
         }
-        let deadline = now + *quantum;
+        let mut deadline = now + *quantum;
         loop {
             // Refill the op chunk if exhausted, reusing its allocation.
             if node.cpu.pc >= node.cpu.chunk.len() {
@@ -340,7 +361,7 @@ impl TyphoonMachine {
                         barrier.max_arrival = arrival;
                     }
                     if barrier.arrived == cfg.nodes {
-                        queue.schedule_at(
+                        schedule(queue, 
                             barrier.max_arrival + cfg.timing.barrier_latency,
                             Event::BarrierRelease {
                                 generation: barrier.generation,
@@ -357,7 +378,7 @@ impl TyphoonMachine {
                     cpu.suspended_at = cpu.clock;
                     let at = cpu.clock + Cycles::new(1);
                     let thread = cpu.thread();
-                    queue.schedule_at(
+                    schedule(queue, 
                         at,
                         Event::NpWork {
                             node: n,
@@ -369,10 +390,22 @@ impl TyphoonMachine {
             }
 
             if node.cpu.clock >= deadline {
+                let at = node.cpu.clock;
+                // Direct execution (WWT-style): if every pending event
+                // lies strictly beyond this CPU's clock, the wakeup we
+                // are about to schedule would be the very next event
+                // popped — so skip the queue round trip and keep
+                // executing inline. The machine state and the order of
+                // all remaining events are exactly what the scheduled
+                // path would produce; only the self-wakeup is elided,
+                // which is why reported cycles are byte-identical.
+                if cfg.direct_execution && queue.peek_time().is_none_or(|t| t > at) {
+                    deadline = at + *quantum;
+                    continue;
+                }
                 let cpu = &mut node.cpu;
                 cpu.step_pending = true;
-                let at = cpu.clock;
-                queue.schedule_at(at, Event::CpuStep(n));
+                schedule(queue, at, Event::CpuStep(n));
                 return;
             }
         }
@@ -433,7 +466,7 @@ impl TyphoonMachine {
                         addr,
                     },
                 );
-                queue.schedule_at(
+                schedule(queue, 
                     at,
                     Event::NpWork {
                         node: n,
@@ -456,7 +489,7 @@ impl TyphoonMachine {
                         kind,
                     },
                 );
-                queue.schedule_at(
+                schedule(queue, 
                     at,
                     Event::NpWork {
                         node: n,
@@ -478,7 +511,7 @@ impl TyphoonMachine {
         if np.busy_until > now {
             if !np.dispatch_pending {
                 np.dispatch_pending = true;
-                queue.schedule_at(np.busy_until, Event::NpDispatch(n));
+                schedule(queue, np.busy_until, Event::NpDispatch(n));
             }
             return;
         }
@@ -547,7 +580,7 @@ impl TyphoonMachine {
         if np.has_work() && !np.dispatch_pending {
             np.dispatch_pending = true;
             let at = np.busy_until;
-            queue.schedule_at(at, Event::NpDispatch(n));
+            schedule(queue, at, Event::NpDispatch(n));
         }
     }
 
@@ -603,7 +636,7 @@ impl TyphoonMachine {
                         payload: Payload::args(vec![src_base, dst_base, bytes, notify_src]),
                     };
                     let at = self.network.send(now, &ack);
-                    queue.schedule_at(at, Event::Deliver(ack));
+                    schedule(queue, at, Event::Deliver(ack));
                 }
             }
             BULK_ACK => {
@@ -626,7 +659,7 @@ impl TyphoonMachine {
         };
         let busy_until = self.nodes[n].np.busy_until;
         if busy_until > now {
-            queue.schedule_at(busy_until, Event::BulkInject { node: n, id });
+            schedule(queue, busy_until, Event::BulkInject { node: n, id });
             return;
         }
         let (packet, done_packet) = {
@@ -683,16 +716,16 @@ impl TyphoonMachine {
                 .unwrap_or((packet, None))
         };
         let at = self.network.send(now, &packet);
-        queue.schedule_at(at, Event::Deliver(packet));
+        schedule(queue, at, Event::Deliver(packet));
         let np = &mut self.nodes[n].np;
         np.busy_until = now + self.cfg.typhoon.bulk_packet_cycles;
         if let Some(done) = done_packet {
             let at = self.network.send(np.busy_until, &done);
-            queue.schedule_at(at, Event::Deliver(done));
+            schedule(queue, at, Event::Deliver(done));
             self.nodes[n].bulk.remove(pos);
         } else {
             let at = np.busy_until;
-            queue.schedule_at(at, Event::BulkInject { node: n, id });
+            schedule(queue, at, Event::BulkInject { node: n, id });
         }
     }
 
@@ -713,7 +746,7 @@ impl TyphoonMachine {
             cpu.clock = now;
             if !cpu.step_pending {
                 cpu.step_pending = true;
-                queue.schedule_at(now, Event::CpuStep(n));
+                schedule(queue, now, Event::CpuStep(n));
             }
         }
     }
@@ -872,7 +905,7 @@ impl EventHandler for TyphoonMachine {
                 if np.busy_until > now {
                     np.dispatch_pending = true;
                     let at = np.busy_until;
-                    queue.schedule_at(at, Event::NpDispatch(n));
+                    schedule(queue, at, Event::NpDispatch(n));
                 } else if np.has_work() {
                     self.run_one_handler(n, now, queue);
                 }
