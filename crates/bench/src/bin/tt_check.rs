@@ -1,0 +1,227 @@
+//! `tt-check` — drive the coherence model checker from the command
+//! line.
+//!
+//! ```text
+//! tt-check run [--seeds N] [--base B] [--planted-bug] [--out PATH]
+//! tt-check replay --seed S
+//! ```
+//!
+//! `run` fuzzes `N` consecutive seeds (litmus workloads × schedule
+//! perturbations, differential across both machines) and exits
+//! non-zero on the first failure, printing the seed so
+//! `tt-check replay --seed S` reproduces it bit-exactly.
+//! `--planted-bug` swaps in the deliberately broken
+//! `SkipInvalidate` Stache variant: that run *must* fail, proving the
+//! harness has teeth. `--out` writes a JSON report alongside the other
+//! bench reports.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use tt_base::NodeId;
+use tt_bench::json::{git_rev, hostname};
+use tt_check::scenarios::SkipInvalidate;
+use tt_check::{fuzz_with, run_seed, shrink, stache_factory, Failure};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tt-check run [--seeds N] [--base B] [--planted-bug] [--out PATH]\n\
+         \x20      tt-check replay --seed S"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(args: &[String], i: &mut usize, flag: &str) -> u64 {
+    *i += 1;
+    args.get(*i)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("tt-check: {flag} needs an integer argument");
+            usage()
+        })
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn failure_json(f: &Failure) -> String {
+    let shrunk = match &f.shrunk {
+        Some(s) => format!(
+            "{{\"nodes\": {}, \"pages\": {}, \"blocks\": {}, \"phases\": {}}}",
+            s.nodes, s.pages, s.blocks, s.phases
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\n    \"seed\": {},\n    \"stage\": \"{}\",\n    \"nodes\": {},\n    \
+         \"pages\": {},\n    \"blocks\": {},\n    \"phases\": {},\n    \
+         \"message\": \"{}\",\n    \"shrunk\": {}\n  }}",
+        f.seed,
+        f.stage,
+        f.cfg.nodes,
+        f.cfg.pages,
+        f.cfg.blocks,
+        f.cfg.phases,
+        json_escape(&f.message),
+        shrunk
+    )
+}
+
+fn write_fuzz_report(
+    path: &str,
+    base: u64,
+    requested: u64,
+    seeds_run: u64,
+    planted: bool,
+    wall: f64,
+    failure: Option<&Failure>,
+) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"tt-check\",\n");
+    out.push_str(&format!("  \"git_rev\": \"{}\",\n", json_escape(&git_rev())));
+    out.push_str(&format!("  \"hostname\": \"{}\",\n", json_escape(&hostname())));
+    out.push_str(&format!("  \"base_seed\": {base},\n"));
+    out.push_str(&format!("  \"seeds_requested\": {requested},\n"));
+    out.push_str(&format!("  \"seeds_run\": {seeds_run},\n"));
+    out.push_str(&format!("  \"planted_bug\": {planted},\n"));
+    out.push_str(&format!("  \"wall_secs\": {wall:.3},\n"));
+    out.push_str(&format!("  \"clean\": {},\n", failure.is_none()));
+    match failure {
+        Some(f) => out.push_str(&format!("  \"failure\": {}\n", failure_json(f))),
+        None => out.push_str("  \"failure\": null\n"),
+    }
+    out.push_str("}\n");
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    let mut file = std::fs::File::create(path).expect("create report file");
+    file.write_all(out.as_bytes()).expect("write report");
+    eprintln!("tt-check: report written to {path}");
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let mut seeds: u64 = 500;
+    let mut base: u64 = 0;
+    let mut planted = false;
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => seeds = parse_u64(args, &mut i, "--seeds"),
+            "--base" => base = parse_u64(args, &mut i, "--base"),
+            "--planted-bug" => planted = true,
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let planted_factory = |id: NodeId, layout: &_, cfg: &_| {
+        Box::new(SkipInvalidate::new(id, layout, cfg)) as Box<dyn tt_tempest::Protocol>
+    };
+    let start = Instant::now();
+    let report = if planted {
+        fuzz_with(base, seeds, &planted_factory)
+    } else {
+        fuzz_with(base, seeds, &stache_factory)
+    };
+    let failure = report.failure.map(|f| {
+        eprintln!("tt-check: shrinking failing seed {}...", f.seed);
+        if planted {
+            shrink(&f, &planted_factory)
+        } else {
+            shrink(&f, &stache_factory)
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+
+    if let Some(path) = &out_path {
+        write_fuzz_report(path, base, seeds, report.seeds_run, planted, wall, failure.as_ref());
+    }
+    match (planted, failure) {
+        (false, None) => {
+            println!(
+                "tt-check: {} seeds clean on both machines in {wall:.1}s (base {base})",
+                report.seeds_run
+            );
+            0
+        }
+        (false, Some(f)) => {
+            println!("tt-check: FAILURE after {} seeds in {wall:.1}s", report.seeds_run);
+            println!("  {f}");
+            println!("  reproduce with: tt-check replay --seed {}", f.seed);
+            1
+        }
+        (true, Some(f)) => {
+            println!(
+                "tt-check: planted bug caught after {} seeds in {wall:.1}s (expected)",
+                report.seeds_run
+            );
+            println!("  {f}");
+            0
+        }
+        (true, None) => {
+            println!(
+                "tt-check: planted bug survived {} seeds — the harness is blind!",
+                report.seeds_run
+            );
+            1
+        }
+    }
+}
+
+fn cmd_replay(args: &[String]) -> i32 {
+    let mut seed: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => seed = Some(parse_u64(args, &mut i, "--seed")),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let seed = seed.unwrap_or_else(|| usage());
+    match run_seed(seed) {
+        Ok(r) => {
+            println!(
+                "tt-check: seed {seed} clean — typhoon {} cycles, dirnnb {} cycles, \
+                 {} events observed",
+                r.typhoon_cycles, r.dirnnb_cycles, r.events
+            );
+            0
+        }
+        Err(f) => {
+            println!("tt-check: seed {seed} FAILS");
+            println!("  {f}");
+            1
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        _ => usage(),
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,378 @@
+//! The schedule fuzzer and differential checker.
+//!
+//! One `u64` seed determines everything: the litmus case shape
+//! ([`LitmusConfig::from_seed`]), the scripts ([`Litmus::generate`]),
+//! and the schedule perturbation ([`PerturbConfig::from_seed`]). A
+//! seed's run is therefore bit-exactly reproducible — `replay` is just
+//! `run_seed` again — and a failure report only needs the seed.
+//!
+//! Each case runs the workload on **both** machines:
+//!
+//! - `tt-typhoon` with the Stache protocol (or an injected broken one),
+//!   under the invariant engine and the chosen perturbations;
+//! - `tt-dirnnb`, the all-hardware baseline, under the same tie-breaking
+//!   seed.
+//!
+//! Afterwards the final shared-memory images are extracted and compared
+//! against each other and against the generator's happens-before
+//! prediction. Perturbations only touch *legal* nondeterminism
+//! (same-cycle ordering, latency within the network band, compute
+//! coalescing, direct execution), so any divergence — a panic, an
+//! invariant trip, or an image mismatch — is a bug.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use tt_base::workload::Layout;
+use tt_base::{Cycles, DetRng, NodeId, SystemConfig, VAddr};
+use tt_dirnnb::DirnnbMachine;
+use tt_mem::Tag;
+use tt_stache::StacheProtocol;
+use tt_tempest::Protocol;
+use tt_typhoon::TyphoonMachine;
+
+use crate::invariants::InvariantChecker;
+use crate::litmus::{Litmus, LitmusConfig};
+
+/// Builds one node's protocol instance (same shape as
+/// [`TyphoonMachine::new`]'s constructor argument).
+pub type ProtocolFactory<'a> = &'a dyn Fn(NodeId, &Layout, &SystemConfig) -> Box<dyn Protocol>;
+
+/// The stock factory: the real Stache protocol.
+pub fn stache_factory(id: NodeId, layout: &Layout, cfg: &SystemConfig) -> Box<dyn Protocol> {
+    Box::new(StacheProtocol::new(id, layout, cfg))
+}
+
+/// Schedule perturbations for one run — all within the machines' legal
+/// nondeterminism, all derived from the seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PerturbConfig {
+    /// Shuffle same-cycle event ordering with this seed (None = the
+    /// deterministic FIFO order production runs use).
+    pub tie_shuffle: Option<u64>,
+    /// Extra per-packet network latency, uniform in `0..=jitter_max`
+    /// cycles on top of the configured base latency (0 = no jitter).
+    /// Per-link FIFO order is preserved by construction.
+    pub jitter_max: u64,
+    /// Seed for the jitter stream.
+    pub jitter_seed: u64,
+    /// Coalesce adjacent compute ops before running.
+    pub coalesce: bool,
+    /// Run CPUs in direct-execution (event-frontier) mode.
+    pub direct_execution: bool,
+}
+
+impl PerturbConfig {
+    /// Derives the perturbation from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = DetRng::new(seed).fork(3);
+        PerturbConfig {
+            tie_shuffle: if rng.chance(0.75) { Some(rng.next_u64()) } else { None },
+            jitter_max: rng.below(4),
+            jitter_seed: rng.next_u64(),
+            coalesce: rng.chance(0.5),
+            direct_execution: rng.chance(0.5),
+        }
+    }
+
+    /// No perturbation at all (production schedule).
+    pub fn none() -> Self {
+        PerturbConfig {
+            tie_shuffle: None,
+            jitter_max: 0,
+            jitter_seed: 0,
+            coalesce: false,
+            direct_execution: false,
+        }
+    }
+}
+
+/// A clean run's vitals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CaseResult {
+    /// Typhoon completion time under the perturbation.
+    pub typhoon_cycles: Cycles,
+    /// DirNNB completion time.
+    pub dirnnb_cycles: Cycles,
+    /// Events the invariant engine observed on the Typhoon run.
+    pub events: u64,
+}
+
+/// A caught failure: which seed, which shape, which stage, and the
+/// panic or mismatch message. `shrunk` is filled in by [`shrink`].
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The seed that produced the case.
+    pub seed: u64,
+    /// The (possibly hand-built) case shape that failed.
+    pub cfg: LitmusConfig,
+    /// The schedule perturbation in force.
+    pub perturb: PerturbConfig,
+    /// Which stage failed: `"typhoon"`, `"dirnnb"`, or `"differential"`.
+    pub stage: &'static str,
+    /// The panic message or mismatch description.
+    pub message: String,
+    /// A smaller shape that still fails, if [`shrink`] ran.
+    pub shrunk: Option<LitmusConfig>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "seed {} [{} stage] nodes={} pages={} blocks={} phases={}: {}",
+            self.seed,
+            self.stage,
+            self.cfg.nodes,
+            self.cfg.pages,
+            self.cfg.blocks,
+            self.cfg.phases,
+            self.message
+        )?;
+        if let Some(s) = &self.shrunk {
+            write!(
+                f,
+                " (shrunk to nodes={} pages={} blocks={} phases={})",
+                s.nodes, s.pages, s.blocks, s.phases
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Serializes panic-hook swapping so concurrent fuzz runs (e.g. test
+/// threads) don't clobber each other's hooks.
+static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f`, converting a panic into its message. The default panic
+/// hook is silenced for the duration: the fuzzer *expects* failures and
+/// reports them itself.
+fn catch<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    let guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let out = panic::catch_unwind(AssertUnwindSafe(f));
+    panic::set_hook(prev);
+    drop(guard);
+    out.map_err(|e| {
+        if let Some(s) = e.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = e.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
+/// Reconstructs the word at `addr` from a finished Typhoon machine:
+/// prefer the writable copy (SWMR makes it unique), then any readable
+/// copy, then the home node's memory.
+fn typhoon_word(m: &TyphoonMachine, addr: VAddr) -> u64 {
+    let nodes = m.config().nodes;
+    let mut readable = None;
+    for n in 0..nodes {
+        match m.node_tag(n, addr) {
+            Some(Tag::ReadWrite) => return m.node_word(n, addr).expect("writable copy mapped"),
+            Some(Tag::ReadOnly) if readable.is_none() => readable = Some(n),
+            _ => {}
+        }
+    }
+    if let Some(n) = readable {
+        return m.node_word(n, addr).expect("readable copy mapped");
+    }
+    let home = m
+        .layout()
+        .pages(nodes)
+        .find(|(vpn, _, _)| *vpn == addr.page())
+        .map(|(_, h, _)| h.index())
+        .expect("address in layout");
+    m.node_word(home, addr).expect("home page mapped")
+}
+
+/// Runs one case with the stock Stache protocol.
+pub fn run_case(cfg: &LitmusConfig, perturb: &PerturbConfig) -> Result<CaseResult, Box<Failure>> {
+    run_case_with(cfg, perturb, &stache_factory)
+}
+
+/// Runs one case with an injected protocol factory (used to prove the
+/// harness catches planted bugs).
+pub fn run_case_with(
+    cfg: &LitmusConfig,
+    perturb: &PerturbConfig,
+    factory: ProtocolFactory,
+) -> Result<CaseResult, Box<Failure>> {
+    let litmus = Litmus::generate(cfg);
+    let fail = |stage: &'static str, message: String| Box::new(Failure {
+        seed: cfg.seed,
+        cfg: cfg.clone(),
+        perturb: perturb.clone(),
+        stage,
+        message,
+        shrunk: None,
+    });
+
+    let mut syscfg = SystemConfig::test_config(cfg.nodes);
+    syscfg.seed = cfg.seed;
+    syscfg.direct_execution = perturb.direct_execution;
+
+    // Typhoon under the invariant engine and the full perturbation set.
+    let (typhoon_cycles, typhoon_image, events) = {
+        let syscfg = syscfg.clone();
+        let litmus = &litmus;
+        catch(move || {
+            let mut m = TyphoonMachine::new(
+                syscfg,
+                Box::new(litmus.workload(perturb.coalesce)),
+                factory,
+            );
+            if let Some(seed) = perturb.tie_shuffle {
+                m.set_tie_shuffle(seed);
+            }
+            if perturb.jitter_max > 0 {
+                m.set_net_jitter(perturb.jitter_seed, Cycles::new(perturb.jitter_max));
+            }
+            let mut checker = InvariantChecker::new(litmus.blocks.clone());
+            let r = m.run_observed(&mut |now, ev, mach| checker.check(now, ev, mach));
+            let image: Vec<(VAddr, u64)> = litmus
+                .finals
+                .iter()
+                .map(|&(a, _)| (a, typhoon_word(&m, a)))
+                .collect();
+            (r.cycles, image, checker.events())
+        })
+        .map_err(|msg| fail("typhoon", msg))?
+    };
+
+    // DirNNB: same workload and tie-break seed; jitter is a Typhoon
+    // network knob (DirNNB latencies come from its cost tables).
+    let (dirnnb_cycles, dirnnb_image) = {
+        let syscfg = syscfg.clone();
+        let litmus = &litmus;
+        catch(move || {
+            let mut m = DirnnbMachine::new(syscfg, Box::new(litmus.workload(perturb.coalesce)));
+            if let Some(seed) = perturb.tie_shuffle {
+                m.set_tie_shuffle(seed);
+            }
+            let r = m.run();
+            let image: Vec<(VAddr, u64)> = litmus
+                .finals
+                .iter()
+                .map(|&(a, _)| (a, m.shared_word(a)))
+                .collect();
+            (r.cycles, image)
+        })
+        .map_err(|msg| fail("dirnnb", msg))?
+    };
+
+    // Differential: both machines, and the generator's own prediction,
+    // must agree on every written word.
+    for (i, &(addr, expect)) in litmus.finals.iter().enumerate() {
+        let t = typhoon_image[i].1;
+        let d = dirnnb_image[i].1;
+        if t != expect || d != expect {
+            return Err(fail(
+                "differential",
+                format!(
+                    "final image mismatch at {addr}: typhoon {t:#x}, dirnnb {d:#x}, \
+                     expected {expect:#x}"
+                ),
+            ));
+        }
+    }
+
+    Ok(CaseResult { typhoon_cycles, dirnnb_cycles, events })
+}
+
+/// Derives the case and perturbation from `seed` and runs it. This is
+/// also `replay`: the same seed always reruns the identical case.
+pub fn run_seed(seed: u64) -> Result<CaseResult, Box<Failure>> {
+    run_case(&LitmusConfig::from_seed(seed), &PerturbConfig::from_seed(seed))
+}
+
+/// What a fuzzing sweep found.
+#[derive(Clone, Debug)]
+pub struct FuzzReport {
+    /// Seeds actually run (stops at the first failure).
+    pub seeds_run: u64,
+    /// The first failure, if any.
+    pub failure: Option<Failure>,
+}
+
+/// Fuzzes `count` consecutive seeds starting at `base_seed` with the
+/// stock protocol; stops at the first failure.
+pub fn fuzz(base_seed: u64, count: u64) -> FuzzReport {
+    fuzz_with(base_seed, count, &stache_factory)
+}
+
+/// Fuzzes with an injected protocol factory.
+pub fn fuzz_with(base_seed: u64, count: u64, factory: ProtocolFactory) -> FuzzReport {
+    for i in 0..count {
+        let seed = base_seed + i;
+        let cfg = LitmusConfig::from_seed(seed);
+        let perturb = PerturbConfig::from_seed(seed);
+        if let Err(f) = run_case_with(&cfg, &perturb, factory) {
+            return FuzzReport { seeds_run: i + 1, failure: Some(*f) };
+        }
+    }
+    FuzzReport { seeds_run: count, failure: None }
+}
+
+/// Greedily shrinks a failing case: repeatedly tries dropping a phase,
+/// a block, a page, or a node (in that order), keeping any reduction
+/// that still fails under the same perturbation. Returns the failure
+/// with `shrunk` filled in.
+pub fn shrink(failure: &Failure, factory: ProtocolFactory) -> Failure {
+    let still_fails =
+        |c: &LitmusConfig| run_case_with(c, &failure.perturb, factory).is_err();
+    let mut cur = failure.cfg.clone();
+    loop {
+        let mut candidates = Vec::new();
+        if cur.phases > 1 {
+            candidates.push(LitmusConfig { phases: cur.phases - 1, ..cur.clone() });
+        }
+        if cur.blocks > 1 {
+            let blocks = cur.blocks - 1;
+            candidates.push(LitmusConfig { blocks, pages: cur.pages.min(blocks), ..cur.clone() });
+        }
+        if cur.pages > 1 {
+            candidates.push(LitmusConfig { pages: cur.pages - 1, ..cur.clone() });
+        }
+        if cur.nodes > 2 {
+            candidates.push(LitmusConfig { nodes: cur.nodes - 1, ..cur.clone() });
+        }
+        match candidates.into_iter().find(|c| still_fails(c)) {
+            Some(smaller) => cur = smaller,
+            None => break,
+        }
+    }
+    Failure { shrunk: Some(cur), ..failure.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perturb_derivation_is_deterministic() {
+        for seed in 0..100 {
+            assert_eq!(PerturbConfig::from_seed(seed), PerturbConfig::from_seed(seed));
+            assert!(PerturbConfig::from_seed(seed).jitter_max <= 3);
+        }
+    }
+
+    #[test]
+    fn catch_captures_panic_message() {
+        let err = catch(|| panic!("boom {}", 7)).unwrap_err();
+        assert_eq!(err, "boom 7");
+        assert_eq!(catch(|| 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn a_single_seed_runs_clean_and_replays_identically() {
+        let a = run_seed(7).expect("seed 7 clean");
+        let b = run_seed(7).expect("seed 7 clean on replay");
+        assert_eq!(a, b);
+        assert!(a.events > 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Seed-generated litmus workloads.
+//!
+//! A litmus case is a small shared-memory program — 2–4 nodes, 1–4
+//! blocks spread over 1–2 pages, 1–4 barrier-separated phases — whose
+//! entire shape derives from a single `u64` seed via [`DetRng`]. Each
+//! phase picks one writer per block (so the data race is always
+//! reader-vs-single-writer, which both machines must order); readers
+//! issue *racy* reads of the word being written (`expect: None` — any
+//! outcome is legal) and *checked* reads of the previous phase's word
+//! (`expect: Some(v)` — the barrier made it visible). Every (block,
+//! phase) pair writes a distinct word, so each word is written exactly
+//! once and the expected final memory image is known statically; the
+//! case ends with every node reading the whole image back.
+
+use tt_base::addr::{BLOCK_BYTES, PAGE_BYTES, WORD_BYTES};
+use tt_base::workload::{
+    coalesce_computes, Layout, Op, Placement, Region, ScriptWorkload, SHARED_SEGMENT_BASE,
+};
+use tt_base::{DetRng, NodeId, VAddr};
+
+/// The words in a coherence block.
+pub const WORDS_PER_BLOCK: usize = BLOCK_BYTES / WORD_BYTES;
+
+/// The shape of a litmus case. Usually derived from a seed with
+/// [`LitmusConfig::from_seed`]; the shrinker mutates the fields
+/// directly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LitmusConfig {
+    /// Seed that generated (or, after shrinking, accompanies) the case.
+    pub seed: u64,
+    /// Processors (2–4).
+    pub nodes: usize,
+    /// Shared pages (1–2), round-robin homed.
+    pub pages: usize,
+    /// Contended blocks (1–4), spread across the pages.
+    pub blocks: usize,
+    /// Barrier-separated phases (1–4).
+    pub phases: usize,
+}
+
+impl LitmusConfig {
+    /// Derives a case shape from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = DetRng::new(seed).fork(1);
+        let nodes = 2 + rng.below_usize(3);
+        let blocks = 1 + rng.below_usize(4);
+        let pages = (1 + rng.below_usize(2)).min(blocks);
+        let phases = 1 + rng.below_usize(4);
+        LitmusConfig { seed, nodes, pages, blocks, phases }
+    }
+}
+
+/// A generated litmus case: layout, per-node op scripts, the block
+/// addresses the invariant engine should watch, and the expected final
+/// value of every written word.
+pub struct Litmus {
+    /// The shape this case was generated from.
+    pub cfg: LitmusConfig,
+    /// Shared-segment layout (one region per page).
+    pub layout: Layout,
+    /// Per-node op scripts (index = node).
+    pub scripts: Vec<Vec<Op>>,
+    /// Base address of every contended block.
+    pub blocks: Vec<VAddr>,
+    /// Expected final value of every word any phase wrote.
+    pub finals: Vec<(VAddr, u64)>,
+}
+
+impl Litmus {
+    /// Generates the case for `cfg`. Deterministic: the same config
+    /// always yields the same scripts.
+    pub fn generate(cfg: &LitmusConfig) -> Litmus {
+        let mut rng = DetRng::new(cfg.seed).fork(2);
+
+        let mut layout = Layout::new();
+        for p in 0..cfg.pages {
+            layout.add(Region {
+                base: VAddr::new(SHARED_SEGMENT_BASE + (p * PAGE_BYTES) as u64),
+                bytes: PAGE_BYTES,
+                placement: Placement::PerPage(vec![NodeId::new((p % cfg.nodes) as u16)]),
+                mode: 0,
+            });
+        }
+
+        // Spread blocks across the pages at distinct slots; the random
+        // offset rotates which slots (including the last block of a
+        // frame) get exercised.
+        let blocks_per_page = PAGE_BYTES / BLOCK_BYTES;
+        let slot_offset = rng.below_usize(blocks_per_page);
+        let blocks: Vec<VAddr> = (0..cfg.blocks)
+            .map(|b| {
+                let page = b % cfg.pages;
+                let slot = (slot_offset + (b / cfg.pages) * 43) % blocks_per_page;
+                VAddr::new(
+                    SHARED_SEGMENT_BASE + (page * PAGE_BYTES) as u64 + (slot * BLOCK_BYTES) as u64,
+                )
+            })
+            .collect();
+
+        let mut scripts: Vec<Vec<Op>> = vec![Vec::new(); cfg.nodes];
+        let mut finals: Vec<(VAddr, u64)> = Vec::new();
+        let mut prev_write: Vec<Option<(VAddr, u64)>> = vec![None; cfg.blocks];
+        let mut next_val: u64 = 1;
+
+        for phase in 0..cfg.phases {
+            // Each (block, phase) pair targets a distinct word of the
+            // block, so no word is ever written twice and checked reads
+            // of an earlier phase's word stay stable under the current
+            // phase's writes.
+            let word = phase % WORDS_PER_BLOCK;
+            let writes: Vec<(usize, usize, VAddr, u64)> = (0..cfg.blocks)
+                .map(|b| {
+                    let writer = rng.below_usize(cfg.nodes);
+                    let addr = VAddr::new(blocks[b].raw() + (word * WORD_BYTES) as u64);
+                    let value = 0xC0DE_0000 + next_val;
+                    next_val += 1;
+                    (b, writer, addr, value)
+                })
+                .collect();
+            for (node, ops) in scripts.iter_mut().enumerate() {
+                for &(b, writer, addr, value) in &writes {
+                    if rng.chance(0.5) {
+                        ops.push(Op::Compute(1 + rng.below(16) as u32));
+                    }
+                    if node == writer {
+                        ops.push(Op::Write { addr, value });
+                        if rng.chance(0.5) {
+                            // Read-own-write: program order must hold.
+                            ops.push(Op::Read { addr, expect: Some(value) });
+                        }
+                    } else {
+                        if rng.chance(0.4) {
+                            // Racy read of the word being written: any
+                            // value is legal, but it forces sharing.
+                            ops.push(Op::Read { addr, expect: None });
+                        }
+                        if let Some((paddr, pval)) = prev_write[b] {
+                            if rng.chance(0.5) {
+                                // The previous phase's barrier ordered
+                                // this write before us.
+                                ops.push(Op::Read { addr: paddr, expect: Some(pval) });
+                            }
+                        }
+                    }
+                }
+                ops.push(Op::Barrier);
+            }
+            for &(b, _, addr, value) in &writes {
+                prev_write[b] = Some((addr, value));
+                match finals.iter_mut().find(|(a, _)| *a == addr) {
+                    Some(slot) => slot.1 = value,
+                    None => finals.push((addr, value)),
+                }
+            }
+        }
+
+        // Everyone reads the whole image back after the last barrier.
+        for ops in scripts.iter_mut() {
+            for &(addr, value) in &finals {
+                ops.push(Op::Read { addr, expect: Some(value) });
+            }
+        }
+
+        Litmus { cfg: cfg.clone(), layout, scripts, blocks, finals }
+    }
+
+    /// Builds a fresh workload for one machine run, optionally
+    /// coalescing adjacent compute ops (a legal perturbation: it only
+    /// merges think-time).
+    pub fn workload(&self, coalesce: bool) -> ScriptWorkload {
+        let mut w = ScriptWorkload::new(self.cfg.nodes).with_layout(self.layout.clone());
+        for (n, script) in self.scripts.iter().enumerate() {
+            let mut ops = script.clone();
+            if coalesce {
+                coalesce_computes(&mut ops);
+            }
+            w.set(n, ops);
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_derivation_is_deterministic_and_in_range() {
+        for seed in 0..200 {
+            let a = LitmusConfig::from_seed(seed);
+            let b = LitmusConfig::from_seed(seed);
+            assert_eq!(a, b);
+            assert!((2..=4).contains(&a.nodes));
+            assert!((1..=4).contains(&a.blocks));
+            assert!((1..=4).contains(&a.phases));
+            assert!((1..=2).contains(&a.pages) && a.pages <= a.blocks);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = LitmusConfig::from_seed(42);
+        let a = Litmus::generate(&cfg);
+        let b = Litmus::generate(&cfg);
+        assert_eq!(a.scripts, b.scripts);
+        assert_eq!(a.finals, b.finals);
+        assert_eq!(a.blocks, b.blocks);
+    }
+
+    #[test]
+    fn every_node_has_matching_barrier_counts() {
+        for seed in 0..50 {
+            let l = Litmus::generate(&LitmusConfig::from_seed(seed));
+            let counts: Vec<usize> = l
+                .scripts
+                .iter()
+                .map(|s| s.iter().filter(|o| matches!(o, Op::Barrier)).count())
+                .collect();
+            assert!(counts.windows(2).all(|w| w[0] == w[1]), "seed {seed}: {counts:?}");
+            assert_eq!(counts[0], l.cfg.phases);
+        }
+    }
+
+    #[test]
+    fn blocks_are_distinct_and_words_written_once() {
+        for seed in 0..50 {
+            let l = Litmus::generate(&LitmusConfig::from_seed(seed));
+            for (i, a) in l.blocks.iter().enumerate() {
+                for b in &l.blocks[i + 1..] {
+                    assert_ne!(a, b, "seed {seed}");
+                }
+            }
+            // One final entry per (block, word) written; each written
+            // exactly once, so finals length = blocks × distinct words.
+            let distinct_words = l.cfg.phases.min(WORDS_PER_BLOCK);
+            assert_eq!(l.finals.len(), l.cfg.blocks * distinct_words, "seed {seed}");
+        }
+    }
+}

@@ -1,7 +1,11 @@
-//! Failure injection: deliberately broken protocols must be *caught* by
-//! the machine's invariants — value verification catches coherence bugs,
-//! and the deadlock detector catches lost resumes. These tests give
-//! confidence that the green runs elsewhere in the suite actually prove
+//! Known-broken protocols and reusable failure scenarios.
+//!
+//! Promoted from `tt-typhoon`'s old failure-injection tests so both
+//! machines (and the fuzzer) can share them: deliberately broken
+//! protocols must be *caught* by the harness's invariants — value
+//! verification and the invariant engine catch coherence bugs, the
+//! deadlock detector catches lost resumes and mismatched barriers.
+//! These give confidence that green fuzzing runs actually prove
 //! something.
 
 use tt_base::addr::PAGE_BYTES;
@@ -9,26 +13,32 @@ use tt_base::workload::{Layout, Op, Placement, Region, ScriptWorkload, SHARED_SE
 use tt_base::{NodeId, SystemConfig, VAddr};
 use tt_mem::{PageMeta, Tag};
 use tt_net::{Payload, VirtualNet};
+use tt_stache::StacheProtocol;
 use tt_tempest::{
-    BlockFault, HandlerId, Message, PageFault, Protocol, TempestCtx,
+    BlockFault, HandlerId, Message, PageFault, Protocol, TempestCtx, ThreadId, UserCall,
 };
-use tt_typhoon::TyphoonMachine;
 
 const GET: HandlerId = HandlerId(0x60);
 const PUT: HandlerId = HandlerId(0x61);
+
+/// Stache's `INV` / `ACK` handler ids (`tt_stache::vn_policy` declares
+/// them; the numeric values are part of the protocol's wire format).
+const STACHE_INV: HandlerId = HandlerId(0x14);
+const STACHE_ACK: HandlerId = HandlerId(0x15);
 
 /// A broken "coherence" protocol: it hands out writable copies of the
 /// same block to everyone and never invalidates anything. Any two nodes
 /// writing then reading the same word will observe each other's lost
 /// updates.
-struct NeverInvalidate {
+pub struct NeverInvalidate {
     node: NodeId,
     home_map: Vec<(tt_base::addr::Vpn, NodeId)>,
-    pending: Option<tt_tempest::ThreadId>,
+    pending: Option<ThreadId>,
 }
 
 impl NeverInvalidate {
-    fn new(node: NodeId, layout: &Layout, cfg: &SystemConfig) -> Self {
+    /// Builds the protocol for one node.
+    pub fn new(node: NodeId, layout: &Layout, cfg: &SystemConfig) -> Self {
         NeverInvalidate {
             node,
             home_map: layout.pages(cfg.nodes).map(|(v, h, _)| (v, h)).collect(),
@@ -122,7 +132,7 @@ impl Protocol for NeverInvalidate {
 }
 
 /// A protocol that takes the fault and never resumes the thread.
-struct LoseResume;
+pub struct LoseResume;
 
 impl Protocol for LoseResume {
     fn on_page_fault(&mut self, _ctx: &mut dyn TempestCtx, _fault: PageFault) {
@@ -132,7 +142,61 @@ impl Protocol for LoseResume {
     fn on_message(&mut self, _ctx: &mut dyn TempestCtx, _msg: Message) {}
 }
 
-fn one_page_layout() -> Layout {
+/// The planted protocol bug the fuzzer must find: a full Stache
+/// protocol, except that an incoming `INV` is acknowledged *without*
+/// invalidating the local copy. The home then believes the block is
+/// exclusive at the new writer while a stale readable copy survives —
+/// an SWMR / tag-directory violation the invariant engine flags the
+/// moment the grant completes, and a lost update the value checks catch
+/// soon after.
+pub struct SkipInvalidate {
+    inner: StacheProtocol,
+}
+
+impl SkipInvalidate {
+    /// Wraps a freshly built Stache instance for one node.
+    pub fn new(node: NodeId, layout: &Layout, cfg: &SystemConfig) -> Self {
+        SkipInvalidate { inner: StacheProtocol::new(node, layout, cfg) }
+    }
+}
+
+impl Protocol for SkipInvalidate {
+    fn init(&mut self, ctx: &mut dyn TempestCtx) {
+        self.inner.init(ctx);
+    }
+    fn on_page_fault(&mut self, ctx: &mut dyn TempestCtx, fault: PageFault) {
+        self.inner.on_page_fault(ctx, fault);
+    }
+    fn on_block_fault(&mut self, ctx: &mut dyn TempestCtx, fault: BlockFault) {
+        self.inner.on_block_fault(ctx, fault);
+    }
+    fn on_user_call(&mut self, ctx: &mut dyn TempestCtx, thread: ThreadId, call: UserCall) {
+        self.inner.on_user_call(ctx, thread, call);
+    }
+    fn on_message(&mut self, ctx: &mut dyn TempestCtx, msg: Message) {
+        if msg.handler == STACHE_INV {
+            // BUG: acknowledge the invalidation without performing it.
+            let addr = VAddr::new(msg.arg(0));
+            ctx.send(
+                msg.src,
+                VirtualNet::Response,
+                STACHE_ACK,
+                Payload::args(vec![addr.raw()]),
+            );
+            return;
+        }
+        self.inner.on_message(ctx, msg);
+    }
+    fn inspect_directory(&self, out: &mut Vec<tt_tempest::BlockDirSnapshot>) {
+        self.inner.inspect_directory(out);
+    }
+    fn name(&self) -> &'static str {
+        "stache-skip-invalidate"
+    }
+}
+
+/// One shared page homed on node 0.
+pub fn one_page_layout() -> Layout {
     let mut l = Layout::new();
     l.add(Region {
         base: VAddr::new(SHARED_SEGMENT_BASE),
@@ -143,14 +207,13 @@ fn one_page_layout() -> Layout {
     l
 }
 
-#[test]
-#[should_panic(expected = "coherence violation")]
-fn verification_catches_a_protocol_that_never_invalidates() {
+/// Two nodes; node 1 caches a word, node 0 (the home) updates it twice
+/// with barriers between, node 1 must observe both updates. A protocol
+/// that fails to invalidate node 1's stale copy trips value
+/// verification on either machine's run.
+pub fn stale_read_workload() -> ScriptWorkload {
     let word = VAddr::new(SHARED_SEGMENT_BASE);
     let mut w = ScriptWorkload::new(2).with_layout(one_page_layout());
-    // Node 1 caches the block, node 0 (home) updates it, node 1 reads
-    // again and must see the new value — but the broken protocol never
-    // invalidated node 1's stale writable copy.
     w.set(
         0,
         vec![
@@ -171,17 +234,12 @@ fn verification_catches_a_protocol_that_never_invalidates() {
             Op::Read { addr: word, expect: Some(2) },
         ],
     );
-    let mut m = TyphoonMachine::new(
-        SystemConfig::test_config(2),
-        Box::new(w),
-        &|id, layout, cfg| Box::new(NeverInvalidate::new(id, layout, cfg)),
-    );
-    let _ = m.run();
+    w
 }
 
-#[test]
-#[should_panic(expected = "deadlocked")]
-fn deadlock_detector_catches_a_lost_resume() {
+/// One node reads an unmapped page; a protocol that loses the resume
+/// leaves the CPU blocked forever and must hit the deadlock detector.
+pub fn lost_resume_workload() -> ScriptWorkload {
     let mut w = ScriptWorkload::new(1).with_layout(one_page_layout());
     w.set(
         0,
@@ -190,27 +248,15 @@ fn deadlock_detector_catches_a_lost_resume() {
             expect: None,
         }],
     );
-    let mut m = TyphoonMachine::new(
-        SystemConfig::test_config(1),
-        Box::new(w),
-        &|_, _, _| Box::new(LoseResume),
-    );
-    let _ = m.run();
+    w
 }
 
-#[test]
-#[should_panic(expected = "deadlocked")]
-fn mismatched_barrier_counts_are_detected() {
-    // Node 1 runs one barrier and finishes; node 0 waits at a second
-    // barrier that can never release: the run must end in the deadlock
-    // detector, not hang.
+/// Node 1 runs one barrier and finishes; node 0 waits at a second
+/// barrier that can never release. Both machines must end in their
+/// deadlock detector, not hang.
+pub fn mismatched_barrier_workload() -> ScriptWorkload {
     let mut w = ScriptWorkload::new(2).with_layout(one_page_layout());
     w.set(0, vec![Op::Barrier, Op::Barrier]);
     w.set(1, vec![Op::Barrier]);
-    let mut m = TyphoonMachine::new(
-        SystemConfig::test_config(2),
-        Box::new(w),
-        &|_, _, _| Box::new(LoseResume),
-    );
-    let _ = m.run();
+    w
 }

@@ -64,6 +64,7 @@ pub mod access;
 pub mod bulk;
 pub mod ctx;
 pub mod fault;
+pub mod inspect;
 pub mod msg;
 pub mod protocol;
 pub mod testing;
@@ -72,5 +73,6 @@ pub use access::TagOp;
 pub use bulk::BulkRequest;
 pub use ctx::{TempestCtx, TempestError};
 pub use fault::{BlockFault, PageFault, ThreadId};
+pub use inspect::{BlockDirSnapshot, DirSnapshotState, VnPolicy};
 pub use msg::{HandlerId, Message};
 pub use protocol::{Protocol, UserCall};

@@ -16,6 +16,7 @@ use tt_base::stats::Report;
 
 use crate::ctx::TempestCtx;
 use crate::fault::{BlockFault, PageFault, ThreadId};
+use crate::inspect::BlockDirSnapshot;
 use crate::msg::Message;
 
 /// An application's explicit call into its protocol library.
@@ -64,4 +65,11 @@ pub trait Protocol {
 
     /// Appends protocol-specific statistics to a report.
     fn report(&self, _report: &mut Report) {}
+
+    /// Appends snapshots of the home-block directory entries this node
+    /// maintains, for the `tt-check` tag/directory-agreement invariant.
+    /// The default exposes nothing: protocols without a directory (or
+    /// that opt out of checking) need no changes, and production runs
+    /// never call this.
+    fn inspect_directory(&self, _out: &mut Vec<BlockDirSnapshot>) {}
 }

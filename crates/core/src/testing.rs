@@ -30,6 +30,7 @@ use tt_net::{Payload, VirtualNet};
 use crate::bulk::BulkRequest;
 use crate::ctx::{TempestCtx, TempestError};
 use crate::fault::ThreadId;
+use crate::inspect::VnPolicy;
 use crate::msg::HandlerId;
 
 /// A message recorded by [`MockCtx::send`].
@@ -66,6 +67,11 @@ pub struct MockCtx {
     pub charged: u64,
     /// Protocol-data accesses recorded (keys, in order).
     pub data_accesses: Vec<u64>,
+    /// Virtual-net discipline enforced on every `send` — the same
+    /// waits-for rule the `tt-check` invariant engine asserts at machine
+    /// level (see [`VnPolicy::assert_send`]). Empty by default, so tests
+    /// of ad-hoc protocols are unaffected until they declare a policy.
+    vn_policy: VnPolicy,
 }
 
 impl MockCtx {
@@ -82,7 +88,13 @@ impl MockCtx {
             bulk: Vec::new(),
             charged: 0,
             data_accesses: Vec::new(),
+            vn_policy: VnPolicy::new(),
         }
+    }
+
+    /// Installs the virtual-net policy [`MockCtx::send`] asserts against.
+    pub fn set_vn_policy(&mut self, policy: VnPolicy) {
+        self.vn_policy = policy;
     }
 
     /// Allocates, maps, and tags a page in one step; returns the frame.
@@ -142,6 +154,7 @@ impl TempestCtx for MockCtx {
     }
 
     fn send(&mut self, dst: NodeId, vn: VirtualNet, handler: HandlerId, payload: Payload) {
+        self.vn_policy.assert_send(handler, vn);
         self.sent.push(SentMessage {
             dst,
             vn,
@@ -253,6 +266,21 @@ mod tests {
         assert_eq!(ctx.charged, 14);
         ctx.clear_effects();
         assert!(ctx.sent.is_empty() && ctx.resumed.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual-net violation")]
+    fn send_enforces_the_declared_vn_policy() {
+        let mut ctx = MockCtx::new(0, 4);
+        ctx.set_vn_policy(VnPolicy::new().expect(HandlerId(9), VirtualNet::Response));
+        // A "response" handler sent on the request net is exactly the
+        // waits-for bug the two-network design exists to exclude.
+        ctx.send(
+            NodeId::new(2),
+            VirtualNet::Request,
+            HandlerId(9),
+            Payload::new(),
+        );
     }
 
     #[test]

@@ -109,6 +109,9 @@ pub struct DirnnbMachine {
     done: Vec<Option<Cycles>>,
     dir_stats: DirStats,
     verify_values: bool,
+    /// Seed for same-cycle tie-shuffling, applied to the event queue at
+    /// `run` time (a `tt-check` legal-nondeterminism knob).
+    tie_shuffle: Option<u64>,
 }
 
 impl DirnnbMachine {
@@ -163,7 +166,23 @@ impl DirnnbMachine {
             done,
             dir_stats: DirStats::default(),
             verify_values,
+            tie_shuffle: None,
         }
+    }
+
+    /// Delivers same-cycle events in a seed-dependent permutation instead
+    /// of FIFO order (see `EventQueue::enable_tie_shuffle`). Call before
+    /// [`DirnnbMachine::run`].
+    pub fn set_tie_shuffle(&mut self, seed: u64) {
+        self.tie_shuffle = Some(seed);
+    }
+
+    /// The word at `addr` in the machine's global memory image, for the
+    /// `tt-check` differential checker. DirNNB keeps one coherent value
+    /// image (hardware coherence is exact by construction), so this *is*
+    /// the final memory state once the machine has drained.
+    pub fn shared_word(&mut self, addr: VAddr) -> u64 {
+        self.read_store(addr)
     }
 
     /// Runs the simulation to completion.
@@ -174,6 +193,9 @@ impl DirnnbMachine {
     /// `TyphoonMachine::run`.
     pub fn run(&mut self) -> RunResult {
         let mut queue = EventQueue::new();
+        if let Some(seed) = self.tie_shuffle {
+            queue.enable_tie_shuffle(seed);
+        }
         for n in 0..self.cfg.nodes {
             self.cpus[n].step_pending = true;
             queue.schedule_at_for(Cycles::ZERO, Some(n), Event::CpuStep(n));

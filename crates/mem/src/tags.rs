@@ -283,4 +283,57 @@ mod tests {
         }
         assert_eq!(p.uniform(), Some(Tag::Busy));
     }
+
+    #[test]
+    fn last_block_in_frame_is_addressable() {
+        let last = tt_base::addr::BLOCKS_PER_PAGE - 1;
+        let mut p = PackedTags::default();
+        p.set(last, Tag::ReadWrite);
+        assert_eq!(p.get(last), Tag::ReadWrite);
+        // The top word's high lanes hold it; its neighbors are untouched.
+        assert_eq!(p.get(last - 1), Tag::Invalid);
+        assert_eq!(p.uniform(), None);
+        assert_eq!(p.iter().filter(|&(_, t)| t == Tag::ReadWrite).count(), 1);
+        p.set(last, Tag::Invalid);
+        assert_eq!(p.uniform(), Some(Tag::Invalid));
+    }
+
+    #[test]
+    fn single_block_downgrade_after_set_all_clears_uniform_summary() {
+        for victim in [0, 31, 32, 63, 64, tt_base::addr::BLOCKS_PER_PAGE - 1] {
+            let mut p = PackedTags::default();
+            p.set_all(Tag::ReadWrite);
+            assert_eq!(p.uniform(), Some(Tag::ReadWrite));
+            p.set(victim, Tag::ReadOnly);
+            assert_eq!(p.uniform(), None, "victim {victim}");
+            assert_eq!(p.get(victim), Tag::ReadOnly);
+            // Every other block still reads back ReadWrite.
+            for (i, t) in p.iter() {
+                if i != victim {
+                    assert_eq!(t, Tag::ReadWrite, "block {i} after downgrading {victim}");
+                }
+            }
+            // Restoring the victim restores the summary.
+            p.set(victim, Tag::ReadWrite);
+            assert_eq!(p.uniform(), Some(Tag::ReadWrite), "victim {victim}");
+        }
+    }
+
+    #[test]
+    fn every_tag_round_trips_at_every_block_index() {
+        for tag in [Tag::ReadWrite, Tag::ReadOnly, Tag::Invalid, Tag::Busy] {
+            for idx in 0..tt_base::addr::BLOCKS_PER_PAGE {
+                let mut p = PackedTags::default();
+                p.set(idx, tag);
+                assert_eq!(p.get(idx), tag, "tag {tag} at block {idx}");
+                // Word-boundary neighbors must be unaffected.
+                if idx > 0 {
+                    assert_eq!(p.get(idx - 1), Tag::Invalid);
+                }
+                if idx + 1 < tt_base::addr::BLOCKS_PER_PAGE {
+                    assert_eq!(p.get(idx + 1), Tag::Invalid);
+                }
+            }
+        }
+    }
 }

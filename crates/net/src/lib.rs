@@ -18,7 +18,7 @@
 
 use tt_base::addr::BLOCK_BYTES;
 use tt_base::stats::Counter;
-use tt_base::{Cycles, NodeId};
+use tt_base::{Cycles, DetRng, NodeId};
 
 /// The two independent virtual networks (Section 5.1).
 ///
@@ -180,6 +180,23 @@ pub struct Network {
     /// `occupancy > 0`).
     port_free: Vec<Cycles>,
     stats: NetStats,
+    /// Seeded per-packet latency jitter (`None` = the paper's constant
+    /// latency). A legal-nondeterminism knob for the `tt-check` fuzzer.
+    jitter: Option<Jitter>,
+}
+
+/// State for seeded latency jitter (see [`Network::set_jitter`]).
+#[derive(Clone, Debug)]
+struct Jitter {
+    rng: DetRng,
+    max_extra: Cycles,
+    /// Latest delivery time handed out for each ordered `(src, dst)`
+    /// pair (`src * nodes + dst`): jitter may stretch latencies but must
+    /// never reorder traffic between the same two nodes, which the
+    /// protocols are entitled to assume (e.g. an INV racing past an
+    /// earlier PUT_RO to the same sharer would clobber its Busy tag).
+    pair_last: Vec<Cycles>,
+    nodes: usize,
 }
 
 impl Network {
@@ -190,12 +207,29 @@ impl Network {
             occupancy: Cycles::ZERO,
             port_free: vec![Cycles::ZERO; nodes],
             stats: NetStats::default(),
+            jitter: None,
         }
     }
 
     /// Sets per-packet injection-port occupancy (0 = paper's model).
     pub fn set_occupancy(&mut self, occupancy: Cycles) {
         self.occupancy = occupancy;
+    }
+
+    /// Turns on seeded latency jitter: every wire packet is delayed by a
+    /// deterministic extra `0..=max_extra` cycles drawn from `seed`.
+    /// Delivery between the same ordered node pair stays strictly FIFO
+    /// (a jittered delivery is clamped past the pair's previous one), so
+    /// only latencies change, never per-link message order. Self-sends
+    /// never leave the node and are not jittered.
+    pub fn set_jitter(&mut self, seed: u64, max_extra: Cycles) {
+        let nodes = self.port_free.len();
+        self.jitter = Some(Jitter {
+            rng: DetRng::new(seed),
+            max_extra,
+            pair_last: vec![Cycles::ZERO; nodes * nodes],
+            nodes,
+        });
     }
 
     /// The configured one-way latency.
@@ -226,13 +260,24 @@ impl Network {
         let vn = packet.vn.index();
         self.stats.packets[vn].inc();
         self.stats.bytes[vn].add(packet.wire_bytes() as u64);
-        if self.occupancy == Cycles::ZERO {
+        let base = if self.occupancy == Cycles::ZERO {
             now + self.latency
         } else {
             let port = &mut self.port_free[packet.src.index()];
             let start = if *port > now { *port } else { now };
             *port = start + self.occupancy;
             start + self.occupancy + self.latency
+        };
+        match &mut self.jitter {
+            None => base,
+            Some(j) => {
+                let extra = Cycles::new(j.rng.below(j.max_extra.raw() + 1));
+                let pair = packet.src.index() * j.nodes + packet.dst.index();
+                let floor = j.pair_last[pair] + Cycles::new(1);
+                let t = (base + extra).max(floor);
+                j.pair_last[pair] = t;
+                t
+            }
         }
     }
 
@@ -348,6 +393,65 @@ mod tests {
         // A later packet from the other node is unaffected.
         let q = packet(1, 0, VirtualNet::Request, Payload::new());
         assert_eq!(net.send(Cycles::new(0), &q), Cycles::new(14));
+    }
+
+    #[test]
+    fn jitter_stays_within_band_and_is_deterministic() {
+        let deliveries = |seed: u64| {
+            let mut net = Network::new(4, Cycles::new(11));
+            net.set_jitter(seed, Cycles::new(3));
+            let p = packet(0, 1, VirtualNet::Request, Payload::new());
+            (0..100)
+                .map(|i| net.send(Cycles::new(i * 50), &p).raw())
+                .collect::<Vec<_>>()
+        };
+        let a = deliveries(42);
+        assert_eq!(a, deliveries(42), "same seed, same deliveries");
+        assert_ne!(a, deliveries(43));
+        for (i, &t) in a.iter().enumerate() {
+            let base = i as u64 * 50 + 11;
+            assert!((base..=base + 3).contains(&t), "delivery {t} off-band");
+        }
+        assert!(
+            a.iter().enumerate().any(|(i, &t)| t != i as u64 * 50 + 11),
+            "seed 42 should actually jitter something"
+        );
+    }
+
+    #[test]
+    fn jitter_preserves_per_pair_fifo() {
+        let mut net = Network::new(4, Cycles::new(11));
+        net.set_jitter(7, Cycles::new(3));
+        let p = packet(0, 1, VirtualNet::Request, Payload::new());
+        let q = packet(0, 1, VirtualNet::Response, Payload::new());
+        let mut last = Cycles::ZERO;
+        // Closely spaced sends on both vns: deliveries must be strictly
+        // increasing for the ordered pair even when jitter would reorder.
+        for i in 0..200u64 {
+            let pk = if i % 2 == 0 { &p } else { &q };
+            let t = net.send(Cycles::new(i), pk);
+            assert!(t > last, "pair FIFO violated: {t:?} <= {last:?}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn jitter_leaves_self_sends_alone() {
+        let mut net = Network::new(4, Cycles::new(11));
+        net.set_jitter(1, Cycles::new(3));
+        let p = packet(2, 2, VirtualNet::Request, Payload::new());
+        for i in 0..20 {
+            assert_eq!(net.send(Cycles::new(i), &p), Cycles::new(i + 1));
+        }
+    }
+
+    #[test]
+    fn no_jitter_means_constant_latency() {
+        let mut net = Network::new(4, Cycles::new(11));
+        let p = packet(0, 3, VirtualNet::Response, Payload::new());
+        for i in 0..20 {
+            assert_eq!(net.send(Cycles::new(i * 100), &p), Cycles::new(i * 100 + 11));
+        }
     }
 
     #[test]

@@ -36,5 +36,5 @@ pub mod stache;
 pub mod sync;
 
 pub use custom::{DelayedUpdateProtocol, Em3dUpdateProtocol};
-pub use stache::StacheProtocol;
+pub use stache::{vn_policy, StacheProtocol};
 pub use sync::LockLayer;

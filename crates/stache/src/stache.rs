@@ -25,7 +25,8 @@ use tt_base::{FxHashMap, NodeId};
 use tt_mem::{AccessKind, PageMeta, Tag};
 use tt_net::{Payload, VirtualNet};
 use tt_tempest::{
-    BlockFault, HandlerId, Message, PageFault, Protocol, TempestCtx, ThreadId,
+    BlockDirSnapshot, BlockFault, DirSnapshotState, HandlerId, Message, PageFault, Protocol,
+    TempestCtx, ThreadId, VnPolicy,
 };
 
 use crate::dir::{BlockDir, Busy, DirState, PageDirectory, PendingReq, ReqKind, Requester};
@@ -51,6 +52,27 @@ pub const RECALL_RW: HandlerId = HandlerId(0x17);
 pub const RECALL_DATA: HandlerId = HandlerId(0x18);
 /// Write modified data back on page replacement. Args: `[block_addr]` + data.
 pub const WRITEBACK: HandlerId = HandlerId(0x19);
+
+/// The virtual network each Stache handler is declared for — the
+/// deadlock-freedom discipline `tt-check` (and [`MockCtx`] in unit
+/// tests) asserts on every send. GET/INV/RECALL/WRITEBACK are requests;
+/// PUT/ACK/RECALL_DATA answer them on the response net, so a response is
+/// never queued behind the request that is waiting for it.
+///
+/// [`MockCtx`]: tt_tempest::testing::MockCtx
+pub fn vn_policy() -> VnPolicy {
+    VnPolicy::new()
+        .expect(GET_RO, VirtualNet::Request)
+        .expect(GET_RW, VirtualNet::Request)
+        .expect(INV, VirtualNet::Request)
+        .expect(RECALL_RO, VirtualNet::Request)
+        .expect(RECALL_RW, VirtualNet::Request)
+        .expect(WRITEBACK, VirtualNet::Request)
+        .expect(PUT_RO, VirtualNet::Response)
+        .expect(PUT_RW, VirtualNet::Response)
+        .expect(ACK, VirtualNet::Response)
+        .expect(RECALL_DATA, VirtualNet::Response)
+}
 
 /// Base instruction cost of the invalidation handler at a sharer.
 const INV_HANDLER_INSTR: u64 = 8;
@@ -707,5 +729,25 @@ impl Protocol for StacheProtocol {
         report.push_count("stache.sharer_overflows", s.sharer_overflows.get());
         report.push_count("stache.home_faults", s.home_faults.get());
         report.push_count("stache.deferred_requests", s.deferred_requests.get());
+    }
+
+    fn inspect_directory(&self, out: &mut Vec<BlockDirSnapshot>) {
+        let mut pages: Vec<(&Vpn, &PageDirectory)> = self.dirs.iter().collect();
+        pages.sort_unstable_by_key(|&(vpn, _)| vpn);
+        for (vpn, dir) in pages {
+            for (i, entry) in dir.blocks.iter().enumerate() {
+                let state = match entry.state {
+                    DirState::Idle => DirSnapshotState::Idle,
+                    DirState::Shared => DirSnapshotState::Shared(entry.sharers.iter()),
+                    DirState::Exclusive(owner) => DirSnapshotState::Exclusive(owner),
+                };
+                out.push(BlockDirSnapshot {
+                    addr: VAddr::new(vpn.base().raw() + (i * BLOCK_BYTES) as u64),
+                    home: self.node,
+                    state,
+                    busy: entry.is_busy(),
+                });
+            }
+        }
     }
 }

@@ -27,11 +27,20 @@ fn layout() -> Layout {
     l
 }
 
+/// A [`MockCtx`] with the Stache virtual-net policy installed: every
+/// handler send in these tests is checked against the same discipline
+/// the `tt-check` invariant engine enforces at machine level.
+fn checked_ctx(node: u16) -> MockCtx {
+    let mut ctx = MockCtx::new(node, 4);
+    ctx.set_vn_policy(tt_stache::vn_policy());
+    ctx
+}
+
 /// A home-node protocol with its page installed (via `init`).
 fn home() -> (StacheProtocol, MockCtx) {
     let cfg = SystemConfig::test_config(4);
     let mut p = StacheProtocol::new(NodeId::new(HOME), &layout(), &cfg);
-    let mut ctx = MockCtx::new(HOME, 4);
+    let mut ctx = checked_ctx(HOME);
     p.init(&mut ctx);
     assert_eq!(ctx.read_tag(VPN.base()), Tag::ReadWrite, "home pages start RW");
     ctx.clear_effects();
@@ -194,7 +203,7 @@ fn remote_block_fault_marks_busy_and_requests() {
     // A non-home node faults on its (already created) stache page.
     let cfg = SystemConfig::test_config(4);
     let mut p = StacheProtocol::new(NodeId::new(2), &layout(), &cfg);
-    let mut ctx = MockCtx::new(2, 4);
+    let mut ctx = checked_ctx(2);
     p.init(&mut ctx); // not home: installs nothing
     // Simulate the page fault first (creates the stache page).
     let thread = ThreadId(NodeId::new(2));
@@ -235,7 +244,7 @@ fn remote_block_fault_marks_busy_and_requests() {
 fn put_installs_data_upgrades_tag_and_resumes() {
     let cfg = SystemConfig::test_config(4);
     let mut p = StacheProtocol::new(NodeId::new(2), &layout(), &cfg);
-    let mut ctx = MockCtx::new(2, 4);
+    let mut ctx = checked_ctx(2);
     let thread = ThreadId(NodeId::new(2));
     let addr = VPN.base();
     p.on_page_fault(&mut ctx, PageFault { thread, addr, kind: AccessKind::Load });
@@ -266,7 +275,7 @@ fn put_installs_data_upgrades_tag_and_resumes() {
 fn inv_at_sharer_invalidates_and_acks_even_if_unmapped() {
     let cfg = SystemConfig::test_config(4);
     let mut p = StacheProtocol::new(NodeId::new(3), &layout(), &cfg);
-    let mut ctx = MockCtx::new(3, 4);
+    let mut ctx = checked_ctx(3);
     // No page mapped at all (it was replaced): the handler must still ack.
     let addr = VPN.base().offset(32);
     p.on_message(&mut ctx, get(HOME, INV, addr));
@@ -280,7 +289,7 @@ fn inv_at_sharer_invalidates_and_acks_even_if_unmapped() {
 fn owner_recall_returns_data_and_invalidates_its_copy() {
     let cfg = SystemConfig::test_config(4);
     let mut p = StacheProtocol::new(NodeId::new(2), &layout(), &cfg);
-    let mut ctx = MockCtx::new(2, 4);
+    let mut ctx = checked_ctx(2);
     let thread = ThreadId(NodeId::new(2));
     let addr = VPN.base().offset(64);
     p.on_page_fault(&mut ctx, PageFault { thread, addr, kind: AccessKind::Store });
@@ -322,7 +331,7 @@ fn page_replacement_writes_back_only_modified_blocks() {
         mode: 0,
     });
     let mut p = StacheProtocol::new(NodeId::new(2), &l, &cfg);
-    let mut ctx = MockCtx::new(2, 4);
+    let mut ctx = checked_ctx(2);
     let thread = ThreadId(NodeId::new(2));
 
     // Fault in page 0 and make one block writable (as if granted).

@@ -35,5 +35,5 @@ pub mod machine;
 pub mod np;
 pub mod trace;
 
-pub use machine::{RunResult, TyphoonMachine};
+pub use machine::{Event, RunResult, TyphoonMachine};
 pub use trace::{TraceEvent, TraceRecord, Tracer, VecTracer};

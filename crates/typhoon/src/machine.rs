@@ -12,10 +12,10 @@ use tt_base::config::SystemConfig;
 use tt_base::stats::Report;
 use tt_base::workload::{Layout, Op, Workload};
 use tt_base::{Cycles, DetRng, NodeId};
-use tt_mem::{AccessKind, NodeMemory, PageTable};
+use tt_mem::{AccessKind, NodeMemory, PageTable, Tag};
 use tt_net::{Network, Packet, Payload, VirtualNet};
 use tt_sim::{EventHandler, EventQueue, RunLimit};
-use tt_tempest::{BulkRequest, HandlerId, Message, Protocol, UserCall};
+use tt_tempest::{BlockDirSnapshot, BulkRequest, HandlerId, Message, Protocol, UserCall};
 
 use crate::cpu::{exec_access, AccessOutcome, CpuState, CpuStatus};
 use crate::ctx::NodeCtx;
@@ -132,6 +132,9 @@ pub struct TyphoonMachine {
     done: Vec<Option<Cycles>>,
     bulk_seq: u64,
     tracer: Option<Box<dyn Tracer>>,
+    /// Seed for same-cycle tie-shuffling, applied to the event queue at
+    /// `run` time (a `tt-check` legal-nondeterminism knob).
+    tie_shuffle: Option<u64>,
 }
 
 impl TyphoonMachine {
@@ -176,7 +179,23 @@ impl TyphoonMachine {
             done,
             bulk_seq: 0,
             tracer: None,
+            tie_shuffle: None,
         }
+    }
+
+    /// Delivers same-cycle events in a seed-dependent permutation instead
+    /// of FIFO order (see [`EventQueue::enable_tie_shuffle`]). Call
+    /// before [`TyphoonMachine::run`].
+    pub fn set_tie_shuffle(&mut self, seed: u64) {
+        self.tie_shuffle = Some(seed);
+    }
+
+    /// Stretches every wire packet's latency by a deterministic extra
+    /// `0..=max_extra` cycles drawn from `seed`, preserving per-link FIFO
+    /// (see `tt_net::Network::set_jitter`). Call before
+    /// [`TyphoonMachine::run`].
+    pub fn set_net_jitter(&mut self, seed: u64, max_extra: Cycles) {
+        self.network.set_jitter(seed, max_extra);
     }
 
     /// Installs a [`Tracer`] that receives every machine-level event
@@ -198,6 +217,50 @@ impl TyphoonMachine {
         &self.layout
     }
 
+    // --- Inspection (tt-check) -------------------------------------------
+    //
+    // Read-only views for the invariant engine. None of these are called
+    // on the production path.
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The tag of `addr`'s block in `node`'s memory, or `None` if the
+    /// node has no frame mapped for that page.
+    pub fn node_tag(&self, node: usize, addr: VAddr) -> Option<Tag> {
+        let n = &self.nodes[node];
+        n.ptable.translate_addr(addr).map(|pa| n.mem.tag(pa))
+    }
+
+    /// The word at virtual `addr` in `node`'s memory, or `None` if the
+    /// page is unmapped there.
+    pub fn node_word(&self, node: usize, addr: VAddr) -> Option<u64> {
+        let n = &self.nodes[node];
+        n.ptable.translate_addr(addr).map(|pa| n.mem.read_word(pa))
+    }
+
+    /// Snapshots of every home-block directory entry across all nodes
+    /// (via [`Protocol::inspect_directory`]). Empty for protocols that
+    /// keep no directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from inside a protocol handler (the running
+    /// node's protocol is temporarily taken); event-boundary observers
+    /// never see that state.
+    pub fn inspect_directories(&self) -> Vec<BlockDirSnapshot> {
+        let mut out = Vec::new();
+        for proto in &self.protocols {
+            proto
+                .as_ref()
+                .expect("inspect between events, not mid-handler")
+                .inspect_directory(&mut out);
+        }
+        out
+    }
+
     /// Runs the simulation to completion and returns timing + statistics.
     ///
     /// # Panics
@@ -208,7 +271,37 @@ impl TyphoonMachine {
     /// is enabled and a load observes a value that a sequentially
     /// consistent execution could not produce.
     pub fn run(&mut self) -> RunResult {
+        let mut queue = self.start();
+        tt_sim::run(self, &mut queue, RunLimit::none());
+        self.finish()
+    }
+
+    /// Like [`TyphoonMachine::run`], but invokes `observe` after every
+    /// event with the event just handled and the machine's post-event
+    /// state — the attachment point for the `tt-check` invariant engine.
+    /// Handlers are atomic, so at each callback the machine is in a
+    /// consistent state (protocols restored, tags settled).
+    ///
+    /// Observation is a separate entry point so [`TyphoonMachine::run`]
+    /// keeps the branch-free `tt_sim::run` loop: checking is zero-cost
+    /// when off, and cycle counts are identical either way (observers
+    /// cannot perturb timing).
+    pub fn run_observed(
+        &mut self,
+        observe: &mut dyn FnMut(Cycles, &Event, &TyphoonMachine),
+    ) -> RunResult {
+        let mut queue = self.start();
+        tt_sim::run_observed(self, &mut queue, RunLimit::none(), observe);
+        self.finish()
+    }
+
+    /// Initializes protocols at time zero and seeds the event queue with
+    /// every node's first CPU step.
+    fn start(&mut self) -> EventQueue<Event> {
         let mut queue = EventQueue::new();
+        if let Some(seed) = self.tie_shuffle {
+            queue.enable_tie_shuffle(seed);
+        }
         // Let every protocol initialize (map home pages, set up
         // directories) at time zero.
         for n in 0..self.cfg.nodes {
@@ -221,8 +314,11 @@ impl TyphoonMachine {
             self.nodes[n].cpu.step_pending = true;
             schedule(&mut queue, Cycles::ZERO, Event::CpuStep(n));
         }
-        tt_sim::run(self, &mut queue, RunLimit::none());
+        queue
+    }
 
+    /// Asserts the machine drained cleanly and builds the result.
+    fn finish(&mut self) -> RunResult {
         let stuck: Vec<_> = self
             .nodes
             .iter()

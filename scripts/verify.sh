@@ -19,4 +19,12 @@ echo "==> figure3 smoke (--scale 64 --nodes 8 --jobs 2)"
 cargo run --release -p tt-bench --bin figure3 -- \
     --scale 64 --nodes 8 --jobs 2 >/dev/null
 
+# Bounded model-checking sweep (fixed seeds, well under a minute): 500
+# litmus cases under schedule perturbation must run clean on both
+# machines, and a planted protocol bug must be caught. On failure
+# tt-check prints the seed; reproduce with `tt-check replay --seed S`.
+echo "==> tt-check smoke (500 seeds clean + planted bug caught)"
+cargo run --release -p tt-bench --bin tt-check -- run --seeds 500
+cargo run --release -p tt-bench --bin tt-check -- run --seeds 500 --planted-bug
+
 echo "==> verify OK"
