@@ -19,7 +19,7 @@ use tt_base::workload::{coalesce_computes, Layout, Op, Workload};
 use tt_base::NodeId;
 
 /// A barrier-phase SPMD application.
-pub trait PhasedApp {
+pub trait PhasedApp: Send {
     /// Short name ("em3d", "ocean", ...).
     fn name(&self) -> &'static str;
 

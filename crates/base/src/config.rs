@@ -247,6 +247,12 @@ pub struct SystemConfig {
     /// simulator-speed knob — reported cycles and statistics are
     /// identical either way; equivalence tests pin that by toggling it.
     pub direct_execution: bool,
+    /// OS threads the simulator may spread one run across (conservative
+    /// parallel discrete-event simulation, `tt_sim::pdes`). Purely a
+    /// simulator-speed knob: reported cycles and statistics are
+    /// bit-identical at every value, which the equivalence tests pin.
+    /// `1` (the default) is the plain sequential event loop.
+    pub sim_threads: usize,
     /// Bytes of local memory each node may devote to stache pages.
     /// `usize::MAX` (the default) means "as much as needed"; benchmarks of
     /// page replacement set a finite budget.
@@ -268,6 +274,7 @@ impl Default for SystemConfig {
             seed: 0x7EA9_0457,
             verify_values: false,
             direct_execution: true,
+            sim_threads: 1,
             stache_capacity_bytes: usize::MAX,
             cpu: CpuConfig::default(),
             timing: TimingConfig::default(),

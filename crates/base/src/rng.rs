@@ -9,6 +9,20 @@
 //! We deliberately do not depend on the `rand` crate anywhere; every
 //! random draw in the repository comes from this generator.
 
+/// Mixes 64 bits into 64 uniformly scrambled bits (the splitmix64
+/// finalizer). Unlike a [`DetRng`] *stream*, a pure mix of a stable
+/// identifier is order-independent: callers that need per-item
+/// randomness but cannot rely on draw order (the tie-shuffle salt and
+/// network jitter under parallel simulation) hash the item's key
+/// instead of consuming a stream.
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Deterministic xoshiro256** random-number generator.
 ///
 /// # Example

@@ -154,7 +154,10 @@ impl Layout {
 ///
 /// Streams are pulled in bounded *chunks* so that workloads with hundreds
 /// of millions of ops never materialize them all at once.
-pub trait Workload {
+///
+/// `Send` because the parallel simulator pulls chunks from worker
+/// threads (behind a mutex — one puller at a time, so no `Sync` bound).
+pub trait Workload: Send {
     /// A short name ("em3d", "ocean", ...).
     fn name(&self) -> &'static str;
 

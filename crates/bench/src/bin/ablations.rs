@@ -35,7 +35,7 @@ use std::time::Instant;
 use tt_base::table::Table;
 use tt_bench::json::PointRecord;
 use tt_bench::{
-    bench_config, build_app, min_of_runs, par, run_system_min, sync_for, RunOutcome, System,
+    build_app, min_of_runs, par, run_system_min, sync_for, RunOutcome, System,
 };
 use tt_apps::{AppId, DataSet};
 
@@ -62,10 +62,11 @@ fn main() {
     println!("ABLATION 1. Stache handler path length (EM3D small, {nodes} nodes, 1/{scale}).\n");
     let mut t = Table::new(vec!["handler cost x", "Typhoon/Stache vs DirNNB"]);
     let base_cfg = {
-        let mut c = bench_config(nodes);
+        let mut c = cli.config();
         c.cpu.cache_bytes = 4 * 1024;
         c
     };
+    tt_bench::assert_sim_threads_identity(&base_cfg);
     let factors = [0.5, 1.0, 2.0, 4.0];
     // Task 0 is the shared DirNNB comparator; tasks 1.. sweep the factor.
     let outs = par::run_indexed(jobs, factors.len() + 1, |i| {
@@ -323,6 +324,7 @@ fn main() {
             cli.scale,
             jobs,
             repeat,
+            cli.sim_threads,
             total_wall_secs,
             &records,
         )

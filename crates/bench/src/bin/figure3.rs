@@ -15,13 +15,14 @@ use std::time::Instant;
 
 use tt_base::table::Table;
 use tt_bench::json::PointRecord;
-use tt_bench::{bench_config, figure3_sweep_min, FIGURE3_POINTS};
+use tt_bench::{figure3_sweep_min, FIGURE3_POINTS};
 use tt_apps::AppId;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = tt_bench::parse_cli(&args, 4);
-    let cfg = bench_config(cli.nodes);
+    let cfg = cli.config();
+    tt_bench::assert_sim_threads_identity(&cfg);
     println!(
         "FIGURE 3. Typhoon/Stache execution time relative to DirNNB \
          ({nodes} nodes, scale 1/{scale}).\n",
@@ -91,6 +92,7 @@ fn main() {
             cli.scale,
             cli.jobs,
             cli.repeat,
+            cli.sim_threads,
             total_wall_secs,
             &records,
         )

@@ -14,12 +14,13 @@ use std::time::Instant;
 
 use tt_base::table::Table;
 use tt_bench::json::PointRecord;
-use tt_bench::{bench_config, figure4_sweep_min, FIGURE4_SYSTEMS};
+use tt_bench::{figure4_sweep_min, FIGURE4_SYSTEMS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = tt_bench::parse_cli(&args, 4);
-    let cfg = bench_config(cli.nodes);
+    let cfg = cli.config();
+    tt_bench::assert_sim_threads_identity(&cfg);
     println!(
         "FIGURE 4. EM3D update-protocol performance, large data set \
          ({nodes} nodes, scale 1/{scale}).\n",
@@ -77,6 +78,7 @@ fn main() {
             cli.scale,
             cli.jobs,
             cli.repeat,
+            cli.sim_threads,
             total_wall_secs,
             &records,
         )

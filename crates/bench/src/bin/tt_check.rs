@@ -2,14 +2,18 @@
 //! line.
 //!
 //! ```text
-//! tt-check run [--seeds N] [--base B] [--planted-bug] [--out PATH]
-//! tt-check replay --seed S
+//! tt-check run [--seeds N] [--base B] [--sim-threads N] [--planted-bug] [--out PATH]
+//! tt-check replay --seed S [--sim-threads N]
 //! ```
 //!
 //! `run` fuzzes `N` consecutive seeds (litmus workloads × schedule
-//! perturbations, differential across both machines) and exits
-//! non-zero on the first failure, printing the seed so
-//! `tt-check replay --seed S` reproduces it bit-exactly.
+//! perturbations including sequential-vs-parallel simulation,
+//! differential across both machines) and exits non-zero on the first
+//! failure, printing the seed so `tt-check replay --seed S` reproduces
+//! it bit-exactly. `--sim-threads N` (on either command) forces the
+//! parallel-differential leg to `N` simulator threads on every case —
+//! the case shapes and every other perturbation stay seed-derived —
+//! instead of letting each seed draw its own thread count.
 //! `--planted-bug` swaps in the deliberately broken
 //! `SkipInvalidate` Stache variant: that run *must* fail, proving the
 //! harness has teeth. `--out` writes a JSON report alongside the other
@@ -21,12 +25,13 @@ use std::time::Instant;
 use tt_base::NodeId;
 use tt_bench::json::{git_rev, hostname};
 use tt_check::scenarios::SkipInvalidate;
-use tt_check::{fuzz_with, run_seed, shrink, stache_factory, Failure};
+use tt_check::{fuzz_with_threads, run_seed_with_threads, shrink, stache_factory, Failure};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tt-check run [--seeds N] [--base B] [--planted-bug] [--out PATH]\n\
-         \x20      tt-check replay --seed S"
+        "usage: tt-check run [--seeds N] [--base B] [--sim-threads N] [--planted-bug] \
+         [--out PATH]\n\
+         \x20      tt-check replay --seed S [--sim-threads N]"
     );
     std::process::exit(2);
 }
@@ -117,6 +122,7 @@ fn write_fuzz_report(
 fn cmd_run(args: &[String]) -> i32 {
     let mut seeds: u64 = 500;
     let mut base: u64 = 0;
+    let mut sim_threads: Option<usize> = None;
     let mut planted = false;
     let mut out_path: Option<String> = None;
     let mut i = 0;
@@ -124,6 +130,9 @@ fn cmd_run(args: &[String]) -> i32 {
         match args[i].as_str() {
             "--seeds" => seeds = parse_u64(args, &mut i, "--seeds"),
             "--base" => base = parse_u64(args, &mut i, "--base"),
+            "--sim-threads" => {
+                sim_threads = Some(parse_u64(args, &mut i, "--sim-threads") as usize)
+            }
             "--planted-bug" => planted = true,
             "--out" => {
                 i += 1;
@@ -139,9 +148,9 @@ fn cmd_run(args: &[String]) -> i32 {
     };
     let start = Instant::now();
     let report = if planted {
-        fuzz_with(base, seeds, &planted_factory)
+        fuzz_with_threads(base, seeds, sim_threads, &planted_factory)
     } else {
-        fuzz_with(base, seeds, &stache_factory)
+        fuzz_with_threads(base, seeds, sim_threads, &stache_factory)
     };
     let failure = report.failure.map(|f| {
         eprintln!("tt-check: shrinking failing seed {}...", f.seed);
@@ -190,16 +199,20 @@ fn cmd_run(args: &[String]) -> i32 {
 
 fn cmd_replay(args: &[String]) -> i32 {
     let mut seed: Option<u64> = None;
+    let mut sim_threads: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--seed" => seed = Some(parse_u64(args, &mut i, "--seed")),
+            "--sim-threads" => {
+                sim_threads = Some(parse_u64(args, &mut i, "--sim-threads") as usize)
+            }
             _ => usage(),
         }
         i += 1;
     }
     let seed = seed.unwrap_or_else(|| usage());
-    match run_seed(seed) {
+    match run_seed_with_threads(seed, sim_threads) {
         Ok(r) => {
             println!(
                 "tt-check: seed {seed} clean — typhoon {} cycles, dirnnb {} cycles, \

@@ -111,8 +111,10 @@ fn escape(s: &str) -> String {
 
 /// Writes a sweep report to `path`, creating parent directories. The
 /// header records the sweep shape plus provenance (`git_rev`, `host`,
-/// `jobs`, `repeat`) so snapshots are attributable and wall-clock rates
-/// can be compared like-for-like across PRs.
+/// `jobs`, `repeat`, `sim_threads`) so snapshots are attributable and
+/// wall-clock rates can be compared like-for-like across PRs —
+/// `sim_threads` in particular, since a parallel-simulator run reports
+/// the same cycles but very different `sim_cycles_per_sec`.
 #[allow(clippy::too_many_arguments)] // flat header fields, one call site per binary
 pub fn write_report(
     path: &Path,
@@ -121,6 +123,7 @@ pub fn write_report(
     scale: usize,
     jobs: usize,
     repeat: usize,
+    sim_threads: usize,
     total_wall_secs: f64,
     points: &[PointRecord],
 ) -> std::io::Result<()> {
@@ -138,6 +141,7 @@ pub fn write_report(
     writeln!(f, "  \"scale\": {scale},")?;
     writeln!(f, "  \"jobs\": {jobs},")?;
     writeln!(f, "  \"repeat\": {repeat},")?;
+    writeln!(f, "  \"sim_threads\": {sim_threads},")?;
     writeln!(f, "  \"total_wall_secs\": {total_wall_secs:.6},")?;
     writeln!(f, "  \"points\": [")?;
     for (i, p) in points.iter().enumerate() {
@@ -196,12 +200,13 @@ mod tests {
             wall_secs: 0.001,
             ops: 7,
         }];
-        write_report(&path, "figure3", 8, 64, 2, 3, 0.123, &points).unwrap();
+        write_report(&path, "figure3", 8, 64, 2, 3, 4, 0.123, &points).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"figure\": \"figure3\""));
         assert!(text.contains("\"cycles\": 42"));
         assert!(text.contains("\"jobs\": 2"));
         assert!(text.contains("\"repeat\": 3"));
+        assert!(text.contains("\"sim_threads\": 4"));
         assert!(text.contains("\"git_rev\": "));
         assert!(text.contains("\"host\": "));
         std::fs::remove_dir_all(&dir).ok();

@@ -167,6 +167,50 @@ pub fn run_system(system: System, cfg: &SystemConfig, workload: Box<dyn Workload
     }
 }
 
+/// Asserts the parallel simulator reproduces the sequential cycle table
+/// before a sweep trusts it — the sequential-vs-parallel analogue of the
+/// cross-repeat determinism check in [`min_of_runs`]. A no-op at
+/// `sim_threads <= 1`; otherwise runs a small canary workload (EM3D,
+/// small set) on every system both ways and asserts cycles and full
+/// reports are identical.
+pub fn assert_sim_threads_identity(cfg: &SystemConfig) {
+    if cfg.sim_threads <= 1 {
+        return;
+    }
+    let mut seq_cfg = cfg.clone();
+    seq_cfg.sim_threads = 1;
+    for system in [System::TyphoonStache, System::TyphoonUpdate, System::Dirnnb] {
+        let build = || {
+            build_app(
+                AppId::Em3d,
+                DataSet::Small,
+                smoke::SCALE,
+                cfg.nodes,
+                sync_for(AppId::Em3d, system),
+            )
+        };
+        let par = run_system(system, cfg, build());
+        let seq = run_system(system, &seq_cfg, build());
+        assert_eq!(
+            seq.cycles,
+            par.cycles,
+            "{}: sim_threads={} diverged from the sequential simulator",
+            system.name(),
+            cfg.sim_threads
+        );
+        let rows = |r: &Report| -> Vec<(String, f64)> {
+            r.iter().map(|row| (row.name.clone(), row.value)).collect()
+        };
+        assert_eq!(
+            rows(&seq.report),
+            rows(&par.report),
+            "{}: sim_threads={} statistics diverged",
+            system.name(),
+            cfg.sim_threads
+        );
+    }
+}
+
 /// Runs `run` `repeat` times (at least once), asserting the simulated
 /// cycle count is identical across repeats — the simulation is
 /// deterministic, so any divergence is a bug — and keeping the outcome
@@ -438,18 +482,34 @@ pub struct Cli {
     /// Runs per point; wall timings are min-of-N (default 1). Cycle
     /// counts are asserted identical across repeats.
     pub repeat: usize,
+    /// OS threads *inside* each simulation (conservative PDES; default 1
+    /// = sequential). Orthogonal to `jobs`, which parallelizes across
+    /// sweep points. Any value produces identical tables.
+    pub sim_threads: usize,
     /// Where to write the machine-readable run report, if anywhere.
     pub json: Option<std::path::PathBuf>,
 }
 
+impl Cli {
+    /// The [`bench_config`] for this invocation, with the `--sim-threads`
+    /// setting applied.
+    pub fn config(&self) -> SystemConfig {
+        let mut cfg = bench_config(self.nodes);
+        cfg.sim_threads = self.sim_threads;
+        cfg
+    }
+}
+
 /// Parses `--scale N`, `--nodes N`, `--full`, `--jobs N`, `--repeat N`,
-/// and `--json PATH` arguments shared by the harness binaries.
+/// `--sim-threads N`, and `--json PATH` arguments shared by the harness
+/// binaries.
 pub fn parse_cli(args: &[String], default_scale: usize) -> Cli {
     let mut cli = Cli {
         scale: default_scale,
         nodes: 32,
         jobs: par::default_jobs(),
         repeat: 1,
+        sim_threads: 1,
         json: None,
     };
     let mut i = 0;
@@ -480,6 +540,10 @@ pub fn parse_cli(args: &[String], default_scale: usize) -> Cli {
                 cli.repeat = number(i, "--repeat").max(1);
                 i += 2;
             }
+            "--sim-threads" => {
+                cli.sim_threads = number(i, "--sim-threads").max(1);
+                i += 2;
+            }
             "--json" => {
                 cli.json = Some(std::path::PathBuf::from(value(i, "--json")));
                 i += 2;
@@ -490,7 +554,7 @@ pub fn parse_cli(args: &[String], default_scale: usize) -> Cli {
             }
             other => panic!(
                 "unknown argument {other}; use --scale N | --nodes N | --jobs N \
-                 | --repeat N | --json PATH | --full"
+                 | --repeat N | --sim-threads N | --json PATH | --full"
             ),
         }
     }
@@ -548,6 +612,24 @@ mod tests {
         assert_eq!(parse_cli(&[], 1).repeat, 1);
         let zero: Vec<String> = ["--repeat", "0"].iter().map(|s| s.to_string()).collect();
         assert_eq!(parse_cli(&zero, 1).repeat, 1, "repeat 0 clamps to 1");
+    }
+
+    #[test]
+    fn sim_threads_flag_parses_and_defaults_to_one() {
+        let args: Vec<String> = ["--sim-threads", "4"].iter().map(|s| s.to_string()).collect();
+        let cli = parse_cli(&args, 1);
+        assert_eq!(cli.sim_threads, 4);
+        assert_eq!(cli.config().sim_threads, 4);
+        assert_eq!(parse_cli(&[], 1).sim_threads, 1);
+        let zero: Vec<String> = ["--sim-threads", "0"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_cli(&zero, 1).sim_threads, 1, "sim-threads 0 clamps to 1");
+    }
+
+    #[test]
+    fn sim_threads_identity_canary_passes() {
+        let mut cfg = bench_config(4);
+        cfg.sim_threads = 2;
+        assert_sim_threads_identity(&cfg);
     }
 
     #[test]

@@ -17,8 +17,12 @@
 //! against each other and against the generator's happens-before
 //! prediction. Perturbations only touch *legal* nondeterminism
 //! (same-cycle ordering, latency within the network band, compute
-//! coalescing, direct execution), so any divergence — a panic, an
-//! invariant trip, or an image mismatch — is a bug.
+//! coalescing, direct execution, sequential vs. parallel simulation),
+//! so any divergence — a panic, an invariant trip, or an image
+//! mismatch — is a bug. When the seed draws `sim_threads > 1`, both
+//! machines additionally rerun under the conservative parallel
+//! simulator and must reproduce the sequential cycles and final images
+//! bit for bit.
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Mutex;
@@ -60,6 +64,11 @@ pub struct PerturbConfig {
     pub coalesce: bool,
     /// Run CPUs in direct-execution (event-frontier) mode.
     pub direct_execution: bool,
+    /// Simulator threads for the parallel differential leg (1 = skip
+    /// it). When > 1, both machines rerun under the conservative
+    /// parallel simulator and their cycles and final images must match
+    /// the sequential legs bit for bit.
+    pub sim_threads: usize,
 }
 
 impl PerturbConfig {
@@ -72,6 +81,7 @@ impl PerturbConfig {
             jitter_seed: rng.next_u64(),
             coalesce: rng.chance(0.5),
             direct_execution: rng.chance(0.5),
+            sim_threads: 1 + rng.below(3) as usize,
         }
     }
 
@@ -83,6 +93,7 @@ impl PerturbConfig {
             jitter_seed: 0,
             coalesce: false,
             direct_execution: false,
+            sim_threads: 1,
         }
     }
 }
@@ -108,7 +119,8 @@ pub struct Failure {
     pub cfg: LitmusConfig,
     /// The schedule perturbation in force.
     pub perturb: PerturbConfig,
-    /// Which stage failed: `"typhoon"`, `"dirnnb"`, or `"differential"`.
+    /// Which stage failed: `"typhoon"`, `"dirnnb"`, `"differential"`,
+    /// or `"parallel"` (sequential-vs-parallel simulator divergence).
     pub stage: &'static str,
     /// The panic message or mismatch description.
     pub message: String,
@@ -281,13 +293,111 @@ pub fn run_case_with(
         }
     }
 
+    // Parallel differential: the same case under the conservative
+    // parallel simulator must reproduce the sequential legs bit for
+    // bit — cycles and final images. (The invariant engine needs the
+    // single total event order, so the parallel Typhoon leg runs plain.)
+    if perturb.sim_threads > 1 {
+        let mut parcfg = syscfg.clone();
+        parcfg.sim_threads = perturb.sim_threads;
+
+        let (par_typhoon_cycles, par_typhoon_image) = {
+            let parcfg = parcfg.clone();
+            let litmus = &litmus;
+            catch(move || {
+                let mut m = TyphoonMachine::new(
+                    parcfg,
+                    Box::new(litmus.workload(perturb.coalesce)),
+                    factory,
+                );
+                if let Some(seed) = perturb.tie_shuffle {
+                    m.set_tie_shuffle(seed);
+                }
+                if perturb.jitter_max > 0 {
+                    m.set_net_jitter(perturb.jitter_seed, Cycles::new(perturb.jitter_max));
+                }
+                let r = m.run();
+                let image: Vec<(VAddr, u64)> = litmus
+                    .finals
+                    .iter()
+                    .map(|&(a, _)| (a, typhoon_word(&m, a)))
+                    .collect();
+                (r.cycles, image)
+            })
+            .map_err(|msg| fail("parallel", msg))?
+        };
+        let (par_dirnnb_cycles, par_dirnnb_image) = {
+            let parcfg = parcfg.clone();
+            let litmus = &litmus;
+            catch(move || {
+                let mut m = DirnnbMachine::new(parcfg, Box::new(litmus.workload(perturb.coalesce)));
+                if let Some(seed) = perturb.tie_shuffle {
+                    m.set_tie_shuffle(seed);
+                }
+                let r = m.run();
+                let image: Vec<(VAddr, u64)> = litmus
+                    .finals
+                    .iter()
+                    .map(|&(a, _)| (a, m.shared_word(a)))
+                    .collect();
+                (r.cycles, image)
+            })
+            .map_err(|msg| fail("parallel", msg))?
+        };
+        if par_typhoon_cycles != typhoon_cycles {
+            return Err(fail(
+                "parallel",
+                format!(
+                    "typhoon cycles diverged under sim_threads={}: sequential {}, \
+                     parallel {}",
+                    perturb.sim_threads, typhoon_cycles, par_typhoon_cycles
+                ),
+            ));
+        }
+        if par_dirnnb_cycles != dirnnb_cycles {
+            return Err(fail(
+                "parallel",
+                format!(
+                    "dirnnb cycles diverged under sim_threads={}: sequential {}, \
+                     parallel {}",
+                    perturb.sim_threads, dirnnb_cycles, par_dirnnb_cycles
+                ),
+            ));
+        }
+        if par_typhoon_image != typhoon_image || par_dirnnb_image != dirnnb_image {
+            return Err(fail(
+                "parallel",
+                format!(
+                    "final image diverged under sim_threads={}",
+                    perturb.sim_threads
+                ),
+            ));
+        }
+    }
+
     Ok(CaseResult { typhoon_cycles, dirnnb_cycles, events })
 }
 
 /// Derives the case and perturbation from `seed` and runs it. This is
 /// also `replay`: the same seed always reruns the identical case.
 pub fn run_seed(seed: u64) -> Result<CaseResult, Box<Failure>> {
-    run_case(&LitmusConfig::from_seed(seed), &PerturbConfig::from_seed(seed))
+    run_seed_with_threads(seed, None)
+}
+
+/// [`run_seed`] with the parallel-differential thread count forced
+/// (`tt-check replay --sim-threads N`): the seed's case and all other
+/// perturbations are reproduced bit-exactly, but the parallel legs run
+/// at `N` threads (1 = sequential only). `None` keeps the seed's own
+/// derived thread count.
+pub fn run_seed_with_threads(
+    seed: u64,
+    sim_threads: Option<usize>,
+) -> Result<CaseResult, Box<Failure>> {
+    let mut perturb = PerturbConfig::from_seed(seed);
+    if let Some(n) = sim_threads {
+        perturb.sim_threads = n.max(1);
+    }
+    run_case(&LitmusConfig::from_seed(seed), &perturb)
 }
 
 /// What a fuzzing sweep found.
@@ -307,10 +417,26 @@ pub fn fuzz(base_seed: u64, count: u64) -> FuzzReport {
 
 /// Fuzzes with an injected protocol factory.
 pub fn fuzz_with(base_seed: u64, count: u64, factory: ProtocolFactory) -> FuzzReport {
+    fuzz_with_threads(base_seed, count, None, factory)
+}
+
+/// [`fuzz_with`] with the parallel-differential thread count forced on
+/// every seed (`tt-check run --sim-threads N`): each case keeps its
+/// seed-derived shape and perturbations but runs the
+/// sequential-vs-parallel differential at exactly `N` threads.
+pub fn fuzz_with_threads(
+    base_seed: u64,
+    count: u64,
+    sim_threads: Option<usize>,
+    factory: ProtocolFactory,
+) -> FuzzReport {
     for i in 0..count {
         let seed = base_seed + i;
         let cfg = LitmusConfig::from_seed(seed);
-        let perturb = PerturbConfig::from_seed(seed);
+        let mut perturb = PerturbConfig::from_seed(seed);
+        if let Some(n) = sim_threads {
+            perturb.sim_threads = n.max(1);
+        }
         if let Err(f) = run_case_with(&cfg, &perturb, factory) {
             return FuzzReport { seeds_run: i + 1, failure: Some(*f) };
         }
@@ -358,7 +484,19 @@ mod tests {
         for seed in 0..100 {
             assert_eq!(PerturbConfig::from_seed(seed), PerturbConfig::from_seed(seed));
             assert!(PerturbConfig::from_seed(seed).jitter_max <= 3);
+            assert!((1..=3).contains(&PerturbConfig::from_seed(seed).sim_threads));
         }
+        assert!(
+            (0..100).any(|s| PerturbConfig::from_seed(s).sim_threads > 1),
+            "some seeds must exercise the parallel differential"
+        );
+    }
+
+    #[test]
+    fn replay_can_force_the_parallel_leg() {
+        let forced = run_seed_with_threads(7, Some(3)).expect("seed 7 clean at 3 threads");
+        let seq = run_seed_with_threads(7, Some(1)).expect("seed 7 clean sequentially");
+        assert_eq!(forced, seq, "thread count leaked into the case result");
     }
 
     #[test]

@@ -1,5 +1,20 @@
 //! The DirNNB machine: CPUs + hardware directory, driven by the same
 //! event engine and workload op streams as Typhoon.
+//!
+//! # Parallel simulation
+//!
+//! Like `TyphoonMachine`, the machine honors `SystemConfig::sim_threads`
+//! by splitting its nodes into contiguous shards under the conservative
+//! window scheme of [`tt_sim::pdes`]. Directory entries are touched only
+//! by events targeted at the block's home node, so each shard owns a
+//! private directory map covering its homes (merged back after the run
+//! for diagnostics). The one genuinely global structure is the coherent
+//! value image: accesses to it go through a mutex, which is sound for
+//! determinism because the protocol orders all same-word accesses by
+//! coherence — causally unordered accesses (the only ones that can race
+//! in wall-clock time inside a window) always touch different words.
+
+use std::sync::Mutex;
 
 use tt_base::addr::{VAddr, Vpn, BLOCK_BYTES, PAGE_BYTES, WORD_BYTES};
 use tt_base::config::SystemConfig;
@@ -9,10 +24,9 @@ use tt_base::{Cycles, DetRng, FxHashMap, NodeId};
 use tt_mem::cache::Probe;
 use tt_mem::{AccessKind, CacheModel, FifoTlb};
 use tt_net::{Network, VirtualNet, ARG_WORD_BYTES, HANDLER_WORD_BYTES};
-use tt_sim::{EventHandler, EventQueue, RunLimit};
+use tt_sim::{ShardQueue, Windowing};
 
 use crate::dir::{DirBusy, DirEntry, DirReq, DirState};
-
 
 /// Execution status of a CPU.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,7 +67,7 @@ struct Cpu {
     stats: CpuStats,
 }
 
-/// Machine-wide directory statistics.
+/// Directory statistics (per shard; summed into the report).
 #[derive(Clone, Debug, Default)]
 struct DirStats {
     dir_ops: Counter,
@@ -61,6 +75,16 @@ struct DirStats {
     recalls: Counter,
     writebacks: Counter,
     deferred: Counter,
+}
+
+impl DirStats {
+    fn absorb(&mut self, other: &DirStats) {
+        self.dir_ops.add(other.dir_ops.get());
+        self.invalidations.add(other.invalidations.get());
+        self.recalls.add(other.recalls.get());
+        self.writebacks.add(other.writebacks.get());
+        self.deferred.add(other.deferred.get());
+    }
 }
 
 /// Simulation events.
@@ -78,13 +102,17 @@ pub enum Event {
     BarrierRelease { generation: u64 },
 }
 
-#[derive(Debug, Default)]
-struct BarrierState {
-    arrived: usize,
-    max_arrival: Cycles,
+/// Barrier bookkeeping a shard carries (see the Typhoon equivalent):
+/// arrival aggregation lives in the queue/driver, this only tracks the
+/// generation and release count, which every shard observes identically.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct BarrierTally {
     generation: u64,
     releases: u64,
 }
+
+/// One coherent page of the machine's single value image.
+type StorePage = Box<[u64; PAGE_BYTES / WORD_BYTES]>;
 
 /// The result of a completed simulation.
 #[derive(Clone, Debug)]
@@ -102,16 +130,63 @@ pub struct DirnnbMachine {
     cpus: Vec<Cpu>,
     dirs: FxHashMap<u64, DirEntry>,
     home_map: FxHashMap<Vpn, NodeId>,
-    store: FxHashMap<Vpn, Box<[u64; PAGE_BYTES / WORD_BYTES]>>,
+    store: Mutex<FxHashMap<Vpn, StorePage>>,
     network: Network,
-    barrier: BarrierState,
-    workload: Box<dyn Workload>,
+    barrier: BarrierTally,
+    workload: Mutex<Box<dyn Workload>>,
     done: Vec<Option<Cycles>>,
     dir_stats: DirStats,
     verify_values: bool,
     /// Seed for same-cycle tie-shuffling, applied to the event queue at
     /// `run` time (a `tt-check` legal-nondeterminism knob).
     tie_shuffle: Option<u64>,
+}
+
+/// The node an event's handling mutates (`None` = machine-global).
+/// Home-directed events (requests, acks, data, writebacks) are handled
+/// at the block's home, which takes the layout's home map to compute.
+fn target_in(home_map: &FxHashMap<Vpn, NodeId>, event: &Event) -> Option<usize> {
+    match *event {
+        Event::CpuStep(n) => Some(n),
+        Event::Invalidate { node, .. }
+        | Event::Recall { node, .. }
+        | Event::Grant { node, .. } => Some(node as usize),
+        Event::HomeRequest { addr, .. }
+        | Event::HomeAck { addr }
+        | Event::HomeData { addr, .. }
+        | Event::Writeback { addr, .. } => Some(home_of_in(home_map, addr).index()),
+        Event::BarrierRelease { .. } => None,
+    }
+}
+
+fn home_of_in(home_map: &FxHashMap<Vpn, NodeId>, addr: u64) -> NodeId {
+    let vpn = VAddr::new(addr).page();
+    *home_map
+        .get(&vpn)
+        .unwrap_or_else(|| panic!("access to {addr:#x} outside the shared segment layout"))
+}
+
+/// A shard's view of the machine: the contiguous CPU range it owns, the
+/// directory entries of its home blocks, and the shared pieces.
+struct Shard<'m> {
+    cfg: &'m SystemConfig,
+    quantum: Cycles,
+    /// First global node index this shard owns.
+    first: usize,
+    cpus: &'m mut [Cpu],
+    done: &'m mut [Option<Cycles>],
+    /// Directory entries homed at this shard's nodes. Disjoint across
+    /// shards because home-directed events are routed by home.
+    dirs: &'m mut FxHashMap<u64, DirEntry>,
+    home_map: &'m FxHashMap<Vpn, NodeId>,
+    store: &'m Mutex<FxHashMap<Vpn, StorePage>>,
+    /// This shard's network instance (statistics only; folded back after
+    /// the run).
+    network: &'m mut Network,
+    workload: &'m Mutex<Box<dyn Workload>>,
+    barrier: &'m mut BarrierTally,
+    dir_stats: &'m mut DirStats,
+    verify_values: bool,
 }
 
 impl DirnnbMachine {
@@ -159,10 +234,10 @@ impl DirnnbMachine {
             cpus,
             dirs: FxHashMap::default(),
             home_map,
-            store: FxHashMap::default(),
+            store: Mutex::new(FxHashMap::default()),
             network,
-            barrier: BarrierState::default(),
-            workload,
+            barrier: BarrierTally::default(),
+            workload: Mutex::new(workload),
             done,
             dir_stats: DirStats::default(),
             verify_values,
@@ -182,25 +257,161 @@ impl DirnnbMachine {
     /// image (hardware coherence is exact by construction), so this *is*
     /// the final memory state once the machine has drained.
     pub fn shared_word(&mut self, addr: VAddr) -> u64 {
-        self.read_store(addr)
+        let mut store = self.store.lock().expect("store poisoned");
+        read_store(&mut store, addr)
     }
 
-    /// Runs the simulation to completion.
+    /// Runs the simulation to completion. `SystemConfig::sim_threads`
+    /// selects the sequential event loop or the windowed parallel one;
+    /// results are bit-identical either way.
     ///
     /// # Panics
     ///
     /// Panics on deadlock or on a value-verification failure, like
     /// `TyphoonMachine::run`.
     pub fn run(&mut self) -> RunResult {
-        let mut queue = EventQueue::new();
+        let shard_count = self.cfg.sim_threads.max(1).min(self.cfg.nodes);
+        if shard_count == 1 {
+            self.run_sequential()
+        } else {
+            self.run_parallel(shard_count)
+        }
+    }
+
+    fn run_sequential(&mut self) -> RunResult {
+        let mut queue = ShardQueue::new(0, self.cfg.nodes);
         if let Some(seed) = self.tie_shuffle {
             queue.enable_tie_shuffle(seed);
         }
-        for n in 0..self.cfg.nodes {
-            self.cpus[n].step_pending = true;
-            queue.schedule_at_for(Cycles::ZERO, Some(n), Event::CpuStep(n));
+        queue.enable_inline_barrier(self.cfg.nodes, self.cfg.timing.barrier_latency);
+        {
+            let mut shard = Shard {
+                cfg: &self.cfg,
+                quantum: self.quantum,
+                first: 0,
+                cpus: &mut self.cpus,
+                done: &mut self.done,
+                dirs: &mut self.dirs,
+                home_map: &self.home_map,
+                store: &self.store,
+                network: &mut self.network,
+                workload: &self.workload,
+                barrier: &mut self.barrier,
+                dir_stats: &mut self.dir_stats,
+                verify_values: self.verify_values,
+            };
+            shard.init_nodes(&mut queue);
+            let home_map = shard.home_map;
+            while let Some((now, event)) = queue.pop(|e: &Event| target_in(home_map, e)) {
+                shard.handle(now, event, &mut queue);
+            }
         }
-        tt_sim::run(self, &mut queue, RunLimit::none());
+        self.finish()
+    }
+
+    fn run_parallel(&mut self, shard_count: usize) -> RunResult {
+        let nodes_total = self.cfg.nodes;
+        let lookahead = self.network.lookahead();
+        let release_delay = self.cfg.timing.barrier_latency;
+        let ranges = split_ranges(nodes_total, shard_count);
+
+        let mut queues: Vec<ShardQueue<Event>> = ranges
+            .iter()
+            .map(|&(first, len)| {
+                let mut q = ShardQueue::new(first, len);
+                if let Some(seed) = self.tie_shuffle {
+                    q.enable_tie_shuffle(seed);
+                }
+                q
+            })
+            .collect();
+        let mut nets: Vec<Network> = (0..shard_count).map(|_| self.network.clone()).collect();
+        let mut tallies = vec![BarrierTally::default(); shard_count];
+        let mut shard_dirs: Vec<FxHashMap<u64, DirEntry>> =
+            (0..shard_count).map(|_| FxHashMap::default()).collect();
+        let mut shard_stats = vec![DirStats::default(); shard_count];
+
+        {
+            let DirnnbMachine {
+                cfg,
+                quantum,
+                cpus,
+                home_map,
+                store,
+                workload,
+                done,
+                verify_values,
+                ..
+            } = self;
+            let mut shards: Vec<Shard<'_>> = Vec::with_capacity(shard_count);
+            let mut cpus_rest = &mut cpus[..];
+            let mut done_rest = &mut done[..];
+            let mut nets_iter = nets.iter_mut();
+            let mut tally_iter = tallies.iter_mut();
+            let mut dirs_iter = shard_dirs.iter_mut();
+            let mut stats_iter = shard_stats.iter_mut();
+            for &(first, len) in &ranges {
+                let (shard_cpus, rest) = cpus_rest.split_at_mut(len);
+                cpus_rest = rest;
+                let (done_slice, rest) = done_rest.split_at_mut(len);
+                done_rest = rest;
+                shards.push(Shard {
+                    cfg,
+                    quantum: *quantum,
+                    first,
+                    cpus: shard_cpus,
+                    done: done_slice,
+                    dirs: dirs_iter.next().expect("one dir map per shard"),
+                    home_map,
+                    store,
+                    network: nets_iter.next().expect("one net per shard"),
+                    workload,
+                    barrier: tally_iter.next().expect("one tally per shard"),
+                    dir_stats: stats_iter.next().expect("one stats block per shard"),
+                    verify_values: *verify_values,
+                });
+            }
+            for (shard, queue) in shards.iter_mut().zip(queues.iter_mut()) {
+                shard.init_nodes(queue);
+            }
+            let home_map: &FxHashMap<Vpn, NodeId> = home_map;
+            tt_sim::run_windows(
+                &mut shards,
+                &mut queues,
+                Windowing {
+                    lookahead,
+                    release_delay,
+                    barrier_expected: nodes_total,
+                },
+                |shard: &mut Shard<'_>, now, event, queue| shard.handle(now, event, queue),
+                |_shard, queue, at, generation| {
+                    queue.deliver_release(at, generation, Event::BarrierRelease { generation })
+                },
+                |e: &Event| target_in(home_map, e),
+            );
+        }
+
+        for net in &nets {
+            self.network.absorb_stats(net);
+        }
+        for stats in &shard_stats {
+            self.dir_stats.absorb(stats);
+        }
+        // Fold shard directories back for post-run diagnostics; they are
+        // disjoint by construction (keyed by home).
+        for dirs in shard_dirs {
+            self.dirs.extend(dirs);
+        }
+        assert!(
+            tallies.windows(2).all(|w| w[0] == w[1]),
+            "shards disagree on barrier history: {tallies:?}"
+        );
+        self.barrier = tallies[0].clone();
+        self.finish()
+    }
+
+    /// Asserts the machine drained cleanly and builds the result.
+    fn finish(&mut self) -> RunResult {
         let stuck: Vec<_> = self
             .cpus
             .iter()
@@ -226,672 +437,6 @@ impl DirnnbMachine {
         RunResult {
             cycles,
             report: self.build_report(cycles),
-        }
-    }
-
-    fn home_of(&self, addr: u64) -> NodeId {
-        let vpn = VAddr::new(addr).page();
-        *self.home_map.get(&vpn).unwrap_or_else(|| {
-            panic!("access to {addr:#x} outside the shared segment layout")
-        })
-    }
-
-    fn read_store(&mut self, addr: VAddr) -> u64 {
-        let page = self.store.entry(addr.page()).or_insert_with(|| {
-            Box::new([0u64; PAGE_BYTES / WORD_BYTES])
-        });
-        page[(addr.page_offset() as usize) / WORD_BYTES]
-    }
-
-    fn write_store(&mut self, addr: VAddr, value: u64) {
-        let page = self.store.entry(addr.page()).or_insert_with(|| {
-            Box::new([0u64; PAGE_BYTES / WORD_BYTES])
-        });
-        page[(addr.page_offset() as usize) / WORD_BYTES] = value;
-    }
-
-    /// Network hop latency between two nodes (zero if the same node).
-    fn hop(&self, a: NodeId, b: NodeId) -> Cycles {
-        if a == b {
-            Cycles::ZERO
-        } else {
-            self.cfg.timing.network_latency
-        }
-    }
-
-    /// Records a protocol message for traffic statistics (the cost model
-    /// charges latencies separately). Wire size matches the one-argument
-    /// packet `send` would have been handed: handler word + one argument
-    /// word, plus a coherence block when `data` is set.
-    fn count_packet(&mut self, _now: Cycles, src: NodeId, dst: NodeId, data: bool) {
-        let wire = HANDLER_WORD_BYTES + ARG_WORD_BYTES + if data { BLOCK_BYTES } else { 0 };
-        self.network.count(src, dst, VirtualNet::Request, wire);
-    }
-
-    // --- CPU execution ----------------------------------------------------
-
-    /// The per-op inner loop. Ops that touch only this CPU (compute,
-    /// calls, barriers, chunk refills) run under one split borrow of
-    /// `self` — no re-indexing of `self.cpus[n]` per op, mirroring
-    /// `TyphoonMachine::cpu_step`. Memory ops break out to [`Self::access`],
-    /// which needs the directory and network.
-    fn cpu_step(&mut self, n: usize, now: Cycles, queue: &mut EventQueue<Event>) {
-        {
-            let cpu = &mut self.cpus[n];
-            cpu.step_pending = false;
-            if cpu.status != CpuStatus::Ready {
-                return;
-            }
-            if cpu.clock < now {
-                cpu.clock = now;
-            }
-        }
-        let mut deadline = now + self.quantum;
-        loop {
-            let (addr, kind, value, expect) = {
-                let DirnnbMachine {
-                    cfg,
-                    quantum,
-                    cpus,
-                    barrier,
-                    workload,
-                    done,
-                    ..
-                } = self;
-                let cpu = &mut cpus[n];
-                loop {
-                    // Refill the op chunk if exhausted, reusing its allocation.
-                    if cpu.pc >= cpu.chunk.len() {
-                        let mut chunk = std::mem::take(&mut cpu.chunk);
-                        if workload.next_chunk_into(NodeId::new(n as u16), &mut chunk) {
-                            cpu.chunk = chunk;
-                            cpu.pc = 0;
-                            if cpu.chunk.is_empty() {
-                                continue;
-                            }
-                        } else {
-                            cpu.status = CpuStatus::Done;
-                            done[n] = Some(cpu.clock);
-                            return;
-                        }
-                    }
-                    let op = cpu.chunk[cpu.pc];
-                    match op {
-                        Op::Compute(k) => {
-                            cpu.clock += Cycles::new(k as u64);
-                            cpu.stats.compute_cycles.add(k as u64);
-                            cpu.stats.ops.inc();
-                            cpu.pc += 1;
-                        }
-                        Op::UserCall { .. } => {
-                            // A hardware shared-memory machine has no user-level
-                            // protocol; calls complete immediately.
-                            cpu.clock += Cycles::new(1);
-                            cpu.stats.ops.inc();
-                            cpu.pc += 1;
-                        }
-                        Op::Barrier => {
-                            cpu.pc += 1;
-                            cpu.stats.ops.inc();
-                            cpu.status = CpuStatus::AtBarrier;
-                            cpu.suspended_at = cpu.clock;
-                            let arrival = cpu.clock;
-                            barrier.arrived += 1;
-                            if arrival > barrier.max_arrival {
-                                barrier.max_arrival = arrival;
-                            }
-                            if barrier.arrived == cfg.nodes {
-                                queue.schedule_at_for(
-                                    barrier.max_arrival + cfg.timing.barrier_latency,
-                                    None,
-                                    Event::BarrierRelease {
-                                        generation: barrier.generation,
-                                    },
-                                );
-                            }
-                            return;
-                        }
-                        Op::Read { addr, expect } => break (addr, AccessKind::Load, 0, expect),
-                        Op::Write { addr, value } => break (addr, AccessKind::Store, value, None),
-                    }
-                    if cpu.clock >= deadline {
-                        let at = cpu.clock;
-                        // Direct execution (WWT-style): if every pending
-                        // event lies strictly beyond this CPU's clock, the
-                        // wakeup we are about to schedule would be the very
-                        // next event popped — skip the queue round trip and
-                        // keep executing inline. Only the self-wakeup is
-                        // elided, so reported cycles stay byte-identical.
-                        if cfg.direct_execution
-                            && queue.peek_time().is_none_or(|t| t > at)
-                        {
-                            deadline = at + *quantum;
-                            continue;
-                        }
-                        cpu.step_pending = true;
-                        queue.schedule_at_for(at, Some(n), Event::CpuStep(n));
-                        return;
-                    }
-                }
-            };
-            if !self.access(n, queue, addr, kind, value, expect) {
-                return;
-            }
-            if self.cpus[n].clock >= deadline {
-                let at = self.cpus[n].clock;
-                // Same direct-execution bypass as the inner loop; see there.
-                if self.cfg.direct_execution && queue.peek_time().is_none_or(|t| t > at) {
-                    deadline = at + self.quantum;
-                    continue;
-                }
-                let cpu = &mut self.cpus[n];
-                cpu.step_pending = true;
-                queue.schedule_at_for(at, Some(n), Event::CpuStep(n));
-                return;
-            }
-        }
-    }
-
-    /// Executes one access; returns `false` if the CPU blocked on a miss.
-    fn access(
-        &mut self,
-        n: usize,
-        queue: &mut EventQueue<Event>,
-        addr: VAddr,
-        kind: AccessKind,
-        value: u64,
-        expect: Option<u64>,
-    ) -> bool {
-        let me = NodeId::new(n as u16);
-        let block = addr.block_base().raw();
-        let key = block / BLOCK_BYTES as u64;
-        let mut cost = Cycles::new(1);
-        self.cpus[n].stats.ops.inc();
-        if !self.cpus[n].tlb.access(addr.page()) {
-            cost += self.cfg.timing.tlb_miss;
-        }
-        let probe = self.cpus[n].cache.probe(key);
-        let req = match (probe, kind) {
-            (Probe::HitOwned, _) | (Probe::HitShared, AccessKind::Load) => None,
-            (Probe::HitShared, AccessKind::Store) => Some(DirReq::Upgrade),
-            (Probe::Miss, AccessKind::Load) => Some(DirReq::Read),
-            (Probe::Miss, AccessKind::Store) => Some(DirReq::Write),
-        };
-        let Some(req) = req else {
-            // Cache hit: no directory involvement, so the home lookup is
-            // not needed — this is the per-op fast path.
-            self.complete_access(n, addr, kind, value, expect);
-            self.cpus[n].clock += cost;
-            self.cpus[n].pc += 1;
-            return true;
-        };
-        let home = self.home_of(addr.raw());
-
-        // Fast local path: home is this node and the directory can grant
-        // immediately — a plain 29-cycle local miss.
-        if home == me {
-            let entry = self.dirs.entry(block).or_default();
-            if !entry.is_busy() {
-                let fast = match (entry.state, req) {
-                    (DirState::Uncached | DirState::Shared(_), DirReq::Read) => {
-                        entry.add_sharer(me);
-                        Some(false)
-                    }
-                    (DirState::Uncached, DirReq::Write) => {
-                        entry.state = DirState::Exclusive(me);
-                        Some(true)
-                    }
-                    (DirState::Shared(_), DirReq::Upgrade | DirReq::Write)
-                        if entry.sharers_except(me).is_empty() =>
-                    {
-                        entry.state = DirState::Exclusive(me);
-                        Some(true)
-                    }
-                    _ => None,
-                };
-                if let Some(owned) = fast {
-                    cost += self.cfg.timing.local_miss;
-                    self.cpus[n].stats.local_misses.inc();
-                    if req == DirReq::Upgrade {
-                        // The line is already resident shared.
-                        self.cpus[n].cache.set_owned(key, true);
-                    } else {
-                        self.fill(n, key, owned, &mut cost, queue);
-                    }
-                    self.complete_access(n, addr, kind, value, expect);
-                    self.cpus[n].clock += cost;
-                    self.cpus[n].pc += 1;
-                    return true;
-                }
-            }
-        }
-
-        // Slow path: block and send the request to the home directory.
-        if home == me {
-            self.cpus[n].stats.local_misses.inc();
-        } else {
-            self.cpus[n].stats.remote_misses.inc();
-            cost += self.cfg.dirnnb.remote_miss_request;
-            self.count_packet(self.cpus[n].clock, me, home, false);
-        }
-        if req == DirReq::Upgrade {
-            self.cpus[n].stats.upgrades.inc();
-        }
-        let cpu = &mut self.cpus[n];
-        cpu.clock += cost;
-        cpu.status = CpuStatus::BlockedMiss;
-        cpu.suspended_at = cpu.clock;
-        cpu.pending_block = Some(block);
-        let at = cpu.clock + self.hop(me, home);
-        queue.schedule_at_for(
-            at,
-            Some(home.index()),
-            Event::HomeRequest {
-                addr: block,
-                from: me.raw(),
-                req,
-            },
-        );
-        false
-    }
-
-    /// Functional completion: reads check the global store, writes update
-    /// it (hardware-coherent shared memory has a single value image).
-    fn complete_access(
-        &mut self,
-        n: usize,
-        addr: VAddr,
-        kind: AccessKind,
-        value: u64,
-        expect: Option<u64>,
-    ) {
-        match kind {
-            AccessKind::Load => {
-                self.cpus[n].stats.reads.inc();
-                let got = self.read_store(addr);
-                if self.verify_values {
-                    if let Some(expect) = expect {
-                        assert_eq!(
-                            got, expect,
-                            "DirNNB coherence image mismatch: node {n} read {addr}"
-                        );
-                    }
-                }
-            }
-            AccessKind::Store => {
-                self.cpus[n].stats.writes.inc();
-                self.write_store(addr, value);
-            }
-        }
-    }
-
-    /// Installs a block in a CPU cache; a displaced dirty victim notifies
-    /// its home asynchronously and adds the Table 2 replacement charge.
-    fn fill(
-        &mut self,
-        n: usize,
-        key: u64,
-        owned: bool,
-        cost: &mut Cycles,
-        queue: &mut EventQueue<Event>,
-    ) {
-        if let Some(victim) = self.cpus[n].cache.fill(key, owned) {
-            *cost += if victim.owned {
-                self.cfg.dirnnb.replace_exclusive
-            } else {
-                self.cfg.dirnnb.replace_shared
-            };
-            if victim.owned {
-                let victim_addr = victim.block * BLOCK_BYTES as u64;
-                let home = self.home_of(victim_addr);
-                let me = NodeId::new(n as u16);
-                self.count_packet(self.cpus[n].clock, me, home, true);
-                let at = self.cpus[n].clock.max(queue.now()) + self.hop(me, home);
-                queue.schedule_at_for(
-                    at,
-                    Some(home.index()),
-                    Event::Writeback {
-                        addr: victim_addr,
-                        from: n as u16,
-                    },
-                );
-            }
-        }
-    }
-
-    // --- Directory engine --------------------------------------------------
-
-    fn home_request(
-        &mut self,
-        addr: u64,
-        from: NodeId,
-        req: DirReq,
-        now: Cycles,
-        queue: &mut EventQueue<Event>,
-    ) {
-        let entry = self.dirs.entry(addr).or_default();
-        if entry.is_busy() {
-            self.dir_stats.deferred.inc();
-            entry.queue.push_back((from, req));
-            return;
-        }
-        self.dir_stats.dir_ops.inc();
-        let home = self.home_of(addr);
-        let base = self.cfg.dirnnb.dir_op_base;
-        match (self.dirs.get(&addr).unwrap().state, req) {
-            (DirState::Uncached | DirState::Shared(_), DirReq::Read) => {
-                self.dirs.get_mut(&addr).unwrap().add_sharer(from);
-                self.grant(addr, from, req, now + base, queue);
-            }
-            (DirState::Uncached, DirReq::Write | DirReq::Upgrade) => {
-                self.dirs.get_mut(&addr).unwrap().state = DirState::Exclusive(from);
-                self.grant(addr, from, req, now + base, queue);
-            }
-            (DirState::Shared(_), DirReq::Write | DirReq::Upgrade) => {
-                let targets = self.dirs.get(&addr).unwrap().sharers_except(from);
-                if targets.is_empty() {
-                    self.dirs.get_mut(&addr).unwrap().state = DirState::Exclusive(from);
-                    self.grant(addr, from, req, now + base, queue);
-                    return;
-                }
-                let cost = base
-                    + Cycles::new(
-                        self.cfg.dirnnb.dir_op_per_msg.raw() * targets.len() as u64,
-                    );
-                self.dir_stats.invalidations.add(targets.len() as u64);
-                for t in &targets {
-                    self.count_packet(now, home, *t, false);
-                    queue.schedule_at_for(
-                        now + cost + self.hop(home, *t),
-                        Some(t.index()),
-                        Event::Invalidate {
-                            addr,
-                            node: t.raw(),
-                        },
-                    );
-                }
-                self.dirs.get_mut(&addr).unwrap().busy = Some(DirBusy::Invalidating {
-                    acks_left: targets.len(),
-                    to: from,
-                    req,
-                });
-            }
-            (DirState::Exclusive(owner), _) => {
-                self.dir_stats.recalls.inc();
-                let cost = base + self.cfg.dirnnb.dir_op_per_msg;
-                self.count_packet(now, home, owner, false);
-                queue.schedule_at_for(
-                    now + cost + self.hop(home, owner),
-                    Some(owner.index()),
-                    Event::Recall {
-                        addr,
-                        node: owner.raw(),
-                        invalidate: !matches!(req, DirReq::Read),
-                    },
-                );
-                self.dirs.get_mut(&addr).unwrap().busy = Some(DirBusy::Recalling {
-                    owner,
-                    to: from,
-                    req,
-                });
-            }
-        }
-    }
-
-    /// Sends a grant back to the requester.
-    fn grant(
-        &mut self,
-        addr: u64,
-        to: NodeId,
-        req: DirReq,
-        at: Cycles,
-        queue: &mut EventQueue<Event>,
-    ) {
-        let home = self.home_of(addr);
-        let mut cost = self.cfg.dirnnb.dir_op_per_msg;
-        if req.needs_data() {
-            cost += self.cfg.dirnnb.dir_op_block_send;
-        }
-        self.count_packet(at, home, to, req.needs_data());
-        queue.schedule_at_for(
-            at + cost + self.hop(home, to),
-            Some(to.index()),
-            Event::Grant {
-                addr,
-                node: to.raw(),
-                req,
-            },
-        );
-    }
-
-    fn home_ack(&mut self, addr: u64, now: Cycles, queue: &mut EventQueue<Event>) {
-        let entry = self.dirs.get_mut(&addr).expect("directory entry");
-        let Some(DirBusy::Invalidating { acks_left, to, req }) = entry.busy else {
-            panic!("ack for a block that is not invalidating");
-        };
-        if acks_left > 1 {
-            entry.busy = Some(DirBusy::Invalidating {
-                acks_left: acks_left - 1,
-                to,
-                req,
-            });
-            return;
-        }
-        entry.busy = None;
-        entry.state = DirState::Exclusive(to);
-        self.dir_stats.dir_ops.inc();
-        self.grant(addr, to, req, now + self.cfg.dirnnb.dir_op_base, queue);
-        self.drain_queue(addr, now, queue);
-    }
-
-    fn home_data(
-        &mut self,
-        addr: u64,
-        from: NodeId,
-        now: Cycles,
-        queue: &mut EventQueue<Event>,
-    ) {
-        let entry = self.dirs.get_mut(&addr).expect("directory entry");
-        let Some(DirBusy::Recalling { owner, to, req }) = entry.busy else {
-            panic!("recall data for a block that is not recalling");
-        };
-        debug_assert_eq!(owner, from);
-        entry.busy = None;
-        match req {
-            DirReq::Read => {
-                entry.state = DirState::Shared(
-                    (1u64 << owner.index()) | (1u64 << to.index()),
-                );
-            }
-            DirReq::Write | DirReq::Upgrade => {
-                entry.state = DirState::Exclusive(to);
-            }
-        }
-        self.dir_stats.dir_ops.inc();
-        let cost = self.cfg.dirnnb.dir_op_base + self.cfg.dirnnb.dir_op_block_recv;
-        self.grant(addr, to, req, now + cost, queue);
-        self.drain_queue(addr, now, queue);
-    }
-
-    fn drain_queue(&mut self, addr: u64, now: Cycles, queue: &mut EventQueue<Event>) {
-        loop {
-            let entry = self.dirs.get_mut(&addr).expect("directory entry");
-            if entry.is_busy() {
-                return;
-            }
-            let Some((from, req)) = entry.queue.pop_front() else {
-                return;
-            };
-            self.home_request(addr, from, req, now, queue);
-        }
-    }
-
-    fn invalidate_at(
-        &mut self,
-        addr: u64,
-        node: usize,
-        now: Cycles,
-        queue: &mut EventQueue<Event>,
-    ) {
-        // The remote cache controller invalidates without involving its
-        // CPU: 8 cycles plus the shared-replacement charge (Table 2).
-        let key = addr / BLOCK_BYTES as u64;
-        self.cpus[node].cache.invalidate(key);
-        let cost = self.cfg.dirnnb.remote_invalidate + self.cfg.dirnnb.replace_shared;
-        let home = self.home_of(addr);
-        let me = NodeId::new(node as u16);
-        self.count_packet(now, me, home, false);
-        queue.schedule_at_for(
-            now + cost + self.hop(me, home),
-            Some(home.index()),
-            Event::HomeAck { addr },
-        );
-    }
-
-    fn recall_at(
-        &mut self,
-        addr: u64,
-        node: usize,
-        invalidate: bool,
-        now: Cycles,
-        queue: &mut EventQueue<Event>,
-    ) {
-        let key = addr / BLOCK_BYTES as u64;
-        let present = if invalidate {
-            self.cpus[node].cache.invalidate(key)
-        } else {
-            self.cpus[node].cache.set_owned(key, false)
-        };
-        if !present {
-            if self.cpus[node].pending_block == Some(addr) {
-                // The recall overtook this node's own grant for the same
-                // block (grants and recalls travel on different virtual
-                // networks). Nack-and-retry, as a busy hardware owner
-                // would: try again after the grant has landed.
-                queue.schedule_at_for(
-                    now + self.cfg.timing.network_latency,
-                    Some(node),
-                    Event::Recall {
-                        addr,
-                        node: node as u16,
-                        invalidate,
-                    },
-                );
-                return;
-            }
-            // Otherwise the line was evicted while the recall was in
-            // flight; the home completes from the writeback.
-            return;
-        }
-        let cost = self.cfg.dirnnb.remote_invalidate + self.cfg.dirnnb.replace_exclusive;
-        let home = self.home_of(addr);
-        let me = NodeId::new(node as u16);
-        self.count_packet(now, me, home, true);
-        queue.schedule_at_for(
-            now + cost + self.hop(me, home),
-            Some(home.index()),
-            Event::HomeData {
-                addr,
-                from: me.raw(),
-            },
-        );
-    }
-
-    fn writeback(&mut self, addr: u64, from: NodeId, now: Cycles, queue: &mut EventQueue<Event>) {
-        self.dir_stats.writebacks.inc();
-        let entry = self.dirs.entry(addr).or_default();
-        match entry.busy {
-            Some(DirBusy::Recalling { owner, .. }) if owner == from => {
-                // The owner's eviction raced our recall; its writeback
-                // carries the block.
-                self.home_data(addr, from, now, queue);
-            }
-            Some(other) => panic!("writeback raced {other:?}"),
-            None => {
-                debug_assert_eq!(entry.state, DirState::Exclusive(from));
-                entry.state = DirState::Uncached;
-            }
-        }
-    }
-
-    fn grant_arrived(
-        &mut self,
-        addr: u64,
-        node: usize,
-        req: DirReq,
-        now: Cycles,
-        queue: &mut EventQueue<Event>,
-    ) {
-        let key = addr / BLOCK_BYTES as u64;
-        let me = NodeId::new(node as u16);
-        let home = self.home_of(addr);
-        let mut cost = if home == me {
-            self.cfg.timing.local_miss
-        } else {
-            self.cfg.dirnnb.remote_miss_finish
-        };
-        match req {
-            DirReq::Upgrade => {
-                // The line is still resident unless an intervening
-                // invalidation removed it; then treat as a full fill.
-                if !self.cpus[node].cache.set_owned(key, true) {
-                    self.fill(node, key, true, &mut cost, queue);
-                }
-            }
-            DirReq::Read => self.fill(node, key, false, &mut cost, queue),
-            DirReq::Write => self.fill(node, key, true, &mut cost, queue),
-        }
-        // Complete the blocked op *now*, before releasing the CPU: the
-        // grant delivers the data to the stalled load/store, so a recall
-        // racing in behind it can never steal an incomplete access (that
-        // would livelock two writers hammering one block).
-        {
-            let cpu = &mut self.cpus[node];
-            debug_assert_eq!(cpu.status, CpuStatus::BlockedMiss);
-            cpu.status = CpuStatus::Ready;
-            cpu.pending_block = None;
-        }
-        let op = self.cpus[node].chunk[self.cpus[node].pc];
-        match op {
-            Op::Read { addr, expect } => {
-                self.complete_access(node, addr, AccessKind::Load, 0, expect)
-            }
-            Op::Write { addr, value } => {
-                self.complete_access(node, addr, AccessKind::Store, value, None)
-            }
-            other => unreachable!("blocked on a non-memory op {other:?}"),
-        }
-        let cpu = &mut self.cpus[node];
-        cpu.pc += 1;
-        cpu.clock = now + cost;
-        cpu.stats
-            .miss_stall_cycles
-            .add((cpu.clock - cpu.suspended_at).raw());
-        if !cpu.step_pending {
-            cpu.step_pending = true;
-            let at = cpu.clock;
-            queue.schedule_at_for(at, Some(node), Event::CpuStep(node));
-        }
-    }
-
-    fn barrier_release(&mut self, generation: u64, now: Cycles, queue: &mut EventQueue<Event>) {
-        assert_eq!(generation, self.barrier.generation, "stale barrier release");
-        self.barrier.generation += 1;
-        self.barrier.arrived = 0;
-        self.barrier.max_arrival = Cycles::ZERO;
-        self.barrier.releases += 1;
-        for n in 0..self.cfg.nodes {
-            let cpu = &mut self.cpus[n];
-            assert_eq!(cpu.status, CpuStatus::AtBarrier, "node {n} missed the barrier");
-            cpu.stats
-                .barrier_wait_cycles
-                .add((now - cpu.suspended_at).raw());
-            cpu.status = CpuStatus::Ready;
-            cpu.clock = now;
-            if !cpu.step_pending {
-                cpu.step_pending = true;
-                queue.schedule_at_for(now, Some(n), Event::CpuStep(n));
-            }
         }
     }
 
@@ -950,22 +495,48 @@ impl DirnnbMachine {
     }
 }
 
-impl EventHandler for DirnnbMachine {
-    type Event = Event;
+/// Contiguous `(first, len)` node ranges splitting `total` nodes into
+/// `parts` shards of near-equal size.
+fn split_ranges(total: usize, parts: usize) -> Vec<(usize, usize)> {
+    (0..parts)
+        .map(|i| {
+            let first = i * total / parts;
+            let end = (i + 1) * total / parts;
+            (first, end - first)
+        })
+        .collect()
+}
 
-    fn handle(&mut self, now: Cycles, event: Event, queue: &mut EventQueue<Event>) {
+fn read_store(store: &mut FxHashMap<Vpn, StorePage>, addr: VAddr) -> u64 {
+    let page = store
+        .entry(addr.page())
+        .or_insert_with(|| Box::new([0u64; PAGE_BYTES / WORD_BYTES]));
+    page[(addr.page_offset() as usize) / WORD_BYTES]
+}
+
+fn write_store(store: &mut FxHashMap<Vpn, StorePage>, addr: VAddr, value: u64) {
+    let page = store
+        .entry(addr.page())
+        .or_insert_with(|| Box::new([0u64; PAGE_BYTES / WORD_BYTES]));
+    page[(addr.page_offset() as usize) / WORD_BYTES] = value;
+}
+
+impl<'m> Shard<'m> {
+    /// Dispatches one event, declaring the handling node as the origin
+    /// of everything the handler schedules.
+    fn handle(&mut self, now: Cycles, event: Event, queue: &mut ShardQueue<Event>) {
+        match target_in(self.home_map, &event) {
+            Some(t) => queue.set_origin(t),
+            None => queue.set_origin_global(),
+        }
         match event {
             Event::CpuStep(n) => self.cpu_step(n, now, queue),
             Event::HomeRequest { addr, from, req } => {
                 self.home_request(addr, NodeId::new(from), req, now, queue)
             }
             Event::HomeAck { addr } => self.home_ack(addr, now, queue),
-            Event::HomeData { addr, from } => {
-                self.home_data(addr, NodeId::new(from), now, queue)
-            }
-            Event::Invalidate { addr, node } => {
-                self.invalidate_at(addr, node as usize, now, queue)
-            }
+            Event::HomeData { addr, from } => self.home_data(addr, NodeId::new(from), now, queue),
+            Event::Invalidate { addr, node } => self.invalidate_at(addr, node as usize, now, queue),
             Event::Recall {
                 addr,
                 node,
@@ -974,10 +545,671 @@ impl EventHandler for DirnnbMachine {
             Event::Grant { addr, node, req } => {
                 self.grant_arrived(addr, node as usize, req, now, queue)
             }
-            Event::Writeback { addr, from } => {
-                self.writeback(addr, NodeId::new(from), now, queue)
+            Event::Writeback { addr, from } => self.writeback(addr, NodeId::new(from), now, queue),
+            Event::BarrierRelease { generation } => self.release_local(now, generation, queue),
+        }
+    }
+
+    /// Seeds the queue with each owned node's first CPU step.
+    fn init_nodes(&mut self, queue: &mut ShardQueue<Event>) {
+        for l in 0..self.cpus.len() {
+            let n = self.first + l;
+            queue.set_origin(n);
+            self.cpus[l].step_pending = true;
+            queue.schedule_for(Cycles::ZERO, n, Event::CpuStep(n));
+        }
+    }
+
+    fn home_of(&self, addr: u64) -> NodeId {
+        home_of_in(self.home_map, addr)
+    }
+
+    /// Network hop latency between two nodes (zero if the same node).
+    fn hop(&self, a: NodeId, b: NodeId) -> Cycles {
+        if a == b {
+            Cycles::ZERO
+        } else {
+            self.cfg.timing.network_latency
+        }
+    }
+
+    /// Records a protocol message for traffic statistics (the cost model
+    /// charges latencies separately). Wire size matches the one-argument
+    /// packet `send` would have been handed: handler word + one argument
+    /// word, plus a coherence block when `data` is set.
+    fn count_packet(&mut self, _now: Cycles, src: NodeId, dst: NodeId, data: bool) {
+        let wire = HANDLER_WORD_BYTES + ARG_WORD_BYTES + if data { BLOCK_BYTES } else { 0 };
+        self.network.count(src, dst, VirtualNet::Request, wire);
+    }
+
+    // --- CPU execution ----------------------------------------------------
+
+    /// The per-op inner loop. Ops that touch only this CPU (compute,
+    /// calls, barriers, chunk refills) run under one split borrow of
+    /// `self` — no re-indexing per op, mirroring `TyphoonMachine`.
+    /// Memory ops break out to [`Self::access`], which needs the
+    /// directory and network.
+    fn cpu_step(&mut self, n: usize, now: Cycles, queue: &mut ShardQueue<Event>) {
+        let l = n - self.first;
+        {
+            let cpu = &mut self.cpus[l];
+            cpu.step_pending = false;
+            if cpu.status != CpuStatus::Ready {
+                return;
             }
-            Event::BarrierRelease { generation } => self.barrier_release(generation, now, queue),
+            if cpu.clock < now {
+                cpu.clock = now;
+            }
+        }
+        let mut deadline = now + self.quantum;
+        loop {
+            let (addr, kind, value, expect) = {
+                let Shard {
+                    cfg,
+                    quantum,
+                    cpus,
+                    barrier,
+                    workload,
+                    done,
+                    ..
+                } = self;
+                let cpu = &mut cpus[l];
+                loop {
+                    // Refill the op chunk if exhausted, reusing its allocation.
+                    if cpu.pc >= cpu.chunk.len() {
+                        let mut chunk = std::mem::take(&mut cpu.chunk);
+                        let refilled = workload
+                            .lock()
+                            .expect("workload poisoned")
+                            .next_chunk_into(NodeId::new(n as u16), &mut chunk);
+                        if refilled {
+                            cpu.chunk = chunk;
+                            cpu.pc = 0;
+                            if cpu.chunk.is_empty() {
+                                continue;
+                            }
+                        } else {
+                            cpu.status = CpuStatus::Done;
+                            done[l] = Some(cpu.clock);
+                            return;
+                        }
+                    }
+                    let op = cpu.chunk[cpu.pc];
+                    match op {
+                        Op::Compute(k) => {
+                            cpu.clock += Cycles::new(k as u64);
+                            cpu.stats.compute_cycles.add(k as u64);
+                            cpu.stats.ops.inc();
+                            cpu.pc += 1;
+                        }
+                        Op::UserCall { .. } => {
+                            // A hardware shared-memory machine has no user-level
+                            // protocol; calls complete immediately.
+                            cpu.clock += Cycles::new(1);
+                            cpu.stats.ops.inc();
+                            cpu.pc += 1;
+                        }
+                        Op::Barrier => {
+                            cpu.pc += 1;
+                            cpu.stats.ops.inc();
+                            cpu.status = CpuStatus::AtBarrier;
+                            cpu.suspended_at = cpu.clock;
+                            let arrival = cpu.clock;
+                            // Inline (single-shard) mode completes the
+                            // barrier here; windowed mode aggregates
+                            // arrivals at the window driver.
+                            if let Some(release_at) = queue.note_barrier_arrival(arrival) {
+                                queue.schedule_global(
+                                    release_at,
+                                    Event::BarrierRelease {
+                                        generation: barrier.generation,
+                                    },
+                                );
+                            }
+                            return;
+                        }
+                        Op::Read { addr, expect } => break (addr, AccessKind::Load, 0, expect),
+                        Op::Write { addr, value } => break (addr, AccessKind::Store, value, None),
+                    }
+                    if cpu.clock >= deadline {
+                        let at = cpu.clock;
+                        // Direct execution (WWT-style): if every pending
+                        // event lies strictly beyond this CPU's clock, the
+                        // wakeup we are about to schedule would be the very
+                        // next event popped — skip the queue round trip and
+                        // keep executing inline. Under the window scheme
+                        // the run must also stay below the window end. Only
+                        // the self-wakeup (a reserved key) is elided, so
+                        // reported cycles stay byte-identical.
+                        if cfg.direct_execution
+                            && queue.peek_time().is_none_or(|t| t > at)
+                            && queue.window_end().is_none_or(|end| at < end)
+                        {
+                            deadline = at + *quantum;
+                            continue;
+                        }
+                        cpu.step_pending = true;
+                        queue.schedule_wakeup(at, n, Event::CpuStep(n));
+                        return;
+                    }
+                }
+            };
+            if !self.access(n, queue, addr, kind, value, expect) {
+                return;
+            }
+            if self.cpus[l].clock >= deadline {
+                let at = self.cpus[l].clock;
+                // Same direct-execution bypass as the inner loop; see there.
+                if self.cfg.direct_execution
+                    && queue.peek_time().is_none_or(|t| t > at)
+                    && queue.window_end().is_none_or(|end| at < end)
+                {
+                    deadline = at + self.quantum;
+                    continue;
+                }
+                let cpu = &mut self.cpus[l];
+                cpu.step_pending = true;
+                queue.schedule_wakeup(at, n, Event::CpuStep(n));
+                return;
+            }
+        }
+    }
+
+    /// Executes one access; returns `false` if the CPU blocked on a miss.
+    fn access(
+        &mut self,
+        n: usize,
+        queue: &mut ShardQueue<Event>,
+        addr: VAddr,
+        kind: AccessKind,
+        value: u64,
+        expect: Option<u64>,
+    ) -> bool {
+        let l = n - self.first;
+        let me = NodeId::new(n as u16);
+        let block = addr.block_base().raw();
+        let key = block / BLOCK_BYTES as u64;
+        let mut cost = Cycles::new(1);
+        self.cpus[l].stats.ops.inc();
+        if !self.cpus[l].tlb.access(addr.page()) {
+            cost += self.cfg.timing.tlb_miss;
+        }
+        let probe = self.cpus[l].cache.probe(key);
+        let req = match (probe, kind) {
+            (Probe::HitOwned, _) | (Probe::HitShared, AccessKind::Load) => None,
+            (Probe::HitShared, AccessKind::Store) => Some(DirReq::Upgrade),
+            (Probe::Miss, AccessKind::Load) => Some(DirReq::Read),
+            (Probe::Miss, AccessKind::Store) => Some(DirReq::Write),
+        };
+        let Some(req) = req else {
+            // Cache hit: no directory involvement, so the home lookup is
+            // not needed — this is the per-op fast path.
+            self.complete_access(n, addr, kind, value, expect);
+            self.cpus[l].clock += cost;
+            self.cpus[l].pc += 1;
+            return true;
+        };
+        let home = self.home_of(addr.raw());
+
+        // Fast local path: home is this node and the directory can grant
+        // immediately — a plain 29-cycle local miss.
+        if home == me {
+            let entry = self.dirs.entry(block).or_default();
+            if !entry.is_busy() {
+                let fast = match (entry.state, req) {
+                    (DirState::Uncached | DirState::Shared(_), DirReq::Read) => {
+                        entry.add_sharer(me);
+                        Some(false)
+                    }
+                    (DirState::Uncached, DirReq::Write) => {
+                        entry.state = DirState::Exclusive(me);
+                        Some(true)
+                    }
+                    (DirState::Shared(_), DirReq::Upgrade | DirReq::Write)
+                        if entry.sharers_except(me).is_empty() =>
+                    {
+                        entry.state = DirState::Exclusive(me);
+                        Some(true)
+                    }
+                    _ => None,
+                };
+                if let Some(owned) = fast {
+                    cost += self.cfg.timing.local_miss;
+                    self.cpus[l].stats.local_misses.inc();
+                    if req == DirReq::Upgrade {
+                        // The line is already resident shared.
+                        self.cpus[l].cache.set_owned(key, true);
+                    } else {
+                        self.fill(n, key, owned, &mut cost, queue);
+                    }
+                    self.complete_access(n, addr, kind, value, expect);
+                    self.cpus[l].clock += cost;
+                    self.cpus[l].pc += 1;
+                    return true;
+                }
+            }
+        }
+
+        // Slow path: block and send the request to the home directory.
+        if home == me {
+            self.cpus[l].stats.local_misses.inc();
+        } else {
+            self.cpus[l].stats.remote_misses.inc();
+            cost += self.cfg.dirnnb.remote_miss_request;
+            let at = self.cpus[l].clock;
+            self.count_packet(at, me, home, false);
+        }
+        if req == DirReq::Upgrade {
+            self.cpus[l].stats.upgrades.inc();
+        }
+        let cpu = &mut self.cpus[l];
+        cpu.clock += cost;
+        cpu.status = CpuStatus::BlockedMiss;
+        cpu.suspended_at = cpu.clock;
+        cpu.pending_block = Some(block);
+        let at = cpu.clock + self.hop(me, home);
+        queue.schedule_for(
+            at,
+            home.index(),
+            Event::HomeRequest {
+                addr: block,
+                from: me.raw(),
+                req,
+            },
+        );
+        false
+    }
+
+    /// Functional completion: reads check the global store, writes update
+    /// it (hardware-coherent shared memory has a single value image).
+    fn complete_access(
+        &mut self,
+        n: usize,
+        addr: VAddr,
+        kind: AccessKind,
+        value: u64,
+        expect: Option<u64>,
+    ) {
+        let l = n - self.first;
+        match kind {
+            AccessKind::Load => {
+                self.cpus[l].stats.reads.inc();
+                let got = {
+                    let mut store = self.store.lock().expect("store poisoned");
+                    read_store(&mut store, addr)
+                };
+                if self.verify_values {
+                    if let Some(expect) = expect {
+                        assert_eq!(
+                            got, expect,
+                            "DirNNB coherence image mismatch: node {n} read {addr}"
+                        );
+                    }
+                }
+            }
+            AccessKind::Store => {
+                self.cpus[l].stats.writes.inc();
+                let mut store = self.store.lock().expect("store poisoned");
+                write_store(&mut store, addr, value);
+            }
+        }
+    }
+
+    /// Installs a block in a CPU cache; a displaced dirty victim notifies
+    /// its home asynchronously and adds the Table 2 replacement charge.
+    fn fill(
+        &mut self,
+        n: usize,
+        key: u64,
+        owned: bool,
+        cost: &mut Cycles,
+        queue: &mut ShardQueue<Event>,
+    ) {
+        let l = n - self.first;
+        if let Some(victim) = self.cpus[l].cache.fill(key, owned) {
+            *cost += if victim.owned {
+                self.cfg.dirnnb.replace_exclusive
+            } else {
+                self.cfg.dirnnb.replace_shared
+            };
+            if victim.owned {
+                let victim_addr = victim.block * BLOCK_BYTES as u64;
+                let home = self.home_of(victim_addr);
+                let me = NodeId::new(n as u16);
+                let clock = self.cpus[l].clock;
+                self.count_packet(clock, me, home, true);
+                let at = clock.max(queue.now()) + self.hop(me, home);
+                queue.schedule_for(
+                    at,
+                    home.index(),
+                    Event::Writeback {
+                        addr: victim_addr,
+                        from: n as u16,
+                    },
+                );
+            }
+        }
+    }
+
+    // --- Directory engine --------------------------------------------------
+
+    fn home_request(
+        &mut self,
+        addr: u64,
+        from: NodeId,
+        req: DirReq,
+        now: Cycles,
+        queue: &mut ShardQueue<Event>,
+    ) {
+        let entry = self.dirs.entry(addr).or_default();
+        if entry.is_busy() {
+            self.dir_stats.deferred.inc();
+            entry.queue.push_back((from, req));
+            return;
+        }
+        self.dir_stats.dir_ops.inc();
+        let home = self.home_of(addr);
+        let base = self.cfg.dirnnb.dir_op_base;
+        match (self.dirs.get(&addr).unwrap().state, req) {
+            (DirState::Uncached | DirState::Shared(_), DirReq::Read) => {
+                self.dirs.get_mut(&addr).unwrap().add_sharer(from);
+                self.grant(addr, from, req, now + base, queue);
+            }
+            (DirState::Uncached, DirReq::Write | DirReq::Upgrade) => {
+                self.dirs.get_mut(&addr).unwrap().state = DirState::Exclusive(from);
+                self.grant(addr, from, req, now + base, queue);
+            }
+            (DirState::Shared(_), DirReq::Write | DirReq::Upgrade) => {
+                let targets = self.dirs.get(&addr).unwrap().sharers_except(from);
+                if targets.is_empty() {
+                    self.dirs.get_mut(&addr).unwrap().state = DirState::Exclusive(from);
+                    self.grant(addr, from, req, now + base, queue);
+                    return;
+                }
+                let cost = base
+                    + Cycles::new(self.cfg.dirnnb.dir_op_per_msg.raw() * targets.len() as u64);
+                self.dir_stats.invalidations.add(targets.len() as u64);
+                for t in &targets {
+                    self.count_packet(now, home, *t, false);
+                    queue.schedule_for(
+                        now + cost + self.hop(home, *t),
+                        t.index(),
+                        Event::Invalidate {
+                            addr,
+                            node: t.raw(),
+                        },
+                    );
+                }
+                self.dirs.get_mut(&addr).unwrap().busy = Some(DirBusy::Invalidating {
+                    acks_left: targets.len(),
+                    to: from,
+                    req,
+                });
+            }
+            (DirState::Exclusive(owner), _) => {
+                self.dir_stats.recalls.inc();
+                let cost = base + self.cfg.dirnnb.dir_op_per_msg;
+                self.count_packet(now, home, owner, false);
+                queue.schedule_for(
+                    now + cost + self.hop(home, owner),
+                    owner.index(),
+                    Event::Recall {
+                        addr,
+                        node: owner.raw(),
+                        invalidate: !matches!(req, DirReq::Read),
+                    },
+                );
+                self.dirs.get_mut(&addr).unwrap().busy =
+                    Some(DirBusy::Recalling { owner, to: from, req });
+            }
+        }
+    }
+
+    /// Sends a grant back to the requester.
+    fn grant(
+        &mut self,
+        addr: u64,
+        to: NodeId,
+        req: DirReq,
+        at: Cycles,
+        queue: &mut ShardQueue<Event>,
+    ) {
+        let home = self.home_of(addr);
+        let mut cost = self.cfg.dirnnb.dir_op_per_msg;
+        if req.needs_data() {
+            cost += self.cfg.dirnnb.dir_op_block_send;
+        }
+        self.count_packet(at, home, to, req.needs_data());
+        queue.schedule_for(
+            at + cost + self.hop(home, to),
+            to.index(),
+            Event::Grant {
+                addr,
+                node: to.raw(),
+                req,
+            },
+        );
+    }
+
+    fn home_ack(&mut self, addr: u64, now: Cycles, queue: &mut ShardQueue<Event>) {
+        let entry = self.dirs.get_mut(&addr).expect("directory entry");
+        let Some(DirBusy::Invalidating { acks_left, to, req }) = entry.busy else {
+            panic!("ack for a block that is not invalidating");
+        };
+        if acks_left > 1 {
+            entry.busy = Some(DirBusy::Invalidating {
+                acks_left: acks_left - 1,
+                to,
+                req,
+            });
+            return;
+        }
+        entry.busy = None;
+        entry.state = DirState::Exclusive(to);
+        self.dir_stats.dir_ops.inc();
+        self.grant(addr, to, req, now + self.cfg.dirnnb.dir_op_base, queue);
+        self.drain_queue(addr, now, queue);
+    }
+
+    fn home_data(&mut self, addr: u64, from: NodeId, now: Cycles, queue: &mut ShardQueue<Event>) {
+        let entry = self.dirs.get_mut(&addr).expect("directory entry");
+        let Some(DirBusy::Recalling { owner, to, req }) = entry.busy else {
+            panic!("recall data for a block that is not recalling");
+        };
+        debug_assert_eq!(owner, from);
+        entry.busy = None;
+        match req {
+            DirReq::Read => {
+                entry.state =
+                    DirState::Shared((1u64 << owner.index()) | (1u64 << to.index()));
+            }
+            DirReq::Write | DirReq::Upgrade => {
+                entry.state = DirState::Exclusive(to);
+            }
+        }
+        self.dir_stats.dir_ops.inc();
+        let cost = self.cfg.dirnnb.dir_op_base + self.cfg.dirnnb.dir_op_block_recv;
+        self.grant(addr, to, req, now + cost, queue);
+        self.drain_queue(addr, now, queue);
+    }
+
+    fn drain_queue(&mut self, addr: u64, now: Cycles, queue: &mut ShardQueue<Event>) {
+        loop {
+            let entry = self.dirs.get_mut(&addr).expect("directory entry");
+            if entry.is_busy() {
+                return;
+            }
+            let Some((from, req)) = entry.queue.pop_front() else {
+                return;
+            };
+            self.home_request(addr, from, req, now, queue);
+        }
+    }
+
+    fn invalidate_at(&mut self, addr: u64, node: usize, now: Cycles, queue: &mut ShardQueue<Event>) {
+        // The remote cache controller invalidates without involving its
+        // CPU: 8 cycles plus the shared-replacement charge (Table 2).
+        let key = addr / BLOCK_BYTES as u64;
+        self.cpus[node - self.first].cache.invalidate(key);
+        let cost = self.cfg.dirnnb.remote_invalidate + self.cfg.dirnnb.replace_shared;
+        let home = self.home_of(addr);
+        let me = NodeId::new(node as u16);
+        self.count_packet(now, me, home, false);
+        queue.schedule_for(
+            now + cost + self.hop(me, home),
+            home.index(),
+            Event::HomeAck { addr },
+        );
+    }
+
+    fn recall_at(
+        &mut self,
+        addr: u64,
+        node: usize,
+        invalidate: bool,
+        now: Cycles,
+        queue: &mut ShardQueue<Event>,
+    ) {
+        let l = node - self.first;
+        let key = addr / BLOCK_BYTES as u64;
+        let present = if invalidate {
+            self.cpus[l].cache.invalidate(key)
+        } else {
+            self.cpus[l].cache.set_owned(key, false)
+        };
+        if !present {
+            if self.cpus[l].pending_block == Some(addr) {
+                // The recall overtook this node's own grant for the same
+                // block (grants and recalls travel on different virtual
+                // networks). Nack-and-retry, as a busy hardware owner
+                // would: try again after the grant has landed.
+                queue.schedule_for(
+                    now + self.cfg.timing.network_latency,
+                    node,
+                    Event::Recall {
+                        addr,
+                        node: node as u16,
+                        invalidate,
+                    },
+                );
+                return;
+            }
+            // Otherwise the line was evicted while the recall was in
+            // flight; the home completes from the writeback.
+            return;
+        }
+        let cost = self.cfg.dirnnb.remote_invalidate + self.cfg.dirnnb.replace_exclusive;
+        let home = self.home_of(addr);
+        let me = NodeId::new(node as u16);
+        self.count_packet(now, me, home, true);
+        queue.schedule_for(
+            now + cost + self.hop(me, home),
+            home.index(),
+            Event::HomeData {
+                addr,
+                from: me.raw(),
+            },
+        );
+    }
+
+    fn writeback(&mut self, addr: u64, from: NodeId, now: Cycles, queue: &mut ShardQueue<Event>) {
+        self.dir_stats.writebacks.inc();
+        let entry = self.dirs.entry(addr).or_default();
+        match entry.busy {
+            Some(DirBusy::Recalling { owner, .. }) if owner == from => {
+                // The owner's eviction raced our recall; its writeback
+                // carries the block.
+                self.home_data(addr, from, now, queue);
+            }
+            Some(other) => panic!("writeback raced {other:?}"),
+            None => {
+                debug_assert_eq!(entry.state, DirState::Exclusive(from));
+                entry.state = DirState::Uncached;
+            }
+        }
+    }
+
+    fn grant_arrived(
+        &mut self,
+        addr: u64,
+        node: usize,
+        req: DirReq,
+        now: Cycles,
+        queue: &mut ShardQueue<Event>,
+    ) {
+        let l = node - self.first;
+        let key = addr / BLOCK_BYTES as u64;
+        let me = NodeId::new(node as u16);
+        let home = self.home_of(addr);
+        let mut cost = if home == me {
+            self.cfg.timing.local_miss
+        } else {
+            self.cfg.dirnnb.remote_miss_finish
+        };
+        match req {
+            DirReq::Upgrade => {
+                // The line is still resident unless an intervening
+                // invalidation removed it; then treat as a full fill.
+                if !self.cpus[l].cache.set_owned(key, true) {
+                    self.fill(node, key, true, &mut cost, queue);
+                }
+            }
+            DirReq::Read => self.fill(node, key, false, &mut cost, queue),
+            DirReq::Write => self.fill(node, key, true, &mut cost, queue),
+        }
+        // Complete the blocked op *now*, before releasing the CPU: the
+        // grant delivers the data to the stalled load/store, so a recall
+        // racing in behind it can never steal an incomplete access (that
+        // would livelock two writers hammering one block).
+        {
+            let cpu = &mut self.cpus[l];
+            debug_assert_eq!(cpu.status, CpuStatus::BlockedMiss);
+            cpu.status = CpuStatus::Ready;
+            cpu.pending_block = None;
+        }
+        let op = self.cpus[l].chunk[self.cpus[l].pc];
+        match op {
+            Op::Read { addr, expect } => {
+                self.complete_access(node, addr, AccessKind::Load, 0, expect)
+            }
+            Op::Write { addr, value } => {
+                self.complete_access(node, addr, AccessKind::Store, value, None)
+            }
+            other => unreachable!("blocked on a non-memory op {other:?}"),
+        }
+        let cpu = &mut self.cpus[l];
+        cpu.pc += 1;
+        cpu.clock = now + cost;
+        cpu.stats
+            .miss_stall_cycles
+            .add((cpu.clock - cpu.suspended_at).raw());
+        if !cpu.step_pending {
+            cpu.step_pending = true;
+            let at = cpu.clock;
+            queue.schedule_for(at, node, Event::CpuStep(node));
+        }
+    }
+
+    /// Releases this shard's own nodes from the barrier at `at` (see the
+    /// Typhoon equivalent for the two-mode story).
+    fn release_local(&mut self, at: Cycles, generation: u64, queue: &mut ShardQueue<Event>) {
+        assert_eq!(generation, self.barrier.generation, "stale barrier release");
+        self.barrier.generation += 1;
+        self.barrier.releases += 1;
+        for l in 0..self.cpus.len() {
+            let n = self.first + l;
+            let cpu = &mut self.cpus[l];
+            assert_eq!(cpu.status, CpuStatus::AtBarrier, "node {n} missed the barrier");
+            cpu.stats
+                .barrier_wait_cycles
+                .add((at - cpu.suspended_at).raw());
+            cpu.status = CpuStatus::Ready;
+            cpu.clock = at;
+            if !cpu.step_pending {
+                cpu.step_pending = true;
+                queue.set_origin(n);
+                queue.schedule_for(at, n, Event::CpuStep(n));
+            }
         }
     }
 }

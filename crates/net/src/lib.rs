@@ -18,7 +18,7 @@
 
 use tt_base::addr::BLOCK_BYTES;
 use tt_base::stats::Counter;
-use tt_base::{Cycles, DetRng, NodeId};
+use tt_base::{mix64, Cycles, NodeId};
 
 /// The two independent virtual networks (Section 5.1).
 ///
@@ -150,6 +150,18 @@ impl NetStats {
     pub fn total_bytes(&self) -> u64 {
         self.bytes[0].get() + self.bytes[1].get()
     }
+
+    /// Adds another accounting's counters into this one. The parallel
+    /// simulator gives each shard its own [`Network`] instance (send-side
+    /// state is per-source-node, so shards never share it) and folds the
+    /// statistics back together at the end of the run.
+    pub fn absorb(&mut self, other: &NetStats) {
+        for vn in 0..2 {
+            self.packets[vn].add(other.packets[vn].get());
+            self.bytes[vn].add(other.bytes[vn].get());
+        }
+        self.local_packets.add(other.local_packets.get());
+    }
 }
 
 /// The interconnect: latency model plus traffic accounting.
@@ -186,9 +198,17 @@ pub struct Network {
 }
 
 /// State for seeded latency jitter (see [`Network::set_jitter`]).
+///
+/// The extra delay for a packet is a pure hash of `(seed, src, dst,
+/// per-pair packet index)` rather than a draw from an RNG *stream*: a
+/// stream's draw order is global, which under the parallel simulator
+/// would depend on how sends from different shards interleave. The hash
+/// depends only on per-pair state that the sending node's shard owns
+/// exclusively, so a jittered run is bit-identical at every thread
+/// count.
 #[derive(Clone, Debug)]
 struct Jitter {
-    rng: DetRng,
+    seed: u64,
     max_extra: Cycles,
     /// Latest delivery time handed out for each ordered `(src, dst)`
     /// pair (`src * nodes + dst`): jitter may stretch latencies but must
@@ -196,6 +216,8 @@ struct Jitter {
     /// protocols are entitled to assume (e.g. an INV racing past an
     /// earlier PUT_RO to the same sharer would clobber its Busy tag).
     pair_last: Vec<Cycles>,
+    /// Wire packets sent so far per ordered `(src, dst)` pair.
+    pair_sent: Vec<u64>,
     nodes: usize,
 }
 
@@ -225,15 +247,24 @@ impl Network {
     pub fn set_jitter(&mut self, seed: u64, max_extra: Cycles) {
         let nodes = self.port_free.len();
         self.jitter = Some(Jitter {
-            rng: DetRng::new(seed),
+            seed,
             max_extra,
             pair_last: vec![Cycles::ZERO; nodes * nodes],
+            pair_sent: vec![0; nodes * nodes],
             nodes,
         });
     }
 
     /// The configured one-way latency.
     pub fn latency(&self) -> Cycles {
+        self.latency
+    }
+
+    /// The minimum number of cycles between a cross-node send and its
+    /// earliest possible effect at the destination — the conservative
+    /// lookahead bound for WWT-style parallel simulation. Occupancy and
+    /// jitter only ever *add* delay, so the base latency is the bound.
+    pub fn lookahead(&self) -> Cycles {
         self.latency
     }
 
@@ -271,8 +302,11 @@ impl Network {
         match &mut self.jitter {
             None => base,
             Some(j) => {
-                let extra = Cycles::new(j.rng.below(j.max_extra.raw() + 1));
                 let pair = packet.src.index() * j.nodes + packet.dst.index();
+                let draw = mix64(mix64(j.seed ^ pair as u64) ^ j.pair_sent[pair]);
+                j.pair_sent[pair] += 1;
+                let bound = j.max_extra.raw() + 1;
+                let extra = Cycles::new(((draw as u128 * bound as u128) >> 64) as u64);
                 let floor = j.pair_last[pair] + Cycles::new(1);
                 let t = (base + extra).max(floor);
                 j.pair_last[pair] = t;
@@ -301,6 +335,12 @@ impl Network {
     /// Traffic statistics so far.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Folds another instance's traffic accounting into this one (see
+    /// [`NetStats::absorb`]).
+    pub fn absorb_stats(&mut self, other: &Network) {
+        self.stats.absorb(&other.stats);
     }
 }
 

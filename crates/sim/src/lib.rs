@@ -1,10 +1,10 @@
 //! A deterministic discrete-event simulation engine.
 //!
 //! The paper evaluated Typhoon on the Wisconsin Wind Tunnel, a parallel
-//! discrete-event simulator. This crate is our (sequential, deterministic)
-//! equivalent: a time-ordered event queue plus a driver loop. Machines
-//! (`tt-typhoon`, `tt-dirnnb`) define an event enum, implement
-//! [`EventHandler`], and let [`run`] drain the queue.
+//! discrete-event simulator. This crate is our deterministic equivalent:
+//! a time-ordered event queue plus a driver loop, and — in [`pdes`] — a
+//! conservative parallel driver in the WWT style that runs one
+//! simulation across OS threads while producing bit-identical results.
 //!
 //! Events scheduled for the same cycle are delivered in scheduling order
 //! (FIFO), which makes every simulation bit-reproducible.
@@ -40,26 +40,33 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use tt_base::{Cycles, DetRng};
+use tt_base::{mix64, Cycles};
 
-/// Bits of the entry key reserved for the monotonic scheduling counter
-/// when tie-shuffling is on; the high bits carry a per-entry random salt.
-/// 2^40 events is far beyond any simulation in this repository.
-const SHUFFLE_SEQ_BITS: u32 = 40;
+pub mod pdes;
 
-/// A pending event: ordering key is `(time, sequence)`, so same-cycle
-/// events fire in the order they were scheduled. The ordering impls
+pub use pdes::{run_windows, OutMsg, ShardQueue, Windowing, GLOBAL_ORIGIN};
+
+/// Bits of an entry key available to schedulers. Keys are either the
+/// queue's internal monotonic counter or, for the machines, a packed
+/// `(origin, per-origin counter)` pair (see [`pdes::ShardQueue`]); both
+/// fit comfortably in 48 bits. The top 16 bits are reserved for the
+/// tie-shuffle salt so the heap `Entry` never grows (an earlier draft
+/// that widened `Entry` by 16 bytes cost DirNNB ~25% wall time).
+const KEY_BITS: u32 = 48;
+
+/// A pending event: ordering key is `(time, key)`, so same-cycle events
+/// fire in a deterministic scheduler-chosen order. The ordering impls
 /// deliberately ignore the event payload so event types need no `Ord`.
 #[derive(Clone, Debug)]
 struct Entry<E> {
     time: Cycles,
-    seq: u64,
+    key: u64,
     event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key
     }
 }
 
@@ -73,8 +80,17 @@ impl<E> PartialOrd for Entry<E> {
 
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+        (self.time, self.key).cmp(&(other.time, other.key))
     }
+}
+
+/// How keys have been assigned so far; mixing the two schemes in one
+/// queue would silently break the FIFO/total-order invariants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum KeyMode {
+    Unset,
+    Internal,
+    Caller,
 }
 
 /// A time-ordered queue of simulation events.
@@ -86,16 +102,32 @@ impl<E> Ord for Entry<E> {
 /// two comparisons instead of two `O(log n)` heap operations.
 ///
 /// Invariant: whenever `front` is occupied it orders before every entry
-/// in `heap` (entries are totally ordered by `(time, seq)`, so FIFO
-/// delivery of same-cycle events is preserved).
+/// in `heap` (entries are totally ordered by `(time, key)`, so delivery
+/// of same-cycle events follows the key order deterministically).
+///
+/// # Keys
+///
+/// By default the queue assigns each entry a monotonically increasing
+/// key, which makes same-cycle delivery FIFO. Callers that need an
+/// ordering that is independent of *when* an entry was inserted — the
+/// parallel driver in [`pdes`] inserts cross-shard events at window
+/// boundaries, long after their logical scheduling point — supply their
+/// own keys via [`EventQueue::schedule_keyed_at_for`]. The two schemes
+/// must not be mixed in one queue.
 ///
 /// # Per-node horizons
 ///
 /// Schedulers that know which node an event affects can say so via
 /// [`EventQueue::schedule_at_for`]. With horizon tracking enabled
-/// ([`EventQueue::enable_horizon_tracking`]), the queue mirrors every
-/// pending `(time, seq)` key into a small per-target heap, which makes
-/// two queries cheap:
+/// ([`EventQueue::enable_horizon_tracking`]), the queue maintains the
+/// pending `(time, key)` minima per declared target incrementally — a
+/// small per-target heap pushed on schedule and popped on delivery,
+/// nothing else. The delivery side needs to know the popped entry's
+/// target, which the queue deliberately does not store (keeping a
+/// side-table keyed by entry cost a hash insert/remove per event and
+/// dominated the tracking overhead measured in PR 2); instead the
+/// caller, who can read the target off the event itself, passes it to
+/// [`EventQueue::pop_tracked`]. Two queries are then cheap:
 ///
 /// - [`EventQueue::node_horizon`]: the earliest pending event that can
 ///   touch a given node (its own events plus untargeted ones), and
@@ -104,11 +136,10 @@ impl<E> Ord for Entry<E> {
 ///   cross-node interaction latency — the bound a WWT-style simulator
 ///   may run a node ahead to without violating causality.
 ///
-/// Tracking is **off by default**: the mirrors cost a second heap
-/// push/pop per event, and the machines' direct-execution path needs
-/// only [`EventQueue::peek_time`] (a CPU keeps executing inline while
-/// every pending event lies strictly beyond its clock, which preserves
-/// event order *exactly*, not merely causally — see DESIGN.md).
+/// Tracking is **off by default** and free when off. The machines'
+/// direct-execution path needs only [`EventQueue::peek_time`]; the
+/// parallel driver leaves tracking on in its shard queues as a causality
+/// cross-check, which the incremental scheme makes affordable.
 #[derive(Clone, Debug)]
 pub struct EventQueue<E> {
     now: Cycles,
@@ -118,19 +149,18 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     /// Whether per-node horizon mirrors are maintained.
     track_horizons: bool,
-    /// Mirrors of the pending `(time, seq)` keys, one heap per declared
-    /// target node (grown on demand). Empty unless `track_horizons`.
+    /// Pending `(time, key)` mirrors, one heap per declared target node
+    /// (grown on demand). Empty unless `track_horizons`.
     tracks: Vec<BinaryHeap<Reverse<(Cycles, u64)>>>,
     /// Mirror for untargeted (global-effect) events.
     global_track: BinaryHeap<Reverse<(Cycles, u64)>>,
-    /// Declared target of every pending entry, keyed by sequence number.
-    /// Kept out of `Entry` so the hot heap stays compact; only populated
-    /// when `track_horizons`.
-    targets: std::collections::HashMap<u64, Option<usize>>,
     /// When set, same-cycle tie-breaking is deterministically permuted by
-    /// salting the high bits of each entry's key (see
-    /// [`EventQueue::enable_tie_shuffle`]). `None` keeps strict FIFO.
-    shuffle: Option<DetRng>,
+    /// salting the high bits of each entry's key with a hash of the seed
+    /// and the raw key (see [`EventQueue::enable_tie_shuffle`]). `None`
+    /// keeps the unsalted key order (FIFO for internal keys).
+    shuffle: Option<u64>,
+    /// Which key scheme this queue is using (debug-checked).
+    key_mode: KeyMode,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -151,8 +181,8 @@ impl<E> EventQueue<E> {
             track_horizons: false,
             tracks: Vec::new(),
             global_track: BinaryHeap::new(),
-            targets: std::collections::HashMap::new(),
             shuffle: None,
+            key_mode: KeyMode::Unset,
         }
     }
 
@@ -163,11 +193,13 @@ impl<E> EventQueue<E> {
     /// the `tt-check` schedule fuzzer; the same seed always produces the
     /// same permutation.
     ///
-    /// The permutation is implemented by salting the high bits of each
-    /// entry's `(time, seq)` key — the heap `Entry` does not grow (an
-    /// earlier draft that widened `Entry` by 16 bytes cost DirNNB ~25%
-    /// wall time) and the key's low bits stay unique, so delivery remains
-    /// a total order and horizon mirrors stay consistent.
+    /// The salt for an entry is a pure hash of `(seed, key)`, not a draw
+    /// from an RNG stream: a stream's draw order would depend on
+    /// insertion order, which under the parallel driver differs from the
+    /// sequential run (cross-shard entries are inserted at window
+    /// boundaries). Hashing the key gives every entry the same salt in
+    /// both modes, so the shuffled schedule is identical at any thread
+    /// count.
     ///
     /// # Panics
     ///
@@ -177,12 +209,13 @@ impl<E> EventQueue<E> {
             self.is_empty(),
             "enable tie-shuffle on an empty queue, before scheduling"
         );
-        self.shuffle = Some(DetRng::new(seed));
+        self.shuffle = Some(seed);
     }
 
     /// Turns on per-node horizon tracking (see the struct docs). Must be
     /// called before any event is scheduled, or the mirrors would miss
-    /// what is already pending.
+    /// what is already pending. Every pop must then go through
+    /// [`EventQueue::pop_tracked`].
     ///
     /// # Panics
     ///
@@ -199,6 +232,18 @@ impl<E> EventQueue<E> {
     #[inline]
     pub fn now(&self) -> Cycles {
         self.now
+    }
+
+    /// Salts a raw key with the tie-shuffle hash, if shuffling is on.
+    #[inline]
+    fn salted(&self, key: u64) -> u64 {
+        match self.shuffle {
+            Some(seed) => {
+                debug_assert!(key < 1 << KEY_BITS);
+                (mix64(seed ^ key) << KEY_BITS) | key
+            }
+            None => key,
+        }
     }
 
     /// Schedules `event` at absolute time `t`.
@@ -219,16 +264,34 @@ impl<E> EventQueue<E> {
     ///
     /// Panics if `t` is in the past (`t < self.now()`).
     pub fn schedule_at_for(&mut self, t: Cycles, target: Option<usize>, event: E) {
-        assert!(t >= self.now, "scheduling into the past: {t:?} < {:?}", self.now);
+        debug_assert_ne!(self.key_mode, KeyMode::Caller, "queue is caller-keyed");
+        self.key_mode = KeyMode::Internal;
         self.seq += 1;
+        let key = self.salted(self.seq);
+        self.insert(t, key, target, event);
+    }
+
+    /// Schedules `event` at absolute time `t` under a caller-supplied
+    /// key. Same-cycle entries are delivered in key order (after
+    /// tie-shuffle salting, if enabled), regardless of insertion order —
+    /// the property the parallel driver needs to merge cross-shard
+    /// events deterministically. Keys must be unique among pending
+    /// entries and fit in 48 bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past (`t < self.now()`).
+    pub fn schedule_keyed_at_for(&mut self, t: Cycles, key: u64, target: Option<usize>, event: E) {
+        debug_assert_ne!(self.key_mode, KeyMode::Internal, "queue is internally keyed");
+        debug_assert!(key < 1 << KEY_BITS, "event key overflows 48 bits");
+        self.key_mode = KeyMode::Caller;
+        let key = self.salted(key);
+        self.insert(t, key, target, event);
+    }
+
+    fn insert(&mut self, t: Cycles, key: u64, target: Option<usize>, event: E) {
+        assert!(t >= self.now, "scheduling into the past: {t:?} < {:?}", self.now);
         self.scheduled += 1;
-        let key = match &mut self.shuffle {
-            Some(rng) => {
-                debug_assert!(self.seq < 1 << SHUFFLE_SEQ_BITS);
-                (rng.next_u64() << SHUFFLE_SEQ_BITS) | self.seq
-            }
-            None => self.seq,
-        };
         if self.track_horizons {
             match target {
                 Some(node) => {
@@ -239,11 +302,10 @@ impl<E> EventQueue<E> {
                 }
                 None => self.global_track.push(Reverse((t, key))),
             }
-            self.targets.insert(key, target);
         }
         let entry = Entry {
             time: t,
-            seq: key,
+            key,
             event,
         };
         match &self.front {
@@ -270,7 +332,27 @@ impl<E> EventQueue<E> {
     }
 
     /// Removes and returns the earliest event, advancing `now` to its time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if horizon tracking is enabled — the mirrors need the
+    /// popped entry's target; use [`EventQueue::pop_tracked`].
     pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        assert!(
+            !self.track_horizons,
+            "horizon tracking is on: pop through pop_tracked"
+        );
+        self.pop_tracked(|_| None)
+    }
+
+    /// Removes and returns the earliest event, advancing `now` to its
+    /// time. When horizon tracking is enabled, `target_of` must report
+    /// the same target the entry was scheduled with (machines read it
+    /// off the event itself); it is not called otherwise.
+    pub fn pop_tracked(
+        &mut self,
+        target_of: impl FnOnce(&E) -> Option<usize>,
+    ) -> Option<(Cycles, E)> {
         let e = match self.front.take() {
             Some(e) => e,
             None => self.heap.pop()?.0,
@@ -279,17 +361,13 @@ impl<E> EventQueue<E> {
         if self.track_horizons {
             // The popped entry is the global minimum, hence also the
             // minimum of the track mirroring it.
-            let target = self
-                .targets
-                .remove(&e.seq)
-                .expect("every tracked entry has a recorded target");
-            let mirrored = match target {
+            let mirrored = match target_of(&e.event) {
                 Some(node) => self.tracks[node].pop(),
                 None => self.global_track.pop(),
             };
             debug_assert_eq!(
                 mirrored.map(|Reverse(k)| k),
-                Some((e.time, e.seq)),
+                Some((e.time, e.key)),
                 "track mirrors diverged from the queue"
             );
         }
@@ -390,6 +468,14 @@ pub trait EventHandler {
 
     /// Handles one event at time `now`, possibly scheduling more.
     fn handle(&mut self, now: Cycles, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+
+    /// The node `event` was scheduled for, mirroring what the scheduler
+    /// declared via [`EventQueue::schedule_at_for`]. Only consulted when
+    /// horizon tracking is on; the default suits untargeted schedulers.
+    fn target(event: &Self::Event) -> Option<usize> {
+        let _ = event;
+        None
+    }
 }
 
 /// Bounds on a [`run`] invocation.
@@ -449,7 +535,7 @@ pub fn run<H: EventHandler>(
                 }
             }
         }
-        let (now, ev) = queue.pop().expect("peeked non-empty");
+        let (now, ev) = queue.pop_tracked(H::target).expect("peeked non-empty");
         handler.handle(now, ev, queue);
         delivered += 1;
     }
@@ -490,7 +576,7 @@ where
                 }
             }
         }
-        let (now, ev) = queue.pop().expect("peeked non-empty");
+        let (now, ev) = queue.pop_tracked(H::target).expect("peeked non-empty");
         let observed = ev.clone();
         handler.handle(now, ev, queue);
         observe(now, &observed, handler);
@@ -535,6 +621,20 @@ mod tests {
         run(&mut h, &mut q, RunLimit::none());
         let order: Vec<u32> = h.seen.iter().map(|&(_, e)| e).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn caller_keys_order_same_cycle_events_regardless_of_insertion() {
+        let mut q = EventQueue::new();
+        // Inserted out of key order, delivered in key order.
+        q.schedule_keyed_at_for(Cycles::new(5), 30, Some(0), 2);
+        q.schedule_keyed_at_for(Cycles::new(5), 10, Some(1), 0);
+        q.schedule_keyed_at_for(Cycles::new(5), 20, Some(0), 1);
+        let mut seen = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            seen.push(e);
+        }
+        assert_eq!(seen, vec![0, 1, 2]);
     }
 
     #[test]
@@ -590,6 +690,12 @@ mod tests {
         assert_eq!(h.seen, vec![(5, 0), (5, 1), (5, 2)]);
     }
 
+    /// The recorder tests that pop with tracking on: events 0..n are
+    /// targeted at node `e % 3`.
+    fn pop3(q: &mut EventQueue<u32>) -> Option<(Cycles, u32)> {
+        q.pop_tracked(|e| Some((*e % 3) as usize))
+    }
+
     #[test]
     fn node_horizon_sees_own_and_global_events() {
         let mut q: EventQueue<u32> = EventQueue::new();
@@ -620,6 +726,8 @@ mod tests {
     fn safe_horizon_pads_foreign_events_by_latency() {
         let mut q: EventQueue<u32> = EventQueue::new();
         q.enable_horizon_tracking();
+        // Event 0 targets node 1; event 1 targets node 0.
+        let target = |e: &u32| Some(if *e == 0 { 1 } else { 0 });
         q.schedule_at_for(Cycles::new(10), Some(1), 0);
         // Node 0: nothing own, foreign at 10 + latency 11 = 21.
         assert_eq!(q.safe_horizon(0, Cycles::new(11)), Some(Cycles::new(21)));
@@ -628,9 +736,9 @@ mod tests {
         q.schedule_at_for(Cycles::new(15), Some(0), 1);
         assert_eq!(q.safe_horizon(0, Cycles::new(11)), Some(Cycles::new(15)));
         // Popping restores the mirrors.
-        q.pop();
+        q.pop_tracked(target);
         assert_eq!(q.safe_horizon(1, Cycles::new(11)), Some(Cycles::new(26)));
-        q.pop();
+        q.pop_tracked(target);
         assert_eq!(q.safe_horizon(1, Cycles::new(11)), None);
     }
 
@@ -639,6 +747,15 @@ mod tests {
     fn horizon_queries_require_tracking() {
         let q: EventQueue<u32> = EventQueue::new();
         q.node_horizon(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pop through pop_tracked")]
+    fn plain_pop_rejected_under_tracking() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.enable_horizon_tracking();
+        q.schedule_at_for(Cycles::new(1), Some(0), 0);
+        q.pop();
     }
 
     #[test]
@@ -677,6 +794,28 @@ mod tests {
     }
 
     #[test]
+    fn tie_shuffle_salt_depends_on_key_not_insertion_order() {
+        // The same (time, key) entries inserted in different orders must
+        // come out identically — the property the parallel driver's
+        // cross-shard merge relies on.
+        let deliver = |keys: &[u64]| {
+            let mut q = EventQueue::new();
+            q.enable_tie_shuffle(99);
+            for &k in keys {
+                q.schedule_keyed_at_for(Cycles::new(5), k, None, k as u32);
+            }
+            let mut out = Vec::new();
+            while let Some((_, e)) = q.pop() {
+                out.push(e);
+            }
+            out
+        };
+        let forward = deliver(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let backward = deliver(&[8, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
     fn tie_shuffle_preserves_time_order() {
         let mut q = EventQueue::new();
         q.enable_tie_shuffle(3);
@@ -698,7 +837,7 @@ mod tests {
         }
         assert_eq!(q.node_horizon(0), Some(Cycles::new(5)));
         // Popping everything exercises the mirror debug-asserts.
-        while q.pop().is_some() {}
+        while pop3(&mut q).is_some() {}
         assert_eq!(q.node_horizon(0), None);
     }
 

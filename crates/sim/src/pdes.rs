@@ -1,0 +1,870 @@
+//! Conservative parallel discrete-event simulation (PDES).
+//!
+//! This module parallelizes **one** simulation run across OS threads
+//! using the Wisconsin Wind Tunnel's quantum scheme, while producing
+//! results bit-identical to the sequential run:
+//!
+//! - The machine's nodes are partitioned into contiguous *shards*, each
+//!   owning a [`ShardQueue`] — a private [`EventQueue`] plus an outbox
+//!   for events targeting nodes another shard owns.
+//! - Every cross-node interaction costs at least the network's minimum
+//!   one-way latency, the *lookahead* `L`. Shards therefore advance in
+//!   lockstep windows `[T, T + Q)` with `Q ≤ L`: an event a shard
+//!   executes inside the window can only schedule onto a foreign shard
+//!   at `≥ T + L ≥` the window end, so within a window the shards are
+//!   causally independent and may run concurrently.
+//! - At each window boundary the outboxes are exchanged. Cross-shard
+//!   events are inserted into the target's queue under the *key* they
+//!   were scheduled with, not an insertion-order sequence number, so the
+//!   late merge lands them at exactly the position the sequential heap
+//!   would have given them.
+//!
+//! # Deterministic keys
+//!
+//! The sequential queue's FIFO tie-break (a global monotonic counter)
+//! is meaningless across shards: each shard pops independently, so "who
+//! scheduled first this window" is a race. Instead every event carries a
+//! key packed from its *origin* — the node whose handler scheduled it,
+//! or [`GLOBAL_ORIGIN`] for machine-global bookkeeping such as barrier
+//! releases — and a per-origin counter:
+//!
+//! ```text
+//! key = origin_id << 32 | counter      (origin_id = node + 1, 0 = global)
+//! ```
+//!
+//! A node's handler sequence is deterministic (it is the projection of
+//! the deterministic simulation onto that node), so its counter values
+//! are independent of the thread count, and the total order
+//! `(time, origin_id, counter)` is the same whether the simulation ran
+//! on one thread or sixteen. Same-cycle events from different origins
+//! are ordered by origin id — fixed and shard-independent — and global
+//! events (`origin_id = 0`) sort ahead of every node's, which puts
+//! barrier releases before same-cycle node work in both modes.
+//!
+//! # Barriers
+//!
+//! The machines' global barrier is the one interaction that is not
+//! node-to-node. Shards record arrivals locally
+//! ([`ShardQueue::note_barrier_arrival`]); the window driver aggregates
+//! them at boundaries and, once every participant has arrived, releases
+//! at `t_r = max_arrival + release_delay` by invoking the machine's
+//! release hook on each shard for its own nodes. Windows are clamped so
+//! no shard runs past `t_r` before the release is applied, and the
+//! window quantum is `Q = min(lookahead, release_delay)`: the last
+//! arrival happens inside a window `[T, T + Q)` that is discovered at
+//! `T + Q`, and `t_r = max_arrival + release_delay ≥ T + Q`, so the
+//! release is never scheduled into a shard's past.
+//!
+//! In single-shard mode ([`ShardQueue::enable_inline_barrier`]) the one
+//! shard owns every node, so `note_barrier_arrival` completes the
+//! barrier inline and the machine schedules its own release event — no
+//! windows, no worker threads, no per-boundary overhead. That path *is*
+//! the sequential simulator, and the equivalence the whole scheme is
+//! tested against.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use tt_base::Cycles;
+
+use crate::EventQueue;
+
+/// Origin id of machine-global scheduling (barrier bookkeeping). Sorts
+/// ahead of every node origin at the same cycle.
+pub const GLOBAL_ORIGIN: u64 = 0;
+
+/// Bits of the key holding the per-origin counter.
+const COUNTER_BITS: u32 = 32;
+
+/// Packs an origin id and counter into an event key.
+#[inline]
+fn pack_key(origin_id: u64, counter: u64) -> u64 {
+    debug_assert!(origin_id < 1 << 16, "origin id overflows 16 bits");
+    debug_assert!(counter < 1 << COUNTER_BITS, "origin counter overflows");
+    (origin_id << COUNTER_BITS) | counter
+}
+
+/// A cross-shard event captured in a shard's outbox, to be merged into
+/// the owning shard's queue at the next window boundary.
+#[derive(Clone, Debug)]
+pub struct OutMsg<E> {
+    /// Absolute delivery time (≥ the window end, by the lookahead bound).
+    pub time: Cycles,
+    /// The deterministic key assigned at scheduling time.
+    pub key: u64,
+    /// Node the event targets; identifies the owning shard.
+    pub target: usize,
+    /// The event itself.
+    pub event: E,
+}
+
+/// Inline (single-shard) barrier bookkeeping.
+#[derive(Clone, Debug)]
+struct InlineBarrier {
+    expected: usize,
+    delay: Cycles,
+    arrived: usize,
+    max_arrival: Cycles,
+}
+
+/// One shard's event queue: a private [`EventQueue`] over the shard's
+/// contiguous node range, an outbox for foreign-node events, and the
+/// per-origin counters that make event keys deterministic. Machines
+/// schedule exclusively through [`ShardQueue::schedule_for`] /
+/// [`ShardQueue::schedule_global`]; the active origin is set by the
+/// event dispatch loop before each handler runs.
+#[derive(Debug)]
+pub struct ShardQueue<E> {
+    queue: EventQueue<E>,
+    outbox: Vec<OutMsg<E>>,
+    first_node: usize,
+    node_count: usize,
+    /// Per-origin scheduling counters for the local nodes.
+    counters: Vec<u64>,
+    global_counter: u64,
+    /// Origin for keys of subsequently scheduled events. `None` = global.
+    origin: Option<usize>,
+    /// Exclusive end of the current window; `None` outside window mode.
+    window_end: Option<Cycles>,
+    /// Barrier arrivals not yet drained by the window driver.
+    arrivals: Vec<Cycles>,
+    inline_barrier: Option<InlineBarrier>,
+}
+
+impl<E> ShardQueue<E> {
+    /// A queue for the shard owning nodes `first_node .. first_node + node_count`.
+    pub fn new(first_node: usize, node_count: usize) -> Self {
+        ShardQueue {
+            queue: EventQueue::new(),
+            outbox: Vec::new(),
+            first_node,
+            node_count,
+            counters: vec![0; node_count],
+            global_counter: 0,
+            origin: None,
+            window_end: None,
+            arrivals: Vec::new(),
+            inline_barrier: None,
+        }
+    }
+
+    /// See [`EventQueue::enable_tie_shuffle`]. The salt is a pure hash
+    /// of the deterministic key, so the shuffled schedule is identical
+    /// at every thread count.
+    pub fn enable_tie_shuffle(&mut self, seed: u64) {
+        self.queue.enable_tie_shuffle(seed);
+    }
+
+    /// See [`EventQueue::enable_horizon_tracking`].
+    pub fn enable_horizon_tracking(&mut self) {
+        self.queue.enable_horizon_tracking();
+    }
+
+    /// Switches the barrier to inline mode: this shard owns every node,
+    /// so the `expected`-th arrival completes the barrier locally and
+    /// [`ShardQueue::note_barrier_arrival`] returns the release time
+    /// (`max_arrival + delay`) for the machine to schedule its release
+    /// event. Single-shard (sequential) runs use this; window-driven
+    /// runs leave it off and let the driver aggregate.
+    pub fn enable_inline_barrier(&mut self, expected: usize, delay: Cycles) {
+        self.inline_barrier = Some(InlineBarrier {
+            expected,
+            delay,
+            arrived: 0,
+            max_arrival: Cycles::ZERO,
+        });
+    }
+
+    /// First node this shard owns.
+    pub fn first_node(&self) -> usize {
+        self.first_node
+    }
+
+    /// Number of nodes this shard owns.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Whether `node` belongs to this shard.
+    #[inline]
+    pub fn owns(&self, node: usize) -> bool {
+        (self.first_node..self.first_node + self.node_count).contains(&node)
+    }
+
+    /// Current simulated time of this shard (last popped event).
+    #[inline]
+    pub fn now(&self) -> Cycles {
+        self.queue.now()
+    }
+
+    /// Timestamp of the earliest pending local event.
+    #[inline]
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.queue.peek_time()
+    }
+
+    /// Whether no local events are pending (the outbox may be non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Pending local events.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total events scheduled into the local queue over its lifetime.
+    pub fn total_scheduled(&self) -> u64 {
+        self.queue.total_scheduled()
+    }
+
+    /// Exclusive end of the current window, if running windowed. The
+    /// machines' direct-execution guard must keep a CPU's inline run
+    /// strictly below this bound.
+    #[inline]
+    pub fn window_end(&self) -> Option<Cycles> {
+        self.window_end
+    }
+
+    /// See [`EventQueue::node_horizon`].
+    pub fn node_horizon(&self, node: usize) -> Option<Cycles> {
+        self.queue.node_horizon(node)
+    }
+
+    /// See [`EventQueue::safe_horizon`].
+    pub fn safe_horizon(&self, node: usize, cross_latency: Cycles) -> Option<Cycles> {
+        self.queue.safe_horizon(node, cross_latency)
+    }
+
+    fn set_window_end(&mut self, end: Option<Cycles>) {
+        self.window_end = end;
+    }
+
+    /// Declares `node` the origin of subsequently scheduled events. The
+    /// dispatch loop calls this with the handling node before each
+    /// event; handlers themselves never need to.
+    #[inline]
+    pub fn set_origin(&mut self, node: usize) {
+        debug_assert!(self.owns(node), "origin {node} outside shard");
+        self.origin = Some(node);
+    }
+
+    /// Declares subsequent scheduling machine-global ([`GLOBAL_ORIGIN`]).
+    #[inline]
+    pub fn set_origin_global(&mut self) {
+        self.origin = None;
+    }
+
+    fn next_key(&mut self) -> u64 {
+        match self.origin {
+            Some(node) => {
+                // Counters start at 1: counter 0 is the reserved wakeup
+                // key (`schedule_wakeup`).
+                let c = &mut self.counters[node - self.first_node];
+                *c += 1;
+                pack_key(node as u64 + 1, *c)
+            }
+            None => {
+                self.global_counter += 1;
+                pack_key(GLOBAL_ORIGIN, self.global_counter)
+            }
+        }
+    }
+
+    /// Schedules `event` at `t` for `target`'s shard: locally if this
+    /// shard owns the target, otherwise into the outbox for the merge at
+    /// the window boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cross-shard event lands inside the current window —
+    /// that would mean the machine interacted across nodes faster than
+    /// the declared lookahead, the one way the conservative scheme can
+    /// be unsound.
+    pub fn schedule_for(&mut self, t: Cycles, target: usize, event: E) {
+        let key = self.next_key();
+        if self.owns(target) {
+            self.queue.schedule_keyed_at_for(t, key, Some(target), event);
+        } else {
+            assert!(
+                self.window_end.is_none_or(|end| t >= end),
+                "cross-shard event at {t:?} inside window ending {:?}: \
+                 interaction faster than the lookahead bound",
+                self.window_end
+            );
+            self.outbox.push(OutMsg {
+                time: t,
+                key,
+                target,
+                event,
+            });
+        }
+    }
+
+    /// Schedules a machine-global `event` (no single target node) into
+    /// the local queue, keyed from the dedicated global counter — never
+    /// from a node's origin counter, so scheduling a global event leaves
+    /// every per-node key stream untouched. Only meaningful in
+    /// single-shard mode, where "global" and "local" coincide; windowed
+    /// runs mirror the same keys through
+    /// [`ShardQueue::deliver_release`].
+    pub fn schedule_global(&mut self, t: Cycles, event: E) {
+        debug_assert!(
+            self.inline_barrier.is_some(),
+            "global events are driver business in windowed mode"
+        );
+        self.global_counter += 1;
+        let key = pack_key(GLOBAL_ORIGIN, self.global_counter);
+        self.queue.schedule_keyed_at_for(t, key, None, event);
+    }
+
+    /// Schedules node `node`'s own wakeup under its *reserved* key
+    /// (origin `node`, counter 0). The machines' CPU self-rescheduling
+    /// is the one event the direct-execution optimization may elide;
+    /// giving it a key outside the counter stream keeps every other
+    /// event's key — and therefore the tie-shuffled order — independent
+    /// of whether the wakeup was scheduled or elided. Sound because at
+    /// most one such wakeup per node is ever pending (the machines'
+    /// `step_pending` flag).
+    pub fn schedule_wakeup(&mut self, t: Cycles, node: usize, event: E) {
+        debug_assert!(self.owns(node), "wakeup for a foreign node");
+        let key = pack_key(node as u64 + 1, 0);
+        self.queue.schedule_keyed_at_for(t, key, Some(node), event);
+    }
+
+    /// Pops the earliest local event strictly inside the current window
+    /// (or any pending event when not windowed). `target_of` feeds the
+    /// horizon mirrors, as in [`EventQueue::pop_tracked`].
+    pub fn pop(&mut self, target_of: impl FnOnce(&E) -> Option<usize>) -> Option<(Cycles, E)> {
+        if let (Some(t), Some(end)) = (self.queue.peek_time(), self.window_end) {
+            if t >= end {
+                return None;
+            }
+        }
+        self.queue.pop_tracked(target_of)
+    }
+
+    /// Records a barrier arrival at `at`. In inline mode, returns the
+    /// release time once every participant has arrived (resetting for
+    /// the next generation); in windowed mode, always `None` — the
+    /// driver aggregates arrivals across shards at window boundaries.
+    pub fn note_barrier_arrival(&mut self, at: Cycles) -> Option<Cycles> {
+        match &mut self.inline_barrier {
+            Some(b) => {
+                b.arrived += 1;
+                b.max_arrival = b.max_arrival.max(at);
+                if b.arrived == b.expected {
+                    b.arrived = 0;
+                    let release = b.max_arrival + b.delay;
+                    b.max_arrival = Cycles::ZERO;
+                    Some(release)
+                } else {
+                    None
+                }
+            }
+            None => {
+                self.arrivals.push(at);
+                None
+            }
+        }
+    }
+
+    /// Inserts a cross-shard event under its original key. The insertion
+    /// time is irrelevant to ordering: the key places it exactly where
+    /// the sequential heap would have.
+    pub fn deliver(&mut self, msg: OutMsg<E>) {
+        debug_assert!(self.owns(msg.target), "delivery to a foreign shard");
+        self.queue
+            .schedule_keyed_at_for(msg.time, msg.key, Some(msg.target), msg.event);
+    }
+
+    /// Inserts the windowed-mode barrier-release event under the exact
+    /// global key the sequential path's [`ShardQueue::schedule_global`]
+    /// would have assigned (`generation + 1`, since the global counter
+    /// is consumed only by releases), so the salted (tie-shuffled) order
+    /// at the release cycle is identical at every shard count.
+    pub fn deliver_release(&mut self, t: Cycles, generation: u64, event: E) {
+        debug_assert!(
+            self.inline_barrier.is_none(),
+            "inline mode schedules its own release"
+        );
+        self.global_counter += 1;
+        debug_assert_eq!(
+            self.global_counter,
+            generation + 1,
+            "release keys must mirror the sequential global counter"
+        );
+        let key = pack_key(GLOBAL_ORIGIN, self.global_counter);
+        self.queue.schedule_keyed_at_for(t, key, None, event);
+    }
+
+    /// Drains the accumulated cross-shard events. The machines route
+    /// any scheduling their *setup* phase produced (before the window
+    /// driver takes over and routes boundaries itself).
+    pub fn take_outbox(&mut self) -> Vec<OutMsg<E>> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    fn take_arrivals(&mut self) -> Vec<Cycles> {
+        std::mem::take(&mut self.arrivals)
+    }
+}
+
+/// Window-driver parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Windowing {
+    /// Minimum cross-node interaction latency (the WWT lookahead).
+    pub lookahead: Cycles,
+    /// Barrier release latency: release fires at `max_arrival + release_delay`.
+    pub release_delay: Cycles,
+    /// Number of barrier participants (arrivals per generation).
+    pub barrier_expected: usize,
+}
+
+/// What every worker does next, decided by the window leader.
+#[derive(Clone, Copy, Debug)]
+enum Decision {
+    /// All queues and inboxes are empty and no release is pending.
+    Stop,
+    /// Apply the barrier release at `at` to each shard's own nodes.
+    Release { at: Cycles, generation: u64 },
+    /// Run events with `time < end`.
+    Window { end: Cycles },
+}
+
+/// Leader-maintained global state.
+#[derive(Debug)]
+struct DriverState {
+    pending_release: Option<Cycles>,
+    generation: u64,
+    arrived: usize,
+    max_arrival: Cycles,
+}
+
+struct Shared<E> {
+    rendezvous: Barrier,
+    /// Earliest pending event per shard, published at the end of each act.
+    heads: Vec<Mutex<Option<Cycles>>>,
+    /// Cross-shard events routed but not yet drained by their owner.
+    inboxes: Vec<Mutex<Vec<OutMsg<E>>>>,
+    /// Owning shard of every node.
+    node_shard: Vec<usize>,
+    state: Mutex<DriverState>,
+    decision: Mutex<Decision>,
+    panicked: AtomicBool,
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Runs a sharded machine to completion under the conservative window
+/// scheme, one OS thread per shard. `handle` dispatches one event on a
+/// shard (setting the origin via [`ShardQueue::set_origin`] before the
+/// machine handler runs); `release` applies a barrier release at the
+/// given time and generation to the shard's own nodes, scheduling the
+/// wakeups with the global origin. `target_of` reports an event's
+/// target node (for horizon mirrors and inbox routing sanity).
+///
+/// Returns the final simulated time: the maximum over shards.
+///
+/// Panics raised by shard handlers are caught, the remaining workers
+/// wound down at the next boundary, and the panic re-raised on the
+/// calling thread — so a machine assertion behaves as it does
+/// sequentially.
+pub fn run_windows<E, S, H, R, T>(
+    shards: &mut [S],
+    queues: &mut [ShardQueue<E>],
+    cfg: Windowing,
+    handle: H,
+    release: R,
+    target_of: T,
+) -> Cycles
+where
+    E: Send,
+    S: Send,
+    H: Fn(&mut S, Cycles, E, &mut ShardQueue<E>) + Sync,
+    R: Fn(&mut S, &mut ShardQueue<E>, Cycles, u64) + Sync,
+    T: Fn(&E) -> Option<usize> + Sync,
+{
+    let n_shards = shards.len();
+    assert_eq!(n_shards, queues.len());
+    assert!(n_shards > 0, "at least one shard");
+    assert!(cfg.lookahead > Cycles::ZERO, "lookahead must be positive");
+    assert!(cfg.release_delay > Cycles::ZERO, "release delay must be positive");
+    // A pending release may clamp any window; it must never land before
+    // a window the shards have already executed.
+    let quantum = cfg.lookahead.min(cfg.release_delay);
+
+    let nodes = queues
+        .iter()
+        .map(|q| q.first_node + q.node_count)
+        .max()
+        .expect("non-empty");
+    let mut node_shard = vec![usize::MAX; nodes];
+    for (i, q) in queues.iter().enumerate() {
+        node_shard[q.first_node..q.first_node + q.node_count].fill(i);
+    }
+    assert!(
+        node_shard.iter().all(|&s| s != usize::MAX),
+        "shards must cover all nodes"
+    );
+
+    let shared = Shared {
+        rendezvous: Barrier::new(n_shards),
+        heads: queues.iter().map(|q| Mutex::new(q.peek_time())).collect(),
+        inboxes: (0..n_shards).map(|_| Mutex::new(Vec::new())).collect(),
+        node_shard,
+        state: Mutex::new(DriverState {
+            pending_release: None,
+            generation: 0,
+            arrived: 0,
+            max_arrival: Cycles::ZERO,
+        }),
+        decision: Mutex::new(Decision::Stop),
+        panicked: AtomicBool::new(false),
+        panic_payload: Mutex::new(None),
+    };
+
+    std::thread::scope(|scope| {
+        for (i, (shard, queue)) in shards.iter_mut().zip(queues.iter_mut()).enumerate() {
+            let shared = &shared;
+            let handle = &handle;
+            let release = &release;
+            let target_of = &target_of;
+            scope.spawn(move || {
+                worker(i, shard, queue, shared, cfg, quantum, handle, release, target_of)
+            });
+        }
+    });
+
+    if shared.panicked.load(Ordering::SeqCst) {
+        let payload = shared
+            .panic_payload
+            .lock()
+            .expect("payload lock")
+            .take()
+            .unwrap_or_else(|| Box::new("PDES worker panicked"));
+        resume_unwind(payload);
+    }
+
+    queues.iter().map(|q| q.now()).max().expect("non-empty")
+}
+
+/// Leader step: read the published heads, inboxes, and barrier arrivals
+/// and decide the next round.
+fn decide<E>(shared: &Shared<E>, cfg: Windowing, quantum: Cycles) -> Decision {
+    if shared.panicked.load(Ordering::SeqCst) {
+        return Decision::Stop;
+    }
+    let mut min_head: Option<Cycles> = None;
+    let mut merge = |t: Cycles| {
+        min_head = Some(min_head.map_or(t, |m| m.min(t)));
+    };
+    for head in &shared.heads {
+        if let Some(t) = *head.lock().expect("head lock") {
+            merge(t);
+        }
+    }
+    for inbox in &shared.inboxes {
+        for msg in inbox.lock().expect("inbox lock").iter() {
+            merge(msg.time);
+        }
+    }
+    let mut st = shared.state.lock().expect("state lock");
+    if st.pending_release.is_none() && st.arrived > 0 && st.arrived == cfg.barrier_expected {
+        st.pending_release = Some(st.max_arrival + cfg.release_delay);
+        st.arrived = 0;
+        st.max_arrival = Cycles::ZERO;
+    }
+    match (min_head, st.pending_release) {
+        (None, None) => Decision::Stop,
+        (head, Some(at)) if head.is_none_or(|h| h >= at) => {
+            st.pending_release = None;
+            let generation = st.generation;
+            st.generation += 1;
+            Decision::Release { at, generation }
+        }
+        (Some(head), pending) => {
+            let natural = head + quantum;
+            Decision::Window {
+                end: pending.map_or(natural, |at| natural.min(at)),
+            }
+        }
+        (None, Some(_)) => unreachable!("covered by the release arm"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker<E, S, H, R, T>(
+    index: usize,
+    shard: &mut S,
+    queue: &mut ShardQueue<E>,
+    shared: &Shared<E>,
+    cfg: Windowing,
+    quantum: Cycles,
+    handle: &H,
+    release: &R,
+    target_of: &T,
+) where
+    E: Send,
+    S: Send,
+    H: Fn(&mut S, Cycles, E, &mut ShardQueue<E>) + Sync,
+    R: Fn(&mut S, &mut ShardQueue<E>, Cycles, u64) + Sync,
+    T: Fn(&E) -> Option<usize> + Sync,
+{
+    loop {
+        if shared.rendezvous.wait().is_leader() {
+            let d = decide(shared, cfg, quantum);
+            *shared.decision.lock().expect("decision lock") = d;
+        }
+        shared.rendezvous.wait();
+        let decision = *shared.decision.lock().expect("decision lock");
+        let act = AssertUnwindSafe(|| match decision {
+            Decision::Stop => {}
+            Decision::Release { at, generation } => {
+                drain_inbox(index, queue, shared);
+                release(shard, queue, at, generation);
+                publish(index, queue, shared);
+            }
+            Decision::Window { end } => {
+                drain_inbox(index, queue, shared);
+                queue.set_window_end(Some(end));
+                while let Some((now, ev)) = queue.pop(|e| target_of(e)) {
+                    handle(shard, now, ev, queue);
+                }
+                queue.set_window_end(None);
+                for msg in queue.take_outbox() {
+                    let owner = shared.node_shard[msg.target];
+                    debug_assert_ne!(owner, index, "own-shard event in outbox");
+                    shared.inboxes[owner].lock().expect("inbox lock").push(msg);
+                }
+                let arrivals = queue.take_arrivals();
+                if !arrivals.is_empty() {
+                    let mut st = shared.state.lock().expect("state lock");
+                    st.arrived += arrivals.len();
+                    for at in arrivals {
+                        st.max_arrival = st.max_arrival.max(at);
+                    }
+                }
+                publish(index, queue, shared);
+            }
+        });
+        if let Err(payload) = catch_unwind(act) {
+            shared.panicked.store(true, Ordering::SeqCst);
+            let mut slot = shared.panic_payload.lock().expect("payload lock");
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        if matches!(decision, Decision::Stop) {
+            break;
+        }
+    }
+}
+
+fn drain_inbox<E>(index: usize, queue: &mut ShardQueue<E>, shared: &Shared<E>) {
+    let msgs = std::mem::take(&mut *shared.inboxes[index].lock().expect("inbox lock"));
+    for msg in msgs {
+        queue.deliver(msg);
+    }
+}
+
+fn publish<E>(index: usize, queue: &ShardQueue<E>, shared: &Shared<E>) {
+    *shared.heads[index].lock().expect("head lock") = queue.peek_time();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy machine: each node repeatedly sends a token to the next
+    /// node with a fixed latency and bumps a per-node counter. Runs on
+    /// any shard count; the counters and final time must match.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Token {
+        to: usize,
+        hops_left: u32,
+    }
+
+    struct ToyShard {
+        counts: Vec<u64>,
+        first: usize,
+    }
+
+    const LATENCY: u64 = 11;
+
+    fn toy_handle(s: &mut ToyShard, now: Cycles, ev: Token, q: &mut ShardQueue<Token>) {
+        q.set_origin(ev.to);
+        s.counts[ev.to - s.first] += 1;
+        if ev.hops_left > 0 {
+            let nodes = 8;
+            let next = (ev.to + 1) % nodes;
+            q.schedule_for(
+                now + Cycles::new(LATENCY),
+                next,
+                Token {
+                    to: next,
+                    hops_left: ev.hops_left - 1,
+                },
+            );
+        }
+    }
+
+    fn run_toy(n_shards: usize) -> (Vec<u64>, Cycles) {
+        let nodes = 8;
+        let per = nodes / n_shards;
+        let mut shards: Vec<ToyShard> = (0..n_shards)
+            .map(|i| ToyShard {
+                counts: vec![0; per],
+                first: i * per,
+            })
+            .collect();
+        let mut queues: Vec<ShardQueue<Token>> =
+            (0..n_shards).map(|i| ShardQueue::new(i * per, per)).collect();
+        // Every node starts a token at cycle 0.
+        for n in 0..nodes {
+            let q = &mut queues[n / per];
+            q.set_origin(n);
+            q.schedule_for(
+                Cycles::ZERO,
+                n,
+                Token {
+                    to: n,
+                    hops_left: 40,
+                },
+            );
+        }
+        let end = if n_shards == 1 {
+            let (shard, queue) = (&mut shards[0], &mut queues[0]);
+            while let Some((now, ev)) = queue.pop(|e| Some(e.to)) {
+                toy_handle(shard, now, ev, queue);
+            }
+            queue.now()
+        } else {
+            run_windows(
+                &mut shards,
+                &mut queues,
+                Windowing {
+                    lookahead: Cycles::new(LATENCY),
+                    release_delay: Cycles::new(LATENCY),
+                    barrier_expected: nodes,
+                },
+                toy_handle,
+                |_s, _q, _at, _gen| unreachable!("toy machine has no barrier"),
+                |e: &Token| Some(e.to),
+            )
+        };
+        let mut counts = vec![0; nodes];
+        for s in &shards {
+            for (i, c) in s.counts.iter().enumerate() {
+                counts[s.first + i] = *c;
+            }
+        }
+        (counts, end)
+    }
+
+    #[test]
+    fn toy_machine_is_identical_across_shard_counts() {
+        let seq = run_toy(1);
+        for shards in [2, 4, 8] {
+            assert_eq!(run_toy(shards), seq, "diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn inline_barrier_completes_and_resets() {
+        let mut q: ShardQueue<u32> = ShardQueue::new(0, 4);
+        q.enable_inline_barrier(4, Cycles::new(11));
+        assert_eq!(q.note_barrier_arrival(Cycles::new(5)), None);
+        assert_eq!(q.note_barrier_arrival(Cycles::new(9)), None);
+        assert_eq!(q.note_barrier_arrival(Cycles::new(7)), None);
+        assert_eq!(
+            q.note_barrier_arrival(Cycles::new(8)),
+            Some(Cycles::new(20)),
+            "release at max arrival + delay"
+        );
+        // Next generation starts clean.
+        assert_eq!(q.note_barrier_arrival(Cycles::new(30)), None);
+    }
+
+    #[test]
+    fn windowed_arrivals_accumulate_for_the_driver() {
+        let mut q: ShardQueue<u32> = ShardQueue::new(0, 4);
+        assert_eq!(q.note_barrier_arrival(Cycles::new(5)), None);
+        assert_eq!(q.note_barrier_arrival(Cycles::new(9)), None);
+        assert_eq!(q.take_arrivals(), vec![Cycles::new(5), Cycles::new(9)]);
+        assert!(q.take_arrivals().is_empty());
+    }
+
+    #[test]
+    fn global_origin_sorts_before_node_origins() {
+        let mut q: ShardQueue<u32> = ShardQueue::new(0, 2);
+        q.enable_inline_barrier(2, Cycles::new(1));
+        q.set_origin(0);
+        q.schedule_for(Cycles::new(5), 0, 100);
+        q.set_origin_global();
+        q.schedule_global(Cycles::new(5), 999);
+        q.set_origin(1);
+        q.schedule_for(Cycles::new(5), 1, 101);
+        let mut order = Vec::new();
+        let target = |e: &u32| if *e == 999 { None } else { Some((*e - 100) as usize) };
+        while let Some((_, e)) = q.pop(target) {
+            order.push(e);
+        }
+        assert_eq!(order, vec![999, 100, 101]);
+    }
+
+    #[test]
+    fn cross_shard_events_go_to_the_outbox_with_stable_keys() {
+        let mut a: ShardQueue<u32> = ShardQueue::new(0, 2);
+        let mut b: ShardQueue<u32> = ShardQueue::new(2, 2);
+        a.set_origin(1);
+        a.schedule_for(Cycles::new(20), 3, 7);
+        assert!(a.is_empty(), "foreign event must not enter the local queue");
+        let out = a.take_outbox();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].target, 3);
+        // Origin id = node 1 + 1 = 2, first counter value 1.
+        assert_eq!(out[0].key, (2 << 32) | 1);
+        b.deliver(out.into_iter().next().unwrap());
+        assert_eq!(b.pop(|_| Some(3)), Some((Cycles::new(20), 7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "faster than the lookahead bound")]
+    fn cross_shard_event_inside_window_panics() {
+        let mut q: ShardQueue<u32> = ShardQueue::new(0, 2);
+        q.set_window_end(Some(Cycles::new(50)));
+        q.set_origin(0);
+        q.schedule_for(Cycles::new(30), 5, 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_caller() {
+        let nodes = 4;
+        let mut shards = vec![(), ()];
+        let mut queues: Vec<ShardQueue<u32>> =
+            (0..2).map(|i| ShardQueue::new(i * 2, 2)).collect();
+        for n in 0..nodes {
+            let q = &mut queues[n / 2];
+            q.set_origin(n);
+            q.schedule_for(Cycles::ZERO, n, n as u32);
+        }
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_windows(
+                &mut shards,
+                &mut queues,
+                Windowing {
+                    lookahead: Cycles::new(11),
+                    release_delay: Cycles::new(11),
+                    barrier_expected: nodes,
+                },
+                |_s: &mut (), _now, ev: u32, _q: &mut ShardQueue<u32>| {
+                    assert!(ev != 3, "planted failure on node 3");
+                },
+                |_s, _q, _at, _gen| {},
+                |e: &u32| Some(*e as usize),
+            )
+        }));
+        assert!(result.is_err(), "the planted panic must reach the caller");
+    }
+}

@@ -16,7 +16,7 @@ use tt_mem::cache::Probe;
 use tt_mem::{NodeMemory, PageMeta, PageTable, Tag};
 use tt_net::{Network, Packet, Payload, VirtualNet};
 use tt_tempest::{BulkRequest, HandlerId, TempestCtx, TempestError, ThreadId};
-use tt_sim::EventQueue;
+use tt_sim::ShardQueue;
 
 use crate::cpu::{CpuState, CpuStatus};
 use crate::machine::{BulkState, Event};
@@ -36,7 +36,7 @@ pub struct NodeCtx<'a> {
     pub(crate) mem: &'a mut NodeMemory,
     pub(crate) ptable: &'a mut PageTable,
     pub(crate) network: &'a mut Network,
-    pub(crate) queue: &'a mut EventQueue<Event>,
+    pub(crate) queue: &'a mut ShardQueue<Event>,
     pub(crate) bulk_out: &'a mut Vec<BulkState>,
     pub(crate) bulk_seq: &'a mut u64,
 }

@@ -4,8 +4,21 @@
 //! processors, each paired with a network interface processor running one
 //! instance of a user-level [`Protocol`]. See the crate docs for the
 //! modeling approach.
+//!
+//! # Parallel simulation
+//!
+//! With `SystemConfig::sim_threads > 1` the machine partitions its nodes
+//! into contiguous shards and runs one shard per OS thread under the
+//! conservative window scheme of [`tt_sim::pdes`]. All mutable per-node
+//! state lives in [`NodeState`] and is handed to a shard as a slice; the
+//! network is cloned per shard (its send-side state is per-source-node),
+//! and the workload sits behind a mutex (chunk refills are the only
+//! shared pulls). Event keys are deterministic `(origin, counter)` pairs,
+//! so reported cycles and statistics are bit-identical at every thread
+//! count — the equivalence tests pin this.
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use tt_base::addr::{VAddr, WORD_BYTES};
 use tt_base::config::SystemConfig;
@@ -14,7 +27,7 @@ use tt_base::workload::{Layout, Op, Workload};
 use tt_base::{Cycles, DetRng, NodeId};
 use tt_mem::{AccessKind, NodeMemory, PageTable, Tag};
 use tt_net::{Network, Packet, Payload, VirtualNet};
-use tt_sim::{EventHandler, EventQueue, RunLimit};
+use tt_sim::{OutMsg, ShardQueue, Windowing};
 use tt_tempest::{BlockDirSnapshot, BulkRequest, HandlerId, Message, Protocol, UserCall};
 
 use crate::cpu::{exec_access, AccessOutcome, CpuState, CpuStatus};
@@ -63,8 +76,8 @@ pub enum Event {
 
 impl Event {
     /// The node whose state handling this event touches, or `None` for
-    /// events with machine-global effect. Feeds the event queue's
-    /// per-node horizon tracking (`EventQueue::node_horizon`).
+    /// events with machine-global effect. Routes events to their owning
+    /// shard and feeds the event queue's per-node horizon tracking.
     pub fn target(&self) -> Option<usize> {
         match self {
             Event::CpuStep(n) | Event::NpDispatch(n) => Some(*n),
@@ -75,17 +88,21 @@ impl Event {
     }
 }
 
-/// Schedules a machine event with its per-node target declared, keeping
-/// the queue's horizon bookkeeping exact.
-pub(crate) fn schedule(queue: &mut EventQueue<Event>, at: Cycles, event: Event) {
-    let target = event.target();
-    queue.schedule_at_for(at, target, event);
+/// Schedules a machine event with its per-node target declared. Every
+/// schedule in the machine and its contexts funnels through here, so
+/// each event gets a deterministic `(origin, counter)` key and lands on
+/// the shard that owns its target.
+pub(crate) fn schedule(queue: &mut ShardQueue<Event>, at: Cycles, event: Event) {
+    match event.target() {
+        Some(target) => queue.schedule_for(at, target, event),
+        None => queue.schedule_global(at, event),
+    }
 }
 
 /// An in-progress outgoing bulk transfer.
 #[derive(Clone, Debug)]
 pub struct BulkState {
-    /// Transfer id (unique per machine).
+    /// Transfer id (unique per source node).
     pub id: u64,
     /// The original request.
     pub request: BulkRequest,
@@ -94,18 +111,23 @@ pub struct BulkState {
 }
 
 /// One node: CPU + NP + memory + page table + active bulk transfers.
+/// Everything a shard thread mutates for this node lives here.
 struct NodeState {
     cpu: CpuState,
     np: NpState,
     mem: NodeMemory,
     ptable: PageTable,
     bulk: Vec<BulkState>,
+    /// Ids for this node's bulk transfers (bulk ids are matched only
+    /// against the owning node's `bulk` list).
+    bulk_seq: u64,
 }
 
-#[derive(Debug, Default)]
-struct BarrierState {
-    arrived: usize,
-    max_arrival: Cycles,
+/// Barrier bookkeeping a shard carries: how many releases it has applied
+/// and the generation it expects next. Every shard observes every
+/// release, so after a run all shards' tallies agree.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct BarrierTally {
     generation: u64,
     releases: u64,
 }
@@ -126,15 +148,37 @@ pub struct TyphoonMachine {
     nodes: Vec<NodeState>,
     protocols: Vec<Option<Box<dyn Protocol>>>,
     network: Network,
-    barrier: BarrierState,
-    workload: Box<dyn Workload>,
+    barrier: BarrierTally,
+    workload: Mutex<Box<dyn Workload>>,
     layout: Layout,
     done: Vec<Option<Cycles>>,
-    bulk_seq: u64,
     tracer: Option<Box<dyn Tracer>>,
     /// Seed for same-cycle tie-shuffling, applied to the event queue at
     /// `run` time (a `tt-check` legal-nondeterminism knob).
     tie_shuffle: Option<u64>,
+}
+
+/// A shard's view of the machine: the contiguous node range it owns plus
+/// the shared pieces. In sequential mode one shard views everything; in
+/// parallel mode each worker thread owns one. All methods take node
+/// indices in *global* terms and translate via `first`.
+struct Shard<'m> {
+    cfg: &'m SystemConfig,
+    quantum: Cycles,
+    /// First global node index this shard owns.
+    first: usize,
+    nodes: &'m mut [NodeState],
+    protocols: &'m mut [Option<Box<dyn Protocol>>],
+    done: &'m mut [Option<Cycles>],
+    /// This shard's network instance. Send-side state (occupancy ports,
+    /// jitter pair counters) is per-source-node and handlers only send
+    /// from their own node, so shards never alias it.
+    network: &'m mut Network,
+    workload: &'m Mutex<Box<dyn Workload>>,
+    /// Present only in sequential mode: tracing needs the single total
+    /// event order.
+    tracer: Option<&'m mut Box<dyn Tracer>>,
+    barrier: &'m mut BarrierTally,
 }
 
 impl TyphoonMachine {
@@ -158,6 +202,7 @@ impl TyphoonMachine {
                 mem: NodeMemory::new(),
                 ptable: PageTable::new(),
                 bulk: Vec::new(),
+                bulk_seq: 0,
             })
             .collect();
         let protocols = (0..cfg.nodes)
@@ -173,18 +218,17 @@ impl TyphoonMachine {
             nodes,
             protocols,
             network,
-            barrier: BarrierState::default(),
-            workload,
+            barrier: BarrierTally::default(),
+            workload: Mutex::new(workload),
             layout,
             done,
-            bulk_seq: 0,
             tracer: None,
             tie_shuffle: None,
         }
     }
 
     /// Delivers same-cycle events in a seed-dependent permutation instead
-    /// of FIFO order (see [`EventQueue::enable_tie_shuffle`]). Call
+    /// of FIFO order (see `EventQueue::enable_tie_shuffle`). Call
     /// before [`TyphoonMachine::run`].
     pub fn set_tie_shuffle(&mut self, seed: u64) {
         self.tie_shuffle = Some(seed);
@@ -200,16 +244,10 @@ impl TyphoonMachine {
 
     /// Installs a [`Tracer`] that receives every machine-level event
     /// (faults, handler dispatches, deliveries, barrier releases) with
-    /// its simulated timestamp. See [`crate::trace`].
+    /// its simulated timestamp. See [`crate::trace`]. Requires
+    /// `sim_threads = 1`.
     pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
         self.tracer = Some(tracer);
-    }
-
-    #[inline]
-    fn trace(&mut self, at: Cycles, event: TraceEvent) {
-        if let Some(t) = &mut self.tracer {
-            t.record(TraceRecord { at, event });
-        }
     }
 
     /// The workload's shared-segment layout.
@@ -262,6 +300,8 @@ impl TyphoonMachine {
     }
 
     /// Runs the simulation to completion and returns timing + statistics.
+    /// `SystemConfig::sim_threads` selects the sequential event loop or
+    /// the windowed parallel one; results are bit-identical either way.
     ///
     /// # Panics
     ///
@@ -271,9 +311,12 @@ impl TyphoonMachine {
     /// is enabled and a load observes a value that a sequentially
     /// consistent execution could not produce.
     pub fn run(&mut self) -> RunResult {
-        let mut queue = self.start();
-        tt_sim::run(self, &mut queue, RunLimit::none());
-        self.finish()
+        let shard_count = self.cfg.sim_threads.max(1).min(self.cfg.nodes);
+        if shard_count == 1 {
+            self.run_sequential()
+        } else {
+            self.run_parallel(shard_count)
+        }
     }
 
     /// Like [`TyphoonMachine::run`], but invokes `observe` after every
@@ -282,39 +325,174 @@ impl TyphoonMachine {
     /// Handlers are atomic, so at each callback the machine is in a
     /// consistent state (protocols restored, tags settled).
     ///
-    /// Observation is a separate entry point so [`TyphoonMachine::run`]
-    /// keeps the branch-free `tt_sim::run` loop: checking is zero-cost
-    /// when off, and cycle counts are identical either way (observers
-    /// cannot perturb timing).
+    /// Always runs on the sequential path regardless of `sim_threads`
+    /// (the observer wants the single total event order); cycle counts
+    /// are identical either way, which the equivalence tests pin.
     pub fn run_observed(
         &mut self,
         observe: &mut dyn FnMut(Cycles, &Event, &TyphoonMachine),
     ) -> RunResult {
-        let mut queue = self.start();
-        tt_sim::run_observed(self, &mut queue, RunLimit::none(), observe);
+        let mut queue = self.sequential_queue();
+        {
+            let mut shard = self.whole_shard();
+            shard.init_nodes(&mut queue);
+        }
+        while let Some((now, event)) = queue.pop(|e: &Event| e.target()) {
+            let observed = event.clone();
+            {
+                let mut shard = self.whole_shard();
+                shard.handle(now, event, &mut queue);
+            }
+            observe(now, &observed, self);
+        }
         self.finish()
     }
 
-    /// Initializes protocols at time zero and seeds the event queue with
-    /// every node's first CPU step.
-    fn start(&mut self) -> EventQueue<Event> {
-        let mut queue = EventQueue::new();
+    /// The single-shard queue: inline barrier completion, no windows.
+    /// This path *is* the sequential simulator.
+    fn sequential_queue(&self) -> ShardQueue<Event> {
+        let mut queue = ShardQueue::new(0, self.cfg.nodes);
         if let Some(seed) = self.tie_shuffle {
             queue.enable_tie_shuffle(seed);
         }
-        // Let every protocol initialize (map home pages, set up
-        // directories) at time zero.
-        for n in 0..self.cfg.nodes {
-            let mut proto = self.protocols[n].take().expect("protocol present");
-            let mut ctx = self.ctx(n, Cycles::ZERO, &mut queue);
-            proto.init(&mut ctx);
-            self.protocols[n] = Some(proto);
-        }
-        for n in 0..self.cfg.nodes {
-            self.nodes[n].cpu.step_pending = true;
-            schedule(&mut queue, Cycles::ZERO, Event::CpuStep(n));
-        }
+        queue.enable_inline_barrier(self.cfg.nodes, self.cfg.timing.barrier_latency);
         queue
+    }
+
+    /// A shard view spanning every node (sequential and observed runs).
+    fn whole_shard(&mut self) -> Shard<'_> {
+        Shard {
+            cfg: &self.cfg,
+            quantum: self.quantum,
+            first: 0,
+            nodes: &mut self.nodes,
+            protocols: &mut self.protocols,
+            done: &mut self.done,
+            network: &mut self.network,
+            workload: &self.workload,
+            tracer: self.tracer.as_mut(),
+            barrier: &mut self.barrier,
+        }
+    }
+
+    fn run_sequential(&mut self) -> RunResult {
+        let mut queue = self.sequential_queue();
+        {
+            let mut shard = self.whole_shard();
+            shard.init_nodes(&mut queue);
+            while let Some((now, event)) = queue.pop(|e: &Event| e.target()) {
+                shard.handle(now, event, &mut queue);
+            }
+        }
+        self.finish()
+    }
+
+    fn run_parallel(&mut self, shard_count: usize) -> RunResult {
+        assert!(
+            self.tracer.is_none(),
+            "tracing requires sim_threads = 1: a tracer observes one total event order"
+        );
+        let nodes_total = self.cfg.nodes;
+        let lookahead = self.network.lookahead();
+        let release_delay = self.cfg.timing.barrier_latency;
+        let ranges = split_ranges(nodes_total, shard_count);
+
+        let mut queues: Vec<ShardQueue<Event>> = ranges
+            .iter()
+            .map(|&(first, len)| {
+                let mut q = ShardQueue::new(first, len);
+                if let Some(seed) = self.tie_shuffle {
+                    q.enable_tie_shuffle(seed);
+                }
+                q
+            })
+            .collect();
+        // Cloned before any traffic: stats start at zero and are folded
+        // back after the run; jitter/occupancy configuration rides along.
+        let mut nets: Vec<Network> = (0..shard_count).map(|_| self.network.clone()).collect();
+        let mut tallies = vec![BarrierTally::default(); shard_count];
+
+        {
+            let TyphoonMachine {
+                cfg,
+                quantum,
+                nodes,
+                protocols,
+                workload,
+                done,
+                ..
+            } = self;
+            let mut shards: Vec<Shard<'_>> = Vec::with_capacity(shard_count);
+            let mut nodes_rest = &mut nodes[..];
+            let mut protos_rest = &mut protocols[..];
+            let mut done_rest = &mut done[..];
+            let mut nets_iter = nets.iter_mut();
+            let mut tally_iter = tallies.iter_mut();
+            for &(first, len) in &ranges {
+                let (shard_nodes, rest) = nodes_rest.split_at_mut(len);
+                nodes_rest = rest;
+                let (shard_protos, rest) = protos_rest.split_at_mut(len);
+                protos_rest = rest;
+                let (shard_done, rest) = done_rest.split_at_mut(len);
+                done_rest = rest;
+                shards.push(Shard {
+                    cfg,
+                    quantum: *quantum,
+                    first,
+                    nodes: shard_nodes,
+                    protocols: shard_protos,
+                    done: shard_done,
+                    network: nets_iter.next().expect("one net per shard"),
+                    workload,
+                    tracer: None,
+                    barrier: tally_iter.next().expect("one tally per shard"),
+                });
+            }
+
+            for (shard, queue) in shards.iter_mut().zip(queues.iter_mut()) {
+                shard.init_nodes(queue);
+            }
+            // Protocol init may have scheduled cross-shard messages;
+            // route them before the window driver takes over (all are at
+            // ≥ the lookahead, so they cannot land inside the first
+            // window).
+            let pending: Vec<OutMsg<Event>> = queues
+                .iter_mut()
+                .flat_map(|q| q.take_outbox())
+                .collect();
+            for msg in pending {
+                let owner = ranges
+                    .iter()
+                    .position(|&(f, l)| (f..f + l).contains(&msg.target))
+                    .expect("target node within a shard");
+                queues[owner].deliver(msg);
+            }
+
+            tt_sim::run_windows(
+                &mut shards,
+                &mut queues,
+                Windowing {
+                    lookahead,
+                    release_delay,
+                    barrier_expected: nodes_total,
+                },
+                |shard: &mut Shard<'_>, now, event, queue| shard.handle(now, event, queue),
+                |_shard, queue, at, generation| {
+                    queue.deliver_release(at, generation, Event::BarrierRelease { generation })
+                },
+                |e: &Event| e.target(),
+            );
+        }
+
+        for net in &nets {
+            self.network.absorb_stats(net);
+        }
+        assert!(
+            tallies.windows(2).all(|w| w[0] == w[1]),
+            "shards disagree on barrier history: {tallies:?}"
+        );
+        self.barrier = tallies[0].clone();
+        self.finish()
     }
 
     /// Asserts the machine drained cleanly and builds the result.
@@ -328,8 +506,7 @@ impl TyphoonMachine {
         assert!(
             stuck.is_empty(),
             "machine deadlocked with processors still blocked: {stuck:?} \
-             (barrier arrived={}, np work pending={:?})",
-            self.barrier.arrived,
+             (np work pending={:?})",
             self.nodes
                 .iter()
                 .map(|n| n.np.has_work())
@@ -345,505 +522,6 @@ impl TyphoonMachine {
         RunResult {
             cycles,
             report: self.build_report(cycles),
-        }
-    }
-
-    /// Builds a per-handler context for node `n`.
-    fn ctx<'a>(
-        &'a mut self,
-        n: usize,
-        start: Cycles,
-        queue: &'a mut EventQueue<Event>,
-    ) -> NodeCtx<'a> {
-        let node = &mut self.nodes[n];
-        NodeCtx {
-            id: NodeId::new(n as u16),
-            nodes: self.cfg.nodes,
-            cfg: &self.cfg,
-            start,
-            cost: Cycles::ZERO,
-            cpu: &mut node.cpu,
-            np: &mut node.np,
-            mem: &mut node.mem,
-            ptable: &mut node.ptable,
-            network: &mut self.network,
-            queue,
-            bulk_out: &mut node.bulk,
-            bulk_seq: &mut self.bulk_seq,
-        }
-    }
-
-    // --- CPU execution -------------------------------------------------
-
-    /// The per-op inner loop. `self` is destructured once so the op loop
-    /// works on a single `&mut NodeState` instead of re-indexing
-    /// `self.nodes[n]` per op — this is the simulation's hottest code.
-    fn cpu_step(&mut self, n: usize, now: Cycles, queue: &mut EventQueue<Event>) {
-        let TyphoonMachine {
-            cfg,
-            quantum,
-            nodes,
-            barrier,
-            workload,
-            done,
-            tracer,
-            ..
-        } = self;
-        let node = &mut nodes[n];
-        node.cpu.step_pending = false;
-        if node.cpu.status != CpuStatus::Ready {
-            return;
-        }
-        if node.cpu.clock < now {
-            node.cpu.clock = now;
-        }
-        let mut deadline = now + *quantum;
-        loop {
-            // Refill the op chunk if exhausted, reusing its allocation.
-            if node.cpu.pc >= node.cpu.chunk.len() {
-                let mut chunk = std::mem::take(&mut node.cpu.chunk);
-                if workload.next_chunk_into(NodeId::new(n as u16), &mut chunk) {
-                    node.cpu.chunk = chunk;
-                    node.cpu.pc = 0;
-                    if node.cpu.chunk.is_empty() {
-                        continue;
-                    }
-                } else {
-                    node.cpu.status = CpuStatus::Done;
-                    done[n] = Some(node.cpu.clock);
-                    return;
-                }
-            }
-
-            let op = node.cpu.chunk[node.cpu.pc];
-            match op {
-                Op::Compute(k) => {
-                    let cpu = &mut node.cpu;
-                    cpu.clock += Cycles::new(k as u64);
-                    cpu.stats.compute_cycles.add(k as u64);
-                    cpu.stats.ops.inc();
-                    cpu.pc += 1;
-                }
-                Op::Read { addr, expect } => {
-                    if !Self::access(cfg, tracer, node, n, queue, addr, AccessKind::Load, 0, expect)
-                    {
-                        return;
-                    }
-                }
-                Op::Write { addr, value } => {
-                    if !Self::access(
-                        cfg,
-                        tracer,
-                        node,
-                        n,
-                        queue,
-                        addr,
-                        AccessKind::Store,
-                        value,
-                        None,
-                    ) {
-                        return;
-                    }
-                }
-                Op::Barrier => {
-                    let cpu = &mut node.cpu;
-                    cpu.pc += 1;
-                    cpu.stats.ops.inc();
-                    cpu.status = CpuStatus::AtBarrier;
-                    cpu.suspended_at = cpu.clock;
-                    let arrival = cpu.clock;
-                    barrier.arrived += 1;
-                    if arrival > barrier.max_arrival {
-                        barrier.max_arrival = arrival;
-                    }
-                    if barrier.arrived == cfg.nodes {
-                        schedule(queue, 
-                            barrier.max_arrival + cfg.timing.barrier_latency,
-                            Event::BarrierRelease {
-                                generation: barrier.generation,
-                            },
-                        );
-                    }
-                    return;
-                }
-                Op::UserCall { op, arg } => {
-                    let cpu = &mut node.cpu;
-                    cpu.pc += 1;
-                    cpu.stats.ops.inc();
-                    cpu.status = CpuStatus::BlockedCall;
-                    cpu.suspended_at = cpu.clock;
-                    let at = cpu.clock + Cycles::new(1);
-                    let thread = cpu.thread();
-                    schedule(queue, 
-                        at,
-                        Event::NpWork {
-                            node: n,
-                            work: NpWork::UserCall(thread, UserCall { op, arg }),
-                        },
-                    );
-                    return;
-                }
-            }
-
-            if node.cpu.clock >= deadline {
-                let at = node.cpu.clock;
-                // Direct execution (WWT-style): if every pending event
-                // lies strictly beyond this CPU's clock, the wakeup we
-                // are about to schedule would be the very next event
-                // popped — so skip the queue round trip and keep
-                // executing inline. The machine state and the order of
-                // all remaining events are exactly what the scheduled
-                // path would produce; only the self-wakeup is elided,
-                // which is why reported cycles are byte-identical.
-                if cfg.direct_execution && queue.peek_time().is_none_or(|t| t > at) {
-                    deadline = at + *quantum;
-                    continue;
-                }
-                let cpu = &mut node.cpu;
-                cpu.step_pending = true;
-                schedule(queue, at, Event::CpuStep(n));
-                return;
-            }
-        }
-    }
-
-    /// Executes one tag-checked access; returns `false` if the CPU
-    /// suspended (fault taken). An associated function over the split
-    /// borrows so [`Self::cpu_step`] can call it while holding `node`.
-    #[allow(clippy::too_many_arguments)]
-    fn access(
-        cfg: &SystemConfig,
-        tracer: &mut Option<Box<dyn Tracer>>,
-        node: &mut NodeState,
-        n: usize,
-        queue: &mut EventQueue<Event>,
-        addr: VAddr,
-        kind: AccessKind,
-        value: u64,
-        expect: Option<u64>,
-    ) -> bool {
-        let outcome = exec_access(
-            cfg,
-            &mut node.cpu,
-            &mut node.np,
-            &mut node.mem,
-            &node.ptable,
-            addr,
-            kind,
-            value,
-        );
-        match outcome {
-            AccessOutcome::Done { cost, value: loaded } => {
-                if cfg.verify_values {
-                    if let (Some(expect), Some(got)) = (expect, loaded) {
-                        assert_eq!(
-                            got,
-                            expect,
-                            "coherence violation: node {n} read {addr} at cycle {} and \
-                             observed {got:#x}, expected {expect:#x}",
-                            node.cpu.clock
-                        );
-                    }
-                }
-                node.cpu.clock += cost;
-                node.cpu.pc += 1;
-                true
-            }
-            AccessOutcome::PageFault(fault, cost) => {
-                node.cpu.clock += cost + cfg.typhoon.effective_fault_detect();
-                node.cpu.status = CpuStatus::BlockedFault;
-                node.cpu.suspended_at = node.cpu.clock;
-                let at = node.cpu.clock;
-                trace_into(
-                    tracer,
-                    at,
-                    TraceEvent::PageFault {
-                        node: NodeId::new(n as u16),
-                        addr,
-                    },
-                );
-                schedule(queue, 
-                    at,
-                    Event::NpWork {
-                        node: n,
-                        work: NpWork::PageFault(fault),
-                    },
-                );
-                false
-            }
-            AccessOutcome::BlockFault(fault, cost) => {
-                node.cpu.clock += cost;
-                node.cpu.status = CpuStatus::BlockedFault;
-                node.cpu.suspended_at = node.cpu.clock;
-                let at = node.cpu.clock;
-                trace_into(
-                    tracer,
-                    at,
-                    TraceEvent::BlockFault {
-                        node: NodeId::new(n as u16),
-                        addr,
-                        kind,
-                    },
-                );
-                schedule(queue, 
-                    at,
-                    Event::NpWork {
-                        node: n,
-                        work: NpWork::BlockFault(fault),
-                    },
-                );
-                false
-            }
-        }
-    }
-
-    // --- NP execution ---------------------------------------------------
-
-    fn try_dispatch(&mut self, n: usize, now: Cycles, queue: &mut EventQueue<Event>) {
-        let np = &mut self.nodes[n].np;
-        if !np.has_work() {
-            return;
-        }
-        if np.busy_until > now {
-            if !np.dispatch_pending {
-                np.dispatch_pending = true;
-                schedule(queue, np.busy_until, Event::NpDispatch(n));
-            }
-            return;
-        }
-        self.run_one_handler(n, now, queue);
-    }
-
-    fn run_one_handler(&mut self, n: usize, now: Cycles, queue: &mut EventQueue<Event>) {
-        let Some(work) = self.nodes[n].np.next_work() else {
-            return;
-        };
-        let start = now + self.cfg.typhoon.effective_dispatch();
-        {
-            let stats = &mut self.nodes[n].np.stats;
-            stats.handlers.inc();
-            match &work {
-                NpWork::Message(_) => {}
-                NpWork::BlockFault(_) => stats.block_faults.inc(),
-                NpWork::PageFault(_) => stats.page_faults.inc(),
-                NpWork::UserCall(..) => stats.user_calls.inc(),
-            }
-        }
-        let kind = match &work {
-            NpWork::Message(m) => HandlerKind::Message(m.handler.raw()),
-            NpWork::BlockFault(_) => HandlerKind::BlockFault,
-            NpWork::PageFault(_) => HandlerKind::PageFault,
-            NpWork::UserCall(..) => HandlerKind::UserCall,
-        };
-        self.trace(
-            start,
-            TraceEvent::HandlerStart {
-                node: NodeId::new(n as u16),
-                what: kind,
-            },
-        );
-        let mut proto = self.protocols[n].take().expect("protocol present");
-        let cost = {
-            let mut ctx = self.ctx(n, start, queue);
-            match work {
-                NpWork::Message(m) => proto.on_message(&mut ctx, m),
-                NpWork::BlockFault(f) => proto.on_block_fault(&mut ctx, f),
-                NpWork::PageFault(f) => proto.on_page_fault(&mut ctx, f),
-                NpWork::UserCall(t, c) => proto.on_user_call(&mut ctx, t, c),
-            }
-            let c = ctx.total_cost();
-            if c == Cycles::ZERO {
-                Cycles::new(1)
-            } else {
-                c
-            }
-        };
-        self.protocols[n] = Some(proto);
-        let node = &mut self.nodes[n];
-        let np = &mut node.np;
-        np.busy_until = start + cost;
-        np.stats
-            .busy_cycles
-            .add((self.cfg.typhoon.effective_dispatch() + cost).raw());
-        // Software Tempest: the handler ran on the primary CPU, stealing
-        // its cycles if it was computing.
-        if self.cfg.typhoon.np_mode == tt_base::config::NpMode::OnCpu
-            && node.cpu.status == crate::cpu::CpuStatus::Ready
-            && node.cpu.clock < np.busy_until
-        {
-            node.cpu.clock = np.busy_until;
-        }
-        if np.has_work() && !np.dispatch_pending {
-            np.dispatch_pending = true;
-            let at = np.busy_until;
-            schedule(queue, at, Event::NpDispatch(n));
-        }
-    }
-
-    // --- Packets ---------------------------------------------------------
-
-    fn deliver(&mut self, packet: Packet, now: Cycles, queue: &mut EventQueue<Event>) {
-        let n = packet.dst.index();
-        self.trace(
-            now,
-            TraceEvent::Deliver {
-                node: packet.dst,
-                handler: packet.handler,
-            },
-        );
-        if packet.handler >= MACHINE_HANDLER_BASE {
-            self.deliver_machine_packet(packet, now, queue);
-            return;
-        }
-        self.nodes[n].np.enqueue(NpWork::Message(Message::from_packet(packet)));
-        self.try_dispatch(n, now, queue);
-    }
-
-    fn deliver_machine_packet(&mut self, packet: Packet, now: Cycles, queue: &mut EventQueue<Event>) {
-        let n = packet.dst.index();
-        match packet.handler {
-            BULK_DATA => {
-                let dst_addr = VAddr::new(packet.payload.words[0]);
-                let node = &mut self.nodes[n];
-                write_virtual_bytes(&mut node.mem, &node.ptable, dst_addr, &packet.payload.data);
-                let np = &mut node.np;
-                let busy = if np.busy_until > now { np.busy_until } else { now };
-                np.busy_until = busy + self.cfg.typhoon.bulk_packet_cycles;
-            }
-            BULK_DONE => {
-                let words = &packet.payload.words;
-                let (src_base, dst_base, bytes) = (words[0], words[1], words[2]);
-                let (notify_src, notify_dst) = (words[3], words[4]);
-                if notify_dst != NO_HANDLER {
-                    self.nodes[n].np.enqueue(NpWork::Message(Message {
-                        src: packet.src,
-                        vn: VirtualNet::Response,
-                        handler: HandlerId(notify_dst as u32),
-                        payload: Payload::args(vec![src_base, dst_base, bytes]),
-                    }));
-                    self.try_dispatch(n, now, queue);
-                }
-                if notify_src != NO_HANDLER {
-                    let ack = Packet {
-                        src: packet.dst,
-                        dst: packet.src,
-                        vn: VirtualNet::Response,
-                        handler: BULK_ACK,
-                        payload: Payload::args(vec![src_base, dst_base, bytes, notify_src]),
-                    };
-                    let at = self.network.send(now, &ack);
-                    schedule(queue, at, Event::Deliver(ack));
-                }
-            }
-            BULK_ACK => {
-                let words = &packet.payload.words;
-                self.nodes[n].np.enqueue(NpWork::Message(Message {
-                    src: packet.src,
-                    vn: VirtualNet::Response,
-                    handler: HandlerId(words[3] as u32),
-                    payload: Payload::args(vec![words[0], words[1], words[2]]),
-                }));
-                self.try_dispatch(n, now, queue);
-            }
-            other => panic!("unknown machine handler id {other:#x}"),
-        }
-    }
-
-    fn bulk_inject(&mut self, n: usize, id: u64, now: Cycles, queue: &mut EventQueue<Event>) {
-        let Some(pos) = self.nodes[n].bulk.iter().position(|b| b.id == id) else {
-            return;
-        };
-        let busy_until = self.nodes[n].np.busy_until;
-        if busy_until > now {
-            schedule(queue, busy_until, Event::BulkInject { node: n, id });
-            return;
-        }
-        let (packet, done_packet) = {
-            let node = &mut self.nodes[n];
-            let b = &mut node.bulk[pos];
-            let req = b.request;
-            let remaining = req.bytes - b.offset;
-            let chunk = remaining.min(tt_tempest::bulk::BULK_PACKET_DATA_BYTES);
-            let data = read_virtual_bytes(
-                &node.mem,
-                &node.ptable,
-                req.src_addr.offset(b.offset as u64),
-                chunk,
-            );
-            let packet = Packet {
-                src: NodeId::new(n as u16),
-                dst: req.dst,
-                vn: VirtualNet::Request,
-                handler: BULK_DATA,
-                payload: Payload {
-                    words: vec![req.dst_addr.raw() + b.offset as u64],
-                    data,
-                },
-            };
-            b.offset += chunk;
-            node.np.stats.bulk_packets.inc();
-            let done = if b.offset == req.bytes {
-                let notify_src = req
-                    .notify_src
-                    .map(|h| h.raw() as u64)
-                    .unwrap_or(NO_HANDLER);
-                let notify_dst = req
-                    .notify_dst
-                    .map(|h| h.raw() as u64)
-                    .unwrap_or(NO_HANDLER);
-                Some(Packet {
-                    src: NodeId::new(n as u16),
-                    dst: req.dst,
-                    vn: VirtualNet::Request,
-                    handler: BULK_DONE,
-                    payload: Payload::args(vec![
-                        req.src_addr.raw(),
-                        req.dst_addr.raw(),
-                        req.bytes as u64,
-                        notify_src,
-                        notify_dst,
-                    ]),
-                })
-            } else {
-                None
-            };
-            done
-                .map(|d| (packet.clone(), Some(d)))
-                .unwrap_or((packet, None))
-        };
-        let at = self.network.send(now, &packet);
-        schedule(queue, at, Event::Deliver(packet));
-        let np = &mut self.nodes[n].np;
-        np.busy_until = now + self.cfg.typhoon.bulk_packet_cycles;
-        if let Some(done) = done_packet {
-            let at = self.network.send(np.busy_until, &done);
-            schedule(queue, at, Event::Deliver(done));
-            self.nodes[n].bulk.remove(pos);
-        } else {
-            let at = np.busy_until;
-            schedule(queue, at, Event::BulkInject { node: n, id });
-        }
-    }
-
-    fn barrier_release(&mut self, generation: u64, now: Cycles, queue: &mut EventQueue<Event>) {
-        assert_eq!(generation, self.barrier.generation, "stale barrier release");
-        self.trace(now, TraceEvent::BarrierRelease);
-        self.barrier.generation += 1;
-        self.barrier.arrived = 0;
-        self.barrier.max_arrival = Cycles::ZERO;
-        self.barrier.releases += 1;
-        for n in 0..self.cfg.nodes {
-            let cpu = &mut self.nodes[n].cpu;
-            assert_eq!(cpu.status, CpuStatus::AtBarrier, "node {n} missed the barrier");
-            cpu.stats
-                .barrier_wait_cycles
-                .add((now - cpu.suspended_at).raw());
-            cpu.status = CpuStatus::Ready;
-            cpu.clock = now;
-            if !cpu.step_pending {
-                cpu.step_pending = true;
-                schedule(queue, now, Event::CpuStep(n));
-            }
         }
     }
 
@@ -950,10 +628,612 @@ impl TyphoonMachine {
     }
 }
 
+/// Contiguous `(first, len)` node ranges splitting `total` nodes into
+/// `parts` shards of near-equal size.
+fn split_ranges(total: usize, parts: usize) -> Vec<(usize, usize)> {
+    (0..parts)
+        .map(|i| {
+            let first = i * total / parts;
+            let end = (i + 1) * total / parts;
+            (first, end - first)
+        })
+        .collect()
+}
+
+impl<'m> Shard<'m> {
+    /// Dispatches one event, declaring the handling node as the origin
+    /// of everything the handler schedules (the key scheme's anchor).
+    fn handle(&mut self, now: Cycles, event: Event, queue: &mut ShardQueue<Event>) {
+        match event.target() {
+            Some(t) => queue.set_origin(t),
+            None => queue.set_origin_global(),
+        }
+        match event {
+            Event::CpuStep(n) => self.cpu_step(n, now, queue),
+            Event::NpDispatch(n) => {
+                let np = &mut self.nodes[n - self.first].np;
+                np.dispatch_pending = false;
+                if np.busy_until > now {
+                    np.dispatch_pending = true;
+                    let at = np.busy_until;
+                    schedule(queue, at, Event::NpDispatch(n));
+                } else if np.has_work() {
+                    self.run_one_handler(n, now, queue);
+                }
+            }
+            Event::NpWork { node, work } => {
+                self.nodes[node - self.first].np.enqueue(work);
+                self.try_dispatch(node, now, queue);
+            }
+            Event::Deliver(packet) => self.deliver(packet, now, queue),
+            Event::BarrierRelease { generation } => self.release_local(now, generation, queue),
+            Event::BulkInject { node, id } => self.bulk_inject(node, id, now, queue),
+        }
+    }
+
+    /// Initializes this shard's protocols at time zero and seeds the
+    /// queue with each owned node's first CPU step. Per-origin key
+    /// counters make the result independent of how shards interleave
+    /// their init loops.
+    fn init_nodes(&mut self, queue: &mut ShardQueue<Event>) {
+        for l in 0..self.nodes.len() {
+            let n = self.first + l;
+            queue.set_origin(n);
+            let mut proto = self.protocols[l].take().expect("protocol present");
+            let mut ctx = self.ctx(n, Cycles::ZERO, queue);
+            proto.init(&mut ctx);
+            self.protocols[l] = Some(proto);
+        }
+        for l in 0..self.nodes.len() {
+            let n = self.first + l;
+            queue.set_origin(n);
+            self.nodes[l].cpu.step_pending = true;
+            schedule(queue, Cycles::ZERO, Event::CpuStep(n));
+        }
+    }
+
+    #[inline]
+    fn trace(&mut self, at: Cycles, event: TraceEvent) {
+        if let Some(t) = &mut self.tracer {
+            t.record(TraceRecord { at, event });
+        }
+    }
+
+    /// Builds a per-handler context for (globally indexed) node `n`.
+    fn ctx<'a>(
+        &'a mut self,
+        n: usize,
+        start: Cycles,
+        queue: &'a mut ShardQueue<Event>,
+    ) -> NodeCtx<'a> {
+        let node = &mut self.nodes[n - self.first];
+        NodeCtx {
+            id: NodeId::new(n as u16),
+            nodes: self.cfg.nodes,
+            cfg: self.cfg,
+            start,
+            cost: Cycles::ZERO,
+            cpu: &mut node.cpu,
+            np: &mut node.np,
+            mem: &mut node.mem,
+            ptable: &mut node.ptable,
+            network: self.network,
+            queue,
+            bulk_out: &mut node.bulk,
+            bulk_seq: &mut node.bulk_seq,
+        }
+    }
+
+    // --- CPU execution -------------------------------------------------
+
+    /// The per-op inner loop. `self` is destructured once so the op loop
+    /// works on a single `&mut NodeState` instead of re-indexing per op —
+    /// this is the simulation's hottest code.
+    fn cpu_step(&mut self, n: usize, now: Cycles, queue: &mut ShardQueue<Event>) {
+        let Shard {
+            cfg,
+            quantum,
+            first,
+            nodes,
+            workload,
+            done,
+            tracer,
+            barrier,
+            ..
+        } = self;
+        let l = n - *first;
+        let node = &mut nodes[l];
+        node.cpu.step_pending = false;
+        if node.cpu.status != CpuStatus::Ready {
+            return;
+        }
+        if node.cpu.clock < now {
+            node.cpu.clock = now;
+        }
+        let mut deadline = now + *quantum;
+        loop {
+            // Refill the op chunk if exhausted, reusing its allocation.
+            if node.cpu.pc >= node.cpu.chunk.len() {
+                let mut chunk = std::mem::take(&mut node.cpu.chunk);
+                let refilled = workload
+                    .lock()
+                    .expect("workload poisoned")
+                    .next_chunk_into(NodeId::new(n as u16), &mut chunk);
+                if refilled {
+                    node.cpu.chunk = chunk;
+                    node.cpu.pc = 0;
+                    if node.cpu.chunk.is_empty() {
+                        continue;
+                    }
+                } else {
+                    node.cpu.status = CpuStatus::Done;
+                    done[l] = Some(node.cpu.clock);
+                    return;
+                }
+            }
+
+            let op = node.cpu.chunk[node.cpu.pc];
+            match op {
+                Op::Compute(k) => {
+                    let cpu = &mut node.cpu;
+                    cpu.clock += Cycles::new(k as u64);
+                    cpu.stats.compute_cycles.add(k as u64);
+                    cpu.stats.ops.inc();
+                    cpu.pc += 1;
+                }
+                Op::Read { addr, expect } => {
+                    if !Self::access(cfg, tracer, node, n, queue, addr, AccessKind::Load, 0, expect)
+                    {
+                        return;
+                    }
+                }
+                Op::Write { addr, value } => {
+                    if !Self::access(
+                        cfg,
+                        tracer,
+                        node,
+                        n,
+                        queue,
+                        addr,
+                        AccessKind::Store,
+                        value,
+                        None,
+                    ) {
+                        return;
+                    }
+                }
+                Op::Barrier => {
+                    let cpu = &mut node.cpu;
+                    cpu.pc += 1;
+                    cpu.stats.ops.inc();
+                    cpu.status = CpuStatus::AtBarrier;
+                    cpu.suspended_at = cpu.clock;
+                    let arrival = cpu.clock;
+                    // Inline (single-shard) mode completes the barrier
+                    // here and schedules its own release; windowed mode
+                    // returns `None` and lets the driver aggregate
+                    // arrivals across shards at window boundaries.
+                    if let Some(release_at) = queue.note_barrier_arrival(arrival) {
+                        schedule(
+                            queue,
+                            release_at,
+                            Event::BarrierRelease {
+                                generation: barrier.generation,
+                            },
+                        );
+                    }
+                    return;
+                }
+                Op::UserCall { op, arg } => {
+                    let cpu = &mut node.cpu;
+                    cpu.pc += 1;
+                    cpu.stats.ops.inc();
+                    cpu.status = CpuStatus::BlockedCall;
+                    cpu.suspended_at = cpu.clock;
+                    let at = cpu.clock + Cycles::new(1);
+                    let thread = cpu.thread();
+                    schedule(
+                        queue,
+                        at,
+                        Event::NpWork {
+                            node: n,
+                            work: NpWork::UserCall(thread, UserCall { op, arg }),
+                        },
+                    );
+                    return;
+                }
+            }
+
+            if node.cpu.clock >= deadline {
+                let at = node.cpu.clock;
+                // Direct execution (WWT-style): if every pending event
+                // lies strictly beyond this CPU's clock, the wakeup we
+                // are about to schedule would be the very next event
+                // popped — so skip the queue round trip and keep
+                // executing inline. Under the window scheme the run must
+                // additionally stay below the window end: past it, a
+                // cross-shard delivery not yet merged could be pending.
+                // The machine state and the order of all remaining events
+                // are exactly what the scheduled path would produce; only
+                // the self-wakeup is elided (and it carries a reserved
+                // key, so eliding it perturbs no other event's key),
+                // which is why reported cycles are byte-identical.
+                if cfg.direct_execution
+                    && queue.peek_time().is_none_or(|t| t > at)
+                    && queue.window_end().is_none_or(|end| at < end)
+                {
+                    deadline = at + *quantum;
+                    continue;
+                }
+                let cpu = &mut node.cpu;
+                cpu.step_pending = true;
+                queue.schedule_wakeup(at, n, Event::CpuStep(n));
+                return;
+            }
+        }
+    }
+
+    /// Executes one tag-checked access; returns `false` if the CPU
+    /// suspended (fault taken). An associated function over the split
+    /// borrows so [`Shard::cpu_step`] can call it while holding `node`.
+    #[allow(clippy::too_many_arguments)]
+    fn access(
+        cfg: &SystemConfig,
+        tracer: &mut Option<&'m mut Box<dyn Tracer>>,
+        node: &mut NodeState,
+        n: usize,
+        queue: &mut ShardQueue<Event>,
+        addr: VAddr,
+        kind: AccessKind,
+        value: u64,
+        expect: Option<u64>,
+    ) -> bool {
+        let outcome = exec_access(
+            cfg,
+            &mut node.cpu,
+            &mut node.np,
+            &mut node.mem,
+            &node.ptable,
+            addr,
+            kind,
+            value,
+        );
+        match outcome {
+            AccessOutcome::Done { cost, value: loaded } => {
+                if cfg.verify_values {
+                    if let (Some(expect), Some(got)) = (expect, loaded) {
+                        assert_eq!(
+                            got,
+                            expect,
+                            "coherence violation: node {n} read {addr} at cycle {} and \
+                             observed {got:#x}, expected {expect:#x}",
+                            node.cpu.clock
+                        );
+                    }
+                }
+                node.cpu.clock += cost;
+                node.cpu.pc += 1;
+                true
+            }
+            AccessOutcome::PageFault(fault, cost) => {
+                node.cpu.clock += cost + cfg.typhoon.effective_fault_detect();
+                node.cpu.status = CpuStatus::BlockedFault;
+                node.cpu.suspended_at = node.cpu.clock;
+                let at = node.cpu.clock;
+                trace_into(
+                    tracer,
+                    at,
+                    TraceEvent::PageFault {
+                        node: NodeId::new(n as u16),
+                        addr,
+                    },
+                );
+                schedule(
+                    queue,
+                    at,
+                    Event::NpWork {
+                        node: n,
+                        work: NpWork::PageFault(fault),
+                    },
+                );
+                false
+            }
+            AccessOutcome::BlockFault(fault, cost) => {
+                node.cpu.clock += cost;
+                node.cpu.status = CpuStatus::BlockedFault;
+                node.cpu.suspended_at = node.cpu.clock;
+                let at = node.cpu.clock;
+                trace_into(
+                    tracer,
+                    at,
+                    TraceEvent::BlockFault {
+                        node: NodeId::new(n as u16),
+                        addr,
+                        kind,
+                    },
+                );
+                schedule(
+                    queue,
+                    at,
+                    Event::NpWork {
+                        node: n,
+                        work: NpWork::BlockFault(fault),
+                    },
+                );
+                false
+            }
+        }
+    }
+
+    // --- NP execution ---------------------------------------------------
+
+    fn try_dispatch(&mut self, n: usize, now: Cycles, queue: &mut ShardQueue<Event>) {
+        let np = &mut self.nodes[n - self.first].np;
+        if !np.has_work() {
+            return;
+        }
+        if np.busy_until > now {
+            if !np.dispatch_pending {
+                np.dispatch_pending = true;
+                schedule(queue, np.busy_until, Event::NpDispatch(n));
+            }
+            return;
+        }
+        self.run_one_handler(n, now, queue);
+    }
+
+    fn run_one_handler(&mut self, n: usize, now: Cycles, queue: &mut ShardQueue<Event>) {
+        let l = n - self.first;
+        let Some(work) = self.nodes[l].np.next_work() else {
+            return;
+        };
+        let start = now + self.cfg.typhoon.effective_dispatch();
+        {
+            let stats = &mut self.nodes[l].np.stats;
+            stats.handlers.inc();
+            match &work {
+                NpWork::Message(_) => {}
+                NpWork::BlockFault(_) => stats.block_faults.inc(),
+                NpWork::PageFault(_) => stats.page_faults.inc(),
+                NpWork::UserCall(..) => stats.user_calls.inc(),
+            }
+        }
+        let kind = match &work {
+            NpWork::Message(m) => HandlerKind::Message(m.handler.raw()),
+            NpWork::BlockFault(_) => HandlerKind::BlockFault,
+            NpWork::PageFault(_) => HandlerKind::PageFault,
+            NpWork::UserCall(..) => HandlerKind::UserCall,
+        };
+        self.trace(
+            start,
+            TraceEvent::HandlerStart {
+                node: NodeId::new(n as u16),
+                what: kind,
+            },
+        );
+        let mut proto = self.protocols[l].take().expect("protocol present");
+        let cost = {
+            let mut ctx = self.ctx(n, start, queue);
+            match work {
+                NpWork::Message(m) => proto.on_message(&mut ctx, m),
+                NpWork::BlockFault(f) => proto.on_block_fault(&mut ctx, f),
+                NpWork::PageFault(f) => proto.on_page_fault(&mut ctx, f),
+                NpWork::UserCall(t, c) => proto.on_user_call(&mut ctx, t, c),
+            }
+            let c = ctx.total_cost();
+            if c == Cycles::ZERO {
+                Cycles::new(1)
+            } else {
+                c
+            }
+        };
+        self.protocols[l] = Some(proto);
+        let node = &mut self.nodes[l];
+        let np = &mut node.np;
+        np.busy_until = start + cost;
+        np.stats
+            .busy_cycles
+            .add((self.cfg.typhoon.effective_dispatch() + cost).raw());
+        // Software Tempest: the handler ran on the primary CPU, stealing
+        // its cycles if it was computing.
+        if self.cfg.typhoon.np_mode == tt_base::config::NpMode::OnCpu
+            && node.cpu.status == crate::cpu::CpuStatus::Ready
+            && node.cpu.clock < np.busy_until
+        {
+            node.cpu.clock = np.busy_until;
+        }
+        if np.has_work() && !np.dispatch_pending {
+            np.dispatch_pending = true;
+            let at = np.busy_until;
+            schedule(queue, at, Event::NpDispatch(n));
+        }
+    }
+
+    // --- Packets ---------------------------------------------------------
+
+    fn deliver(&mut self, packet: Packet, now: Cycles, queue: &mut ShardQueue<Event>) {
+        let n = packet.dst.index();
+        self.trace(
+            now,
+            TraceEvent::Deliver {
+                node: packet.dst,
+                handler: packet.handler,
+            },
+        );
+        if packet.handler >= MACHINE_HANDLER_BASE {
+            self.deliver_machine_packet(packet, now, queue);
+            return;
+        }
+        self.nodes[n - self.first]
+            .np
+            .enqueue(NpWork::Message(Message::from_packet(packet)));
+        self.try_dispatch(n, now, queue);
+    }
+
+    fn deliver_machine_packet(
+        &mut self,
+        packet: Packet,
+        now: Cycles,
+        queue: &mut ShardQueue<Event>,
+    ) {
+        let n = packet.dst.index();
+        let l = n - self.first;
+        match packet.handler {
+            BULK_DATA => {
+                let dst_addr = VAddr::new(packet.payload.words[0]);
+                let node = &mut self.nodes[l];
+                write_virtual_bytes(&mut node.mem, &node.ptable, dst_addr, &packet.payload.data);
+                let np = &mut node.np;
+                let busy = if np.busy_until > now { np.busy_until } else { now };
+                np.busy_until = busy + self.cfg.typhoon.bulk_packet_cycles;
+            }
+            BULK_DONE => {
+                let words = &packet.payload.words;
+                let (src_base, dst_base, bytes) = (words[0], words[1], words[2]);
+                let (notify_src, notify_dst) = (words[3], words[4]);
+                if notify_dst != NO_HANDLER {
+                    self.nodes[l].np.enqueue(NpWork::Message(Message {
+                        src: packet.src,
+                        vn: VirtualNet::Response,
+                        handler: HandlerId(notify_dst as u32),
+                        payload: Payload::args(vec![src_base, dst_base, bytes]),
+                    }));
+                    self.try_dispatch(n, now, queue);
+                }
+                if notify_src != NO_HANDLER {
+                    let ack = Packet {
+                        src: packet.dst,
+                        dst: packet.src,
+                        vn: VirtualNet::Response,
+                        handler: BULK_ACK,
+                        payload: Payload::args(vec![src_base, dst_base, bytes, notify_src]),
+                    };
+                    let at = self.network.send(now, &ack);
+                    schedule(queue, at, Event::Deliver(ack));
+                }
+            }
+            BULK_ACK => {
+                let words = &packet.payload.words;
+                self.nodes[l].np.enqueue(NpWork::Message(Message {
+                    src: packet.src,
+                    vn: VirtualNet::Response,
+                    handler: HandlerId(words[3] as u32),
+                    payload: Payload::args(vec![words[0], words[1], words[2]]),
+                }));
+                self.try_dispatch(n, now, queue);
+            }
+            other => panic!("unknown machine handler id {other:#x}"),
+        }
+    }
+
+    fn bulk_inject(&mut self, n: usize, id: u64, now: Cycles, queue: &mut ShardQueue<Event>) {
+        let l = n - self.first;
+        let Some(pos) = self.nodes[l].bulk.iter().position(|b| b.id == id) else {
+            return;
+        };
+        let busy_until = self.nodes[l].np.busy_until;
+        if busy_until > now {
+            schedule(queue, busy_until, Event::BulkInject { node: n, id });
+            return;
+        }
+        let (packet, done_packet) = {
+            let node = &mut self.nodes[l];
+            let b = &mut node.bulk[pos];
+            let req = b.request;
+            let remaining = req.bytes - b.offset;
+            let chunk = remaining.min(tt_tempest::bulk::BULK_PACKET_DATA_BYTES);
+            let data = read_virtual_bytes(
+                &node.mem,
+                &node.ptable,
+                req.src_addr.offset(b.offset as u64),
+                chunk,
+            );
+            let packet = Packet {
+                src: NodeId::new(n as u16),
+                dst: req.dst,
+                vn: VirtualNet::Request,
+                handler: BULK_DATA,
+                payload: Payload {
+                    words: vec![req.dst_addr.raw() + b.offset as u64],
+                    data,
+                },
+            };
+            b.offset += chunk;
+            node.np.stats.bulk_packets.inc();
+            let done = if b.offset == req.bytes {
+                let notify_src = req
+                    .notify_src
+                    .map(|h| h.raw() as u64)
+                    .unwrap_or(NO_HANDLER);
+                let notify_dst = req
+                    .notify_dst
+                    .map(|h| h.raw() as u64)
+                    .unwrap_or(NO_HANDLER);
+                Some(Packet {
+                    src: NodeId::new(n as u16),
+                    dst: req.dst,
+                    vn: VirtualNet::Request,
+                    handler: BULK_DONE,
+                    payload: Payload::args(vec![
+                        req.src_addr.raw(),
+                        req.dst_addr.raw(),
+                        req.bytes as u64,
+                        notify_src,
+                        notify_dst,
+                    ]),
+                })
+            } else {
+                None
+            };
+            (packet, done)
+        };
+        let at = self.network.send(now, &packet);
+        schedule(queue, at, Event::Deliver(packet));
+        let np = &mut self.nodes[l].np;
+        np.busy_until = now + self.cfg.typhoon.bulk_packet_cycles;
+        if let Some(done) = done_packet {
+            let at = self.network.send(np.busy_until, &done);
+            schedule(queue, at, Event::Deliver(done));
+            self.nodes[l].bulk.remove(pos);
+        } else {
+            let at = np.busy_until;
+            schedule(queue, at, Event::BulkInject { node: n, id });
+        }
+    }
+
+    /// Releases this shard's own nodes from the barrier at `at`. Runs as
+    /// the `BarrierRelease` event handler in sequential mode and as the
+    /// window driver's release hook in parallel mode — each shard wakes
+    /// only the nodes it owns, and the wakeups are keyed under each
+    /// node's *own* origin counter (deterministic in both modes, since a
+    /// blocked node's counter cannot advance concurrently).
+    fn release_local(&mut self, at: Cycles, generation: u64, queue: &mut ShardQueue<Event>) {
+        assert_eq!(generation, self.barrier.generation, "stale barrier release");
+        self.barrier.generation += 1;
+        self.barrier.releases += 1;
+        self.trace(at, TraceEvent::BarrierRelease);
+        for l in 0..self.nodes.len() {
+            let n = self.first + l;
+            let cpu = &mut self.nodes[l].cpu;
+            assert_eq!(cpu.status, CpuStatus::AtBarrier, "node {n} missed the barrier");
+            cpu.stats
+                .barrier_wait_cycles
+                .add((at - cpu.suspended_at).raw());
+            cpu.status = CpuStatus::Ready;
+            cpu.clock = at;
+            if !cpu.step_pending {
+                cpu.step_pending = true;
+                queue.set_origin(n);
+                schedule(queue, at, Event::CpuStep(n));
+            }
+        }
+    }
+}
+
 /// Records a trace event through an optional tracer; the out-of-line
-/// equivalent of [`TyphoonMachine::trace`] for code holding split borrows.
+/// equivalent of [`Shard::trace`] for code holding split borrows.
 #[inline]
-fn trace_into(tracer: &mut Option<Box<dyn Tracer>>, at: Cycles, event: TraceEvent) {
+fn trace_into(tracer: &mut Option<&mut Box<dyn Tracer>>, at: Cycles, event: TraceEvent) {
     if let Some(t) = tracer {
         t.record(TraceRecord { at, event });
     }
@@ -986,33 +1266,5 @@ fn write_virtual_bytes(mem: &mut NodeMemory, pt: &PageTable, addr: VAddr, data: 
             .translate_addr(va)
             .unwrap_or_else(|| panic!("bulk write to unmapped address {va}"));
         mem.write_word(pa, u64::from_le_bytes(chunk.try_into().unwrap()));
-    }
-}
-
-impl EventHandler for TyphoonMachine {
-    type Event = Event;
-
-    fn handle(&mut self, now: Cycles, event: Event, queue: &mut EventQueue<Event>) {
-        match event {
-            Event::CpuStep(n) => self.cpu_step(n, now, queue),
-            Event::NpDispatch(n) => {
-                self.nodes[n].np.dispatch_pending = false;
-                let np = &mut self.nodes[n].np;
-                if np.busy_until > now {
-                    np.dispatch_pending = true;
-                    let at = np.busy_until;
-                    schedule(queue, at, Event::NpDispatch(n));
-                } else if np.has_work() {
-                    self.run_one_handler(n, now, queue);
-                }
-            }
-            Event::NpWork { node, work } => {
-                self.nodes[node].np.enqueue(work);
-                self.try_dispatch(node, now, queue);
-            }
-            Event::Deliver(packet) => self.deliver(packet, now, queue),
-            Event::BarrierRelease { generation } => self.barrier_release(generation, now, queue),
-            Event::BulkInject { node, id } => self.bulk_inject(node, id, now, queue),
-        }
     }
 }

@@ -85,12 +85,16 @@ pub struct TraceRecord {
 }
 
 /// Receives trace records as the simulation runs.
-pub trait Tracer {
+///
+/// `Send` so the machine's shard views (which carry the optional tracer)
+/// can cross threads; tracing itself still requires `sim_threads = 1`,
+/// where a single total event order exists to be observed.
+pub trait Tracer: Send {
     /// Called once per machine-level event, in simulated-time order.
     fn record(&mut self, record: TraceRecord);
 }
 
-impl<F: FnMut(TraceRecord)> Tracer for F {
+impl<F: FnMut(TraceRecord) + Send> Tracer for F {
     fn record(&mut self, record: TraceRecord) {
         self(record)
     }

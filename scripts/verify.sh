@@ -19,12 +19,29 @@ echo "==> figure3 smoke (--scale 64 --nodes 8 --jobs 2)"
 cargo run --release -p tt-bench --bin figure3 -- \
     --scale 64 --nodes 8 --jobs 2 >/dev/null
 
+# Same smoke under the parallel simulator: --sim-threads 2 shards each
+# simulation's event queue across two OS threads, and the binary's
+# built-in canary asserts the cycle tables match a sequential rerun.
+echo "==> figure3 smoke, parallel simulator (--sim-threads 2)"
+cargo run --release -p tt-bench --bin figure3 -- \
+    --scale 64 --nodes 8 --jobs 2 --sim-threads 2 >/dev/null
+
 # Bounded model-checking sweep (fixed seeds, well under a minute): 500
-# litmus cases under schedule perturbation must run clean on both
-# machines, and a planted protocol bug must be caught. On failure
-# tt-check prints the seed; reproduce with `tt-check replay --seed S`.
+# litmus cases under schedule perturbation — including the
+# sequential-vs-parallel simulator differential on the seeds that draw
+# sim_threads > 1 — must run clean on both machines, and a planted
+# protocol bug must be caught. On failure tt-check prints the seed;
+# reproduce with `tt-check replay --seed S [--sim-threads N]`.
 echo "==> tt-check smoke (500 seeds clean + planted bug caught)"
 cargo run --release -p tt-bench --bin tt-check -- run --seeds 500
 cargo run --release -p tt-bench --bin tt-check -- run --seeds 500 --planted-bug
+
+# A dedicated 200-seed window re-checked with the parallel leg forced
+# on every case: each litmus workload runs sequentially and at 2
+# simulator threads, and cycles plus final memory images must match
+# bit for bit.
+echo "==> tt-check parallel differential (200 seeds, forced --sim-threads 2)"
+cargo run --release -p tt-bench --bin tt-check -- \
+    run --seeds 200 --sim-threads 2
 
 echo "==> verify OK"
