@@ -129,6 +129,50 @@ impl Default for DirnnbCosts {
     }
 }
 
+/// Window-advance policy of the conservative parallel simulator
+/// (`tt_sim::pdes`). Purely a simulator-speed knob: cycle tables are
+/// bit-identical under either policy, which the equivalence tests and
+/// the `tt-check` fuzzer pin.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WindowPolicy {
+    /// Every shard advances in lockstep `min(lookahead, release_delay)`
+    /// quanta from the global minimum head (the WWT baseline).
+    #[default]
+    Fixed,
+    /// Per-shard window ends: each shard runs to the earliest time a
+    /// foreign event or barrier release could still reach it, skipping
+    /// the rendezvous the fixed quantum would have spent in between.
+    Adaptive,
+}
+
+impl WindowPolicy {
+    /// CLI / provenance spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WindowPolicy::Fixed => "fixed",
+            WindowPolicy::Adaptive => "adaptive",
+        }
+    }
+}
+
+impl std::str::FromStr for WindowPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fixed" => Ok(WindowPolicy::Fixed),
+            "adaptive" => Ok(WindowPolicy::Adaptive),
+            other => Err(format!("unknown window policy {other:?} (fixed|adaptive)")),
+        }
+    }
+}
+
+impl std::fmt::Display for WindowPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Where protocol handlers execute.
 ///
 /// The paper's Section 2 notes Tempest "can also be implemented in
@@ -253,6 +297,17 @@ pub struct SystemConfig {
     /// bit-identical at every value, which the equivalence tests pin.
     /// `1` (the default) is the plain sequential event loop.
     pub sim_threads: usize,
+    /// Event-queue shards for the parallel simulator. `0` (the default)
+    /// derives the count from `sim_threads`; an explicit value may
+    /// exceed `sim_threads` — workers then multiplex several shards per
+    /// OS thread, which keeps windows shard-local on topology-aware
+    /// shard maps even with few cores. Clamped to `nodes`. Purely a
+    /// simulator-speed knob; cycle tables are bit-identical at every
+    /// value.
+    pub sim_shards: usize,
+    /// How the parallel simulator advances its windows (fixed quanta vs
+    /// adaptive per-shard bounds). Ignored by the sequential path.
+    pub window_policy: WindowPolicy,
     /// Bytes of local memory each node may devote to stache pages.
     /// `usize::MAX` (the default) means "as much as needed"; benchmarks of
     /// page replacement set a finite budget.
@@ -275,6 +330,8 @@ impl Default for SystemConfig {
             verify_values: false,
             direct_execution: true,
             sim_threads: 1,
+            sim_shards: 0,
+            window_policy: WindowPolicy::Fixed,
             stache_capacity_bytes: usize::MAX,
             cpu: CpuConfig::default(),
             timing: TimingConfig::default(),
@@ -319,6 +376,21 @@ impl SystemConfig {
     pub fn scaled_handler_instr(&self, base: u64) -> u64 {
         ((base as f64) * self.typhoon.handler_cost_scale).round() as u64
     }
+
+    /// `(shards, threads)` the parallel simulator should use: shard
+    /// count from `sim_shards` (or `sim_threads` when 0), clamped to
+    /// `nodes`; thread count never exceeding the shard count. `(1, 1)`
+    /// means the plain sequential event loop.
+    pub fn pdes_shape(&self) -> (usize, usize) {
+        let shards = if self.sim_shards > 0 {
+            self.sim_shards
+        } else {
+            self.sim_threads
+        }
+        .clamp(1, self.nodes.max(1));
+        let threads = self.sim_threads.clamp(1, shards);
+        (shards, threads)
+    }
 }
 
 #[cfg(test)]
@@ -347,6 +419,32 @@ mod tests {
         assert_eq!(c.typhoon.stache_request_instr, 14);
         assert_eq!(c.typhoon.stache_home_instr, 30);
         assert_eq!(c.typhoon.stache_reply_instr, 20);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn pdes_shape_derives_shards_and_threads() {
+        let mut c = SystemConfig::default();
+        assert_eq!(c.pdes_shape(), (1, 1), "defaults are sequential");
+        c.sim_threads = 3;
+        assert_eq!(c.pdes_shape(), (3, 3));
+        c.sim_shards = 8;
+        assert_eq!(c.pdes_shape(), (8, 3), "threads multiplex extra shards");
+        c.sim_shards = 64;
+        assert_eq!(c.pdes_shape(), (32, 3), "shards clamp to nodes");
+        c.sim_threads = 1;
+        assert_eq!(c.pdes_shape(), (32, 1), "explicit shards allow 1 thread");
+        c.sim_shards = 0;
+        assert_eq!(c.pdes_shape(), (1, 1));
+    }
+
+    #[test]
+    fn window_policy_parses_round_trip() {
+        for p in [WindowPolicy::Fixed, WindowPolicy::Adaptive] {
+            assert_eq!(p.as_str().parse::<WindowPolicy>(), Ok(p));
+        }
+        assert!("eager".parse::<WindowPolicy>().is_err());
+        assert_eq!(WindowPolicy::default(), WindowPolicy::Fixed);
     }
 
     #[test]

@@ -47,6 +47,7 @@ fn record(point: String, system: &str, out: &RunOutcome) -> PointRecord {
         cycles: out.cycles.raw(),
         wall_secs: out.wall_secs,
         ops: out.ops,
+        pdes: out.pdes,
     }
 }
 
@@ -263,6 +264,7 @@ fn main() {
                     report: r.report,
                     wall_secs,
                     ops,
+                    pdes: r.pdes,
                 }
             })
         });
@@ -317,18 +319,18 @@ fn main() {
         n = records.len(),
     );
     if let Some(path) = &cli.json {
-        tt_bench::json::write_report(
-            path,
-            "ablations",
+        let meta = tt_bench::json::SweepMeta {
+            figure: "ablations".into(),
             nodes,
-            cli.scale,
+            scale: cli.scale,
             jobs,
             repeat,
-            cli.sim_threads,
+            sim_threads: cli.sim_threads,
+            sim_shards: cli.sim_shards,
+            window_policy: cli.window_policy,
             total_wall_secs,
-            &records,
-        )
-        .expect("write --json report");
+        };
+        tt_bench::json::write_report(path, &meta, &records).expect("write --json report");
         eprintln!("  wrote {}", path.display());
     }
 }

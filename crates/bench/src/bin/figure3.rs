@@ -63,6 +63,7 @@ fn main() {
                 cycles: point.typhoon.raw(),
                 wall_secs: point.typhoon_stats.wall_secs,
                 ops: point.typhoon_stats.ops,
+                pdes: point.typhoon_stats.pdes,
             });
             records.push(PointRecord {
                 point: name,
@@ -70,6 +71,7 @@ fn main() {
                 cycles: point.dirnnb.raw(),
                 wall_secs: point.dirnnb_stats.wall_secs,
                 ops: point.dirnnb_stats.ops,
+                pdes: point.dirnnb_stats.pdes,
             });
         }
         table.row(row);
@@ -85,18 +87,18 @@ fn main() {
         jobs = cli.jobs,
     );
     if let Some(path) = &cli.json {
-        tt_bench::json::write_report(
-            path,
-            "figure3",
-            cli.nodes,
-            cli.scale,
-            cli.jobs,
-            cli.repeat,
-            cli.sim_threads,
+        let meta = tt_bench::json::SweepMeta {
+            figure: "figure3".into(),
+            nodes: cli.nodes,
+            scale: cli.scale,
+            jobs: cli.jobs,
+            repeat: cli.repeat,
+            sim_threads: cli.sim_threads,
+            sim_shards: cli.sim_shards,
+            window_policy: cli.window_policy,
             total_wall_secs,
-            &records,
-        )
-        .expect("write --json report");
+        };
+        tt_bench::json::write_report(path, &meta, &records).expect("write --json report");
         eprintln!("  wrote {}", path.display());
     }
 }

@@ -56,6 +56,7 @@ fn main() {
                 cycles: p.cycles[i].raw(),
                 wall_secs: p.stats[i].wall_secs,
                 ops: p.stats[i].ops,
+                pdes: p.stats[i].pdes,
             });
         }
     }
@@ -71,18 +72,18 @@ fn main() {
         jobs = cli.jobs,
     );
     if let Some(path) = &cli.json {
-        tt_bench::json::write_report(
-            path,
-            "figure4",
-            cli.nodes,
-            cli.scale,
-            cli.jobs,
-            cli.repeat,
-            cli.sim_threads,
+        let meta = tt_bench::json::SweepMeta {
+            figure: "figure4".into(),
+            nodes: cli.nodes,
+            scale: cli.scale,
+            jobs: cli.jobs,
+            repeat: cli.repeat,
+            sim_threads: cli.sim_threads,
+            sim_shards: cli.sim_shards,
+            window_policy: cli.window_policy,
             total_wall_secs,
-            &records,
-        )
-        .expect("write --json report");
+        };
+        tt_bench::json::write_report(path, &meta, &records).expect("write --json report");
         eprintln!("  wrote {}", path.display());
     }
 }

@@ -2,8 +2,9 @@
 //! line.
 //!
 //! ```text
-//! tt-check run [--seeds N] [--base B] [--sim-threads N] [--planted-bug] [--out PATH]
-//! tt-check replay --seed S [--sim-threads N]
+//! tt-check run [--seeds N] [--base B] [--sim-threads N] [--window-policy P]
+//!              [--planted-bug] [--out PATH]
+//! tt-check replay --seed S [--sim-threads N] [--window-policy P]
 //! ```
 //!
 //! `run` fuzzes `N` consecutive seeds (litmus workloads × schedule
@@ -14,6 +15,8 @@
 //! parallel-differential leg to `N` simulator threads on every case —
 //! the case shapes and every other perturbation stay seed-derived —
 //! instead of letting each seed draw its own thread count.
+//! `--window-policy fixed|adaptive` likewise forces the parallel leg's
+//! window-advance policy instead of each seed's coin flip.
 //! `--planted-bug` swaps in the deliberately broken
 //! `SkipInvalidate` Stache variant: that run *must* fail, proving the
 //! harness has teeth. `--out` writes a JSON report alongside the other
@@ -22,18 +25,29 @@
 use std::io::Write as _;
 use std::time::Instant;
 
-use tt_base::NodeId;
+use tt_base::{NodeId, WindowPolicy};
 use tt_bench::json::{git_rev, hostname};
 use tt_check::scenarios::SkipInvalidate;
-use tt_check::{fuzz_with_threads, run_seed_with_threads, shrink, stache_factory, Failure};
+use tt_check::{fuzz_with_overrides, run_seed_with_overrides, shrink, stache_factory, Failure};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tt-check run [--seeds N] [--base B] [--sim-threads N] [--planted-bug] \
-         [--out PATH]\n\
-         \x20      tt-check replay --seed S [--sim-threads N]"
+        "usage: tt-check run [--seeds N] [--base B] [--sim-threads N] \
+         [--window-policy fixed|adaptive] [--planted-bug] [--out PATH]\n\
+         \x20      tt-check replay --seed S [--sim-threads N] \
+         [--window-policy fixed|adaptive]"
     );
     std::process::exit(2);
+}
+
+fn parse_policy(args: &[String], i: &mut usize) -> WindowPolicy {
+    *i += 1;
+    args.get(*i)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("tt-check: --window-policy needs `fixed` or `adaptive`");
+            usage()
+        })
 }
 
 fn parse_u64(args: &[String], i: &mut usize, flag: &str) -> u64 {
@@ -123,6 +137,7 @@ fn cmd_run(args: &[String]) -> i32 {
     let mut seeds: u64 = 500;
     let mut base: u64 = 0;
     let mut sim_threads: Option<usize> = None;
+    let mut window_policy: Option<WindowPolicy> = None;
     let mut planted = false;
     let mut out_path: Option<String> = None;
     let mut i = 0;
@@ -133,6 +148,7 @@ fn cmd_run(args: &[String]) -> i32 {
             "--sim-threads" => {
                 sim_threads = Some(parse_u64(args, &mut i, "--sim-threads") as usize)
             }
+            "--window-policy" => window_policy = Some(parse_policy(args, &mut i)),
             "--planted-bug" => planted = true,
             "--out" => {
                 i += 1;
@@ -148,9 +164,9 @@ fn cmd_run(args: &[String]) -> i32 {
     };
     let start = Instant::now();
     let report = if planted {
-        fuzz_with_threads(base, seeds, sim_threads, &planted_factory)
+        fuzz_with_overrides(base, seeds, sim_threads, window_policy, &planted_factory)
     } else {
-        fuzz_with_threads(base, seeds, sim_threads, &stache_factory)
+        fuzz_with_overrides(base, seeds, sim_threads, window_policy, &stache_factory)
     };
     let failure = report.failure.map(|f| {
         eprintln!("tt-check: shrinking failing seed {}...", f.seed);
@@ -200,6 +216,7 @@ fn cmd_run(args: &[String]) -> i32 {
 fn cmd_replay(args: &[String]) -> i32 {
     let mut seed: Option<u64> = None;
     let mut sim_threads: Option<usize> = None;
+    let mut window_policy: Option<WindowPolicy> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -207,12 +224,13 @@ fn cmd_replay(args: &[String]) -> i32 {
             "--sim-threads" => {
                 sim_threads = Some(parse_u64(args, &mut i, "--sim-threads") as usize)
             }
+            "--window-policy" => window_policy = Some(parse_policy(args, &mut i)),
             _ => usage(),
         }
         i += 1;
     }
     let seed = seed.unwrap_or_else(|| usage());
-    match run_seed_with_threads(seed, sim_threads) {
+    match run_seed_with_overrides(seed, sim_threads, window_policy) {
         Ok(r) => {
             println!(
                 "tt-check: seed {seed} clean — typhoon {} cycles, dirnnb {} cycles, \

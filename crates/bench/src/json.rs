@@ -13,6 +13,9 @@
 use std::io::Write;
 use std::path::Path;
 
+use tt_base::stats::PdesTelemetry;
+use tt_base::WindowPolicy;
+
 /// One simulation run inside a sweep.
 #[derive(Clone, Debug)]
 pub struct PointRecord {
@@ -26,6 +29,9 @@ pub struct PointRecord {
     pub wall_secs: f64,
     /// Workload ops the simulated CPUs executed (`cpu.ops`).
     pub ops: u64,
+    /// Window-driver telemetry of the run (`None` for sequential runs,
+    /// emitted as JSON `null`).
+    pub pdes: Option<PdesTelemetry>,
 }
 
 impl PointRecord {
@@ -48,10 +54,27 @@ impl PointRecord {
     }
 
     fn to_json(&self) -> String {
+        let pdes = match &self.pdes {
+            None => "null".to_string(),
+            Some(t) => format!(
+                "{{\"windows\": {}, \"rendezvous\": {}, \"rendezvous_elided\": {}, \
+                 \"events\": {}, \"cross_messages\": {}, \"releases\": {}, \
+                 \"events_per_window\": {:.2}, \"cross_messages_per_window\": {:.2}}}",
+                t.windows,
+                t.rendezvous,
+                t.rendezvous_elided,
+                t.events,
+                t.cross_messages,
+                t.releases,
+                t.events_per_window(),
+                t.cross_messages_per_window(),
+            ),
+        };
         format!(
             "    {{\"point\": {}, \"system\": {}, \"cycles\": {}, \
              \"wall_secs\": {:.6}, \"ops\": {}, \
-             \"sim_cycles_per_sec\": {:.1}, \"ops_per_sec\": {:.1}}}",
+             \"sim_cycles_per_sec\": {:.1}, \"ops_per_sec\": {:.1}, \
+             \"pdes\": {pdes}}}",
             escape(&self.point),
             escape(&self.system),
             self.cycles,
@@ -109,24 +132,37 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// Sweep shape + provenance for a report header.
+#[derive(Clone, Debug)]
+pub struct SweepMeta {
+    /// Which figure/sweep the report covers, e.g. `"figure3"`.
+    pub figure: String,
+    /// Simulated machine size.
+    pub nodes: usize,
+    /// Data-set divisor.
+    pub scale: usize,
+    /// Sweep worker threads.
+    pub jobs: usize,
+    /// Wall-timing repeats per point (min-of-N).
+    pub repeat: usize,
+    /// OS threads inside each simulation.
+    pub sim_threads: usize,
+    /// Shards per simulation (0 = one per sim thread).
+    pub sim_shards: usize,
+    /// Window-advance policy of the parallel simulator.
+    pub window_policy: WindowPolicy,
+    /// Wall seconds for the whole sweep.
+    pub total_wall_secs: f64,
+}
+
 /// Writes a sweep report to `path`, creating parent directories. The
 /// header records the sweep shape plus provenance (`git_rev`, `host`,
-/// `jobs`, `repeat`, `sim_threads`) so snapshots are attributable and
+/// and every [`SweepMeta`] field) so snapshots are attributable and
 /// wall-clock rates can be compared like-for-like across PRs —
-/// `sim_threads` in particular, since a parallel-simulator run reports
-/// the same cycles but very different `sim_cycles_per_sec`.
-#[allow(clippy::too_many_arguments)] // flat header fields, one call site per binary
-pub fn write_report(
-    path: &Path,
-    figure: &str,
-    nodes: usize,
-    scale: usize,
-    jobs: usize,
-    repeat: usize,
-    sim_threads: usize,
-    total_wall_secs: f64,
-    points: &[PointRecord],
-) -> std::io::Result<()> {
+/// `sim_threads`, `sim_shards`, and `window_policy` in particular, since
+/// a parallel-simulator run reports the same cycles but very different
+/// `sim_cycles_per_sec`.
+pub fn write_report(path: &Path, meta: &SweepMeta, points: &[PointRecord]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir)?;
@@ -134,15 +170,17 @@ pub fn write_report(
     }
     let mut f = std::fs::File::create(path)?;
     writeln!(f, "{{")?;
-    writeln!(f, "  \"figure\": {},", escape(figure))?;
+    writeln!(f, "  \"figure\": {},", escape(&meta.figure))?;
     writeln!(f, "  \"git_rev\": {},", escape(&git_rev()))?;
     writeln!(f, "  \"host\": {},", escape(&hostname()))?;
-    writeln!(f, "  \"nodes\": {nodes},")?;
-    writeln!(f, "  \"scale\": {scale},")?;
-    writeln!(f, "  \"jobs\": {jobs},")?;
-    writeln!(f, "  \"repeat\": {repeat},")?;
-    writeln!(f, "  \"sim_threads\": {sim_threads},")?;
-    writeln!(f, "  \"total_wall_secs\": {total_wall_secs:.6},")?;
+    writeln!(f, "  \"nodes\": {},", meta.nodes)?;
+    writeln!(f, "  \"scale\": {},", meta.scale)?;
+    writeln!(f, "  \"jobs\": {},", meta.jobs)?;
+    writeln!(f, "  \"repeat\": {},", meta.repeat)?;
+    writeln!(f, "  \"sim_threads\": {},", meta.sim_threads)?;
+    writeln!(f, "  \"sim_shards\": {},", meta.sim_shards)?;
+    writeln!(f, "  \"window_policy\": {},", escape(meta.window_policy.as_str()))?;
+    writeln!(f, "  \"total_wall_secs\": {:.6},", meta.total_wall_secs)?;
     writeln!(f, "  \"points\": [")?;
     for (i, p) in points.iter().enumerate() {
         let sep = if i + 1 == points.len() { "" } else { "," };
@@ -165,6 +203,7 @@ mod tests {
             cycles: 1000,
             wall_secs: 0.5,
             ops: 200,
+            pdes: None,
         };
         assert_eq!(p.sim_cycles_per_sec(), 2000.0);
         assert_eq!(p.ops_per_sec(), 400.0);
@@ -178,6 +217,7 @@ mod tests {
             cycles: 1000,
             wall_secs: 0.0,
             ops: 200,
+            pdes: None,
         };
         assert_eq!(p.sim_cycles_per_sec(), 0.0);
         assert_eq!(p.ops_per_sec(), 0.0);
@@ -193,20 +233,54 @@ mod tests {
     fn report_round_trips_through_disk() {
         let dir = std::env::temp_dir().join("tt_bench_json_test");
         let path = dir.join("report.json");
-        let points = vec![PointRecord {
-            point: "em3d small/4K".into(),
-            system: "DirNNB".into(),
-            cycles: 42,
-            wall_secs: 0.001,
-            ops: 7,
-        }];
-        write_report(&path, "figure3", 8, 64, 2, 3, 4, 0.123, &points).unwrap();
+        let points = vec![
+            PointRecord {
+                point: "em3d small/4K".into(),
+                system: "DirNNB".into(),
+                cycles: 42,
+                wall_secs: 0.001,
+                ops: 7,
+                pdes: None,
+            },
+            PointRecord {
+                point: "em3d small/4K".into(),
+                system: "Typhoon/Stache".into(),
+                cycles: 42,
+                wall_secs: 0.001,
+                ops: 7,
+                pdes: Some(PdesTelemetry {
+                    windows: 10,
+                    rendezvous: 12,
+                    rendezvous_elided: 30,
+                    events: 500,
+                    cross_messages: 40,
+                    releases: 2,
+                }),
+            },
+        ];
+        let meta = SweepMeta {
+            figure: "figure3".into(),
+            nodes: 8,
+            scale: 64,
+            jobs: 2,
+            repeat: 3,
+            sim_threads: 4,
+            sim_shards: 8,
+            window_policy: WindowPolicy::Adaptive,
+            total_wall_secs: 0.123,
+        };
+        write_report(&path, &meta, &points).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"figure\": \"figure3\""));
         assert!(text.contains("\"cycles\": 42"));
         assert!(text.contains("\"jobs\": 2"));
         assert!(text.contains("\"repeat\": 3"));
         assert!(text.contains("\"sim_threads\": 4"));
+        assert!(text.contains("\"sim_shards\": 8"));
+        assert!(text.contains("\"window_policy\": \"adaptive\""));
+        assert!(text.contains("\"pdes\": null"));
+        assert!(text.contains("\"rendezvous_elided\": 30"));
+        assert!(text.contains("\"events_per_window\": 50.00"));
         assert!(text.contains("\"git_rev\": "));
         assert!(text.contains("\"host\": "));
         std::fs::remove_dir_all(&dir).ok();

@@ -27,9 +27,9 @@ pub mod par;
 
 use std::time::Instant;
 
-use tt_base::stats::Report;
+use tt_base::stats::{PdesTelemetry, Report};
 use tt_base::workload::Workload;
-use tt_base::{Cycles, SystemConfig};
+use tt_base::{Cycles, SystemConfig, WindowPolicy};
 use tt_apps::appbt::{Appbt, AppbtParams};
 use tt_apps::barnes::{Barnes, BarnesParams};
 use tt_apps::em3d::{Em3d, Em3dParams, SyncMode};
@@ -74,6 +74,8 @@ pub struct RunOutcome {
     pub wall_secs: f64,
     /// Workload ops the simulated CPUs executed (`cpu.ops`).
     pub ops: u64,
+    /// Window-driver telemetry (`None` for sequential runs).
+    pub pdes: Option<PdesTelemetry>,
 }
 
 /// Simulator throughput of one run: the host-side cost of a simulation,
@@ -84,6 +86,8 @@ pub struct RunStats {
     pub wall_secs: f64,
     /// Workload ops executed by the simulated CPUs.
     pub ops: u64,
+    /// Window-driver telemetry (`None` for sequential runs).
+    pub pdes: Option<PdesTelemetry>,
 }
 
 /// Builds one of the five applications at a Table 3 data set, divided by
@@ -137,24 +141,24 @@ pub fn build_app(
 /// Runs a workload on the chosen system, measuring host wall time.
 pub fn run_system(system: System, cfg: &SystemConfig, workload: Box<dyn Workload>) -> RunOutcome {
     let start = Instant::now();
-    let (cycles, report) = match system {
+    let (cycles, report, pdes) = match system {
         System::Dirnnb => {
             let r = DirnnbMachine::new(cfg.clone(), workload).run();
-            (r.cycles, r.report)
+            (r.cycles, r.report, r.pdes)
         }
         System::TyphoonStache => {
             let r = TyphoonMachine::new(cfg.clone(), workload, &|id, layout, cfg| {
                 Box::new(StacheProtocol::new(id, layout, cfg))
             })
             .run();
-            (r.cycles, r.report)
+            (r.cycles, r.report, r.pdes)
         }
         System::TyphoonUpdate => {
             let r = TyphoonMachine::new(cfg.clone(), workload, &|id, layout, cfg| {
                 Box::new(Em3dUpdateProtocol::new(id, layout, cfg))
             })
             .run();
-            (r.cycles, r.report)
+            (r.cycles, r.report, r.pdes)
         }
     };
     let wall_secs = start.elapsed().as_secs_f64();
@@ -164,6 +168,7 @@ pub fn run_system(system: System, cfg: &SystemConfig, workload: Box<dyn Workload
         report,
         wall_secs,
         ops,
+        pdes,
     }
 }
 
@@ -326,10 +331,12 @@ pub fn figure3_point_min(
         typhoon_stats: RunStats {
             wall_secs: typhoon.wall_secs,
             ops: typhoon.ops,
+            pdes: typhoon.pdes,
         },
         dirnnb_stats: RunStats {
             wall_secs: dirnnb.wall_secs,
             ops: dirnnb.ops,
+            pdes: dirnnb.pdes,
         },
     }
 }
@@ -428,6 +435,7 @@ pub fn figure4_point_min(
         stats[i] = RunStats {
             wall_secs: out.wall_secs,
             ops: out.ops,
+            pdes: out.pdes,
         };
     }
     Figure4Point {
@@ -486,23 +494,33 @@ pub struct Cli {
     /// = sequential). Orthogonal to `jobs`, which parallelizes across
     /// sweep points. Any value produces identical tables.
     pub sim_threads: usize,
+    /// Shards per simulation (0 = one per sim thread). More shards than
+    /// threads makes each worker multiplex, which narrows windows less
+    /// under the adaptive policy. Any value produces identical tables.
+    pub sim_shards: usize,
+    /// Window-advance policy for parallel simulations (fixed quantum or
+    /// adaptive per-shard widening). Identical tables either way.
+    pub window_policy: WindowPolicy,
     /// Where to write the machine-readable run report, if anywhere.
     pub json: Option<std::path::PathBuf>,
 }
 
 impl Cli {
-    /// The [`bench_config`] for this invocation, with the `--sim-threads`
-    /// setting applied.
+    /// The [`bench_config`] for this invocation, with the
+    /// `--sim-threads`, `--sim-shards`, and `--window-policy` settings
+    /// applied.
     pub fn config(&self) -> SystemConfig {
         let mut cfg = bench_config(self.nodes);
         cfg.sim_threads = self.sim_threads;
+        cfg.sim_shards = self.sim_shards;
+        cfg.window_policy = self.window_policy;
         cfg
     }
 }
 
 /// Parses `--scale N`, `--nodes N`, `--full`, `--jobs N`, `--repeat N`,
-/// `--sim-threads N`, and `--json PATH` arguments shared by the harness
-/// binaries.
+/// `--sim-threads N`, `--sim-shards N`, `--window-policy fixed|adaptive`,
+/// and `--json PATH` arguments shared by the harness binaries.
 pub fn parse_cli(args: &[String], default_scale: usize) -> Cli {
     let mut cli = Cli {
         scale: default_scale,
@@ -510,6 +528,8 @@ pub fn parse_cli(args: &[String], default_scale: usize) -> Cli {
         jobs: par::default_jobs(),
         repeat: 1,
         sim_threads: 1,
+        sim_shards: 0,
+        window_policy: WindowPolicy::Fixed,
         json: None,
     };
     let mut i = 0;
@@ -544,6 +564,16 @@ pub fn parse_cli(args: &[String], default_scale: usize) -> Cli {
                 cli.sim_threads = number(i, "--sim-threads").max(1);
                 i += 2;
             }
+            "--sim-shards" => {
+                cli.sim_shards = number(i, "--sim-shards");
+                i += 2;
+            }
+            "--window-policy" => {
+                cli.window_policy = value(i, "--window-policy")
+                    .parse()
+                    .unwrap_or_else(|e| panic!("--window-policy: {e}"));
+                i += 2;
+            }
             "--json" => {
                 cli.json = Some(std::path::PathBuf::from(value(i, "--json")));
                 i += 2;
@@ -554,7 +584,8 @@ pub fn parse_cli(args: &[String], default_scale: usize) -> Cli {
             }
             other => panic!(
                 "unknown argument {other}; use --scale N | --nodes N | --jobs N \
-                 | --repeat N | --sim-threads N | --json PATH | --full"
+                 | --repeat N | --sim-threads N | --sim-shards N \
+                 | --window-policy fixed|adaptive | --json PATH | --full"
             ),
         }
     }
@@ -643,6 +674,7 @@ mod tests {
                 report: Report::default(),
                 wall_secs: wall,
                 ops: 7,
+                pdes: None,
             }
         });
         assert_eq!(walls.get(), 3);
@@ -661,6 +693,7 @@ mod tests {
                 report: Report::default(),
                 wall_secs: 1.0,
                 ops: 0,
+                pdes: None,
             }
         });
     }

@@ -94,6 +94,55 @@ fn figure4_sweep_is_identical_under_parallel_simulation() {
     }
 }
 
+/// Adaptive windowing (idle-window batching + per-shard lookahead
+/// widening) is purely a rendezvous-count optimization: the full
+/// figure 3 grid must be byte-identical to the sequential tables at
+/// every thread count the smoke sweeps use.
+#[test]
+fn figure3_sweep_is_identical_under_adaptive_windows() {
+    let seq = bench_config(smoke::NODES);
+    let sequential = figure3_sweep(smoke::SCALE, &seq, 4);
+    for threads in [2, 3] {
+        let mut par = bench_config(smoke::NODES);
+        par.sim_threads = threads;
+        par.window_policy = tt_base::WindowPolicy::Adaptive;
+        let parallel = figure3_sweep(smoke::SCALE, &par, 4);
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(
+                s.typhoon, p.typhoon,
+                "Typhoon/Stache cycles diverged under adaptive sim_threads={threads} \
+                 at {} {}/{}",
+                s.app, s.set, s.cache_bytes
+            );
+            assert_eq!(
+                s.dirnnb, p.dirnnb,
+                "DirNNB cycles diverged under adaptive sim_threads={threads} at {} {}/{}",
+                s.app, s.set, s.cache_bytes
+            );
+        }
+    }
+}
+
+#[test]
+fn figure4_sweep_is_identical_under_adaptive_windows() {
+    let seq = bench_config(smoke::NODES);
+    let mut par = bench_config(smoke::NODES);
+    par.sim_threads = 2;
+    par.window_policy = tt_base::WindowPolicy::Adaptive;
+    let sequential = figure4_sweep(smoke::SCALE, &seq, 4);
+    let parallel = figure4_sweep(smoke::SCALE, &par, 4);
+    assert_eq!(sequential.len(), parallel.len());
+    for (s, p) in sequential.iter().zip(&parallel) {
+        assert_eq!(
+            s.cycles, p.cycles,
+            "cycles diverged under adaptive sim_threads=2 at {}% remote \
+             (DirNNB, Typhoon/Stache, Typhoon/Update)",
+            s.pct_remote * 100.0
+        );
+    }
+}
+
 /// The ordering hazard the deterministic barrier merge exists for:
 /// nodes in *different* shards whose requests reach the same home
 /// directory at the *same cycle*. The sequential heap breaks that tie by
@@ -112,7 +161,7 @@ fn same_cycle_cross_shard_requests_merge_in_sequential_order() {
     use tt_base::{NodeId, SystemConfig};
     use tt_dirnnb::DirnnbMachine;
 
-    let run = |sim_threads: usize| {
+    let run = |sim_threads: usize, sim_shards: usize, policy: tt_base::WindowPolicy| {
         let mut layout = Layout::new();
         layout.add(Region {
             base: VAddr::new(SHARED_SEGMENT_BASE),
@@ -141,12 +190,15 @@ fn same_cycle_cross_shard_requests_merge_in_sequential_order() {
         cfg.dirnnb.placement = tt_base::config::DirPlacement::Owner;
         cfg.verify_values = false; // nodes race on the same word by design
         cfg.sim_threads = sim_threads;
+        cfg.sim_shards = sim_shards;
+        cfg.window_policy = policy;
         let r = DirnnbMachine::new(cfg, Box::new(w)).run();
         let rows: Vec<(String, f64)> =
             r.report.iter().map(|row| (row.name.clone(), row.value)).collect();
         (r.cycles, rows)
     };
-    let sequential = run(1);
+    use tt_base::WindowPolicy::{Adaptive, Fixed};
+    let sequential = run(1, 0, Fixed);
     // The race must actually exercise the directory's conflict path, or
     // this test pins nothing.
     assert!(
@@ -154,6 +206,23 @@ fn same_cycle_cross_shard_requests_merge_in_sequential_order() {
         "workload failed to produce same-cycle conflicting requests"
     );
     for threads in [2, 3, 4] {
-        assert_eq!(sequential, run(threads), "sim_threads={threads} diverged");
+        for policy in [Fixed, Adaptive] {
+            assert_eq!(
+                sequential,
+                run(threads, 0, policy),
+                "sim_threads={threads} policy={policy} diverged"
+            );
+        }
+    }
+    // Worker multiplexing: more shards than OS threads, so each worker
+    // owns several shards — the same-cycle merge must still hold.
+    for (threads, shards) in [(2, 4), (3, 4)] {
+        for policy in [Fixed, Adaptive] {
+            assert_eq!(
+                sequential,
+                run(threads, shards, policy),
+                "sim_threads={threads} sim_shards={shards} policy={policy} diverged"
+            );
+        }
     }
 }

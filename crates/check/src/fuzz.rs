@@ -28,7 +28,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::Mutex;
 
 use tt_base::workload::Layout;
-use tt_base::{Cycles, DetRng, NodeId, SystemConfig, VAddr};
+use tt_base::{Cycles, DetRng, NodeId, SystemConfig, VAddr, WindowPolicy};
 use tt_dirnnb::DirnnbMachine;
 use tt_mem::Tag;
 use tt_stache::StacheProtocol;
@@ -69,10 +69,16 @@ pub struct PerturbConfig {
     /// parallel simulator and their cycles and final images must match
     /// the sequential legs bit for bit.
     pub sim_threads: usize,
+    /// Window-advance policy for the parallel differential leg.
+    /// Adaptive widening must never change cycles or images, so both
+    /// policies are drawn with equal probability.
+    pub window_policy: WindowPolicy,
 }
 
 impl PerturbConfig {
-    /// Derives the perturbation from a seed.
+    /// Derives the perturbation from a seed. New dimensions are drawn
+    /// *after* the existing ones so old seeds keep their historical
+    /// shapes.
     pub fn from_seed(seed: u64) -> Self {
         let mut rng = DetRng::new(seed).fork(3);
         PerturbConfig {
@@ -82,6 +88,11 @@ impl PerturbConfig {
             coalesce: rng.chance(0.5),
             direct_execution: rng.chance(0.5),
             sim_threads: 1 + rng.below(3) as usize,
+            window_policy: if rng.chance(0.5) {
+                WindowPolicy::Adaptive
+            } else {
+                WindowPolicy::Fixed
+            },
         }
     }
 
@@ -94,6 +105,7 @@ impl PerturbConfig {
             coalesce: false,
             direct_execution: false,
             sim_threads: 1,
+            window_policy: WindowPolicy::Fixed,
         }
     }
 }
@@ -300,6 +312,7 @@ pub fn run_case_with(
     if perturb.sim_threads > 1 {
         let mut parcfg = syscfg.clone();
         parcfg.sim_threads = perturb.sim_threads;
+        parcfg.window_policy = perturb.window_policy;
 
         let (par_typhoon_cycles, par_typhoon_image) = {
             let parcfg = parcfg.clone();
@@ -348,9 +361,9 @@ pub fn run_case_with(
             return Err(fail(
                 "parallel",
                 format!(
-                    "typhoon cycles diverged under sim_threads={}: sequential {}, \
-                     parallel {}",
-                    perturb.sim_threads, typhoon_cycles, par_typhoon_cycles
+                    "typhoon cycles diverged under sim_threads={} policy={}: \
+                     sequential {}, parallel {}",
+                    perturb.sim_threads, perturb.window_policy, typhoon_cycles, par_typhoon_cycles
                 ),
             ));
         }
@@ -358,9 +371,9 @@ pub fn run_case_with(
             return Err(fail(
                 "parallel",
                 format!(
-                    "dirnnb cycles diverged under sim_threads={}: sequential {}, \
-                     parallel {}",
-                    perturb.sim_threads, dirnnb_cycles, par_dirnnb_cycles
+                    "dirnnb cycles diverged under sim_threads={} policy={}: \
+                     sequential {}, parallel {}",
+                    perturb.sim_threads, perturb.window_policy, dirnnb_cycles, par_dirnnb_cycles
                 ),
             ));
         }
@@ -368,8 +381,8 @@ pub fn run_case_with(
             return Err(fail(
                 "parallel",
                 format!(
-                    "final image diverged under sim_threads={}",
-                    perturb.sim_threads
+                    "final image diverged under sim_threads={} policy={}",
+                    perturb.sim_threads, perturb.window_policy
                 ),
             ));
         }
@@ -393,9 +406,23 @@ pub fn run_seed_with_threads(
     seed: u64,
     sim_threads: Option<usize>,
 ) -> Result<CaseResult, Box<Failure>> {
+    run_seed_with_overrides(seed, sim_threads, None)
+}
+
+/// [`run_seed_with_threads`] with the window policy of the parallel leg
+/// also forceable (`tt-check replay --window-policy adaptive`). `None`
+/// keeps the seed's own drawn policy.
+pub fn run_seed_with_overrides(
+    seed: u64,
+    sim_threads: Option<usize>,
+    window_policy: Option<WindowPolicy>,
+) -> Result<CaseResult, Box<Failure>> {
     let mut perturb = PerturbConfig::from_seed(seed);
     if let Some(n) = sim_threads {
         perturb.sim_threads = n.max(1);
+    }
+    if let Some(p) = window_policy {
+        perturb.window_policy = p;
     }
     run_case(&LitmusConfig::from_seed(seed), &perturb)
 }
@@ -430,12 +457,28 @@ pub fn fuzz_with_threads(
     sim_threads: Option<usize>,
     factory: ProtocolFactory,
 ) -> FuzzReport {
+    fuzz_with_overrides(base_seed, count, sim_threads, None, factory)
+}
+
+/// [`fuzz_with_threads`] with the window policy of every parallel leg
+/// also forceable (`tt-check run --window-policy adaptive`). `None`
+/// keeps each seed's own drawn policy.
+pub fn fuzz_with_overrides(
+    base_seed: u64,
+    count: u64,
+    sim_threads: Option<usize>,
+    window_policy: Option<WindowPolicy>,
+    factory: ProtocolFactory,
+) -> FuzzReport {
     for i in 0..count {
         let seed = base_seed + i;
         let cfg = LitmusConfig::from_seed(seed);
         let mut perturb = PerturbConfig::from_seed(seed);
         if let Some(n) = sim_threads {
             perturb.sim_threads = n.max(1);
+        }
+        if let Some(p) = window_policy {
+            perturb.window_policy = p;
         }
         if let Err(f) = run_case_with(&cfg, &perturb, factory) {
             return FuzzReport { seeds_run: i + 1, failure: Some(*f) };
@@ -490,6 +533,29 @@ mod tests {
             (0..100).any(|s| PerturbConfig::from_seed(s).sim_threads > 1),
             "some seeds must exercise the parallel differential"
         );
+        assert!(
+            (0..100).any(|s| {
+                let p = PerturbConfig::from_seed(s);
+                p.sim_threads > 1 && p.window_policy == WindowPolicy::Adaptive
+            }),
+            "some seeds must exercise adaptive windows in the parallel leg"
+        );
+        assert!(
+            (0..100).any(|s| {
+                let p = PerturbConfig::from_seed(s);
+                p.sim_threads > 1 && p.window_policy == WindowPolicy::Fixed
+            }),
+            "some seeds must keep the fixed policy in the parallel leg"
+        );
+    }
+
+    #[test]
+    fn replay_can_force_the_window_policy() {
+        let adaptive = run_seed_with_overrides(7, Some(3), Some(WindowPolicy::Adaptive))
+            .expect("seed 7 clean at 3 threads adaptive");
+        let fixed = run_seed_with_overrides(7, Some(3), Some(WindowPolicy::Fixed))
+            .expect("seed 7 clean at 3 threads fixed");
+        assert_eq!(adaptive, fixed, "window policy leaked into the case result");
     }
 
     #[test]

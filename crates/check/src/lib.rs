@@ -46,9 +46,9 @@ pub mod litmus;
 pub mod scenarios;
 
 pub use fuzz::{
-    fuzz, fuzz_with, fuzz_with_threads, run_case, run_case_with, run_seed,
-    run_seed_with_threads, shrink, stache_factory, CaseResult, Failure, FuzzReport,
-    PerturbConfig,
+    fuzz, fuzz_with, fuzz_with_overrides, fuzz_with_threads, run_case, run_case_with,
+    run_seed, run_seed_with_overrides, run_seed_with_threads, shrink, stache_factory,
+    CaseResult, Failure, FuzzReport, PerturbConfig,
 };
 pub use invariants::InvariantChecker;
 pub use litmus::{Litmus, LitmusConfig};

@@ -18,7 +18,7 @@ use std::sync::Mutex;
 
 use tt_base::addr::{VAddr, Vpn, BLOCK_BYTES, PAGE_BYTES, WORD_BYTES};
 use tt_base::config::SystemConfig;
-use tt_base::stats::{Counter, Report};
+use tt_base::stats::{Counter, PdesTelemetry, Report};
 use tt_base::workload::{Op, Workload};
 use tt_base::{Cycles, DetRng, FxHashMap, NodeId};
 use tt_mem::cache::Probe;
@@ -121,6 +121,10 @@ pub struct RunResult {
     pub cycles: Cycles,
     /// Aggregated statistics.
     pub report: Report,
+    /// Host-side window-driver telemetry; `None` on the sequential path.
+    /// Kept out of `report` so sequential and parallel reports compare
+    /// equal.
+    pub pdes: Option<PdesTelemetry>,
 }
 
 /// The all-hardware DirNNB machine (see crate docs).
@@ -130,6 +134,10 @@ pub struct DirnnbMachine {
     cpus: Vec<Cpu>,
     dirs: FxHashMap<u64, DirEntry>,
     home_map: FxHashMap<Vpn, NodeId>,
+    /// Owner→home page-count weights (`owner * nodes + home`), used to
+    /// pick shard cut points that keep directory traffic shard-local.
+    /// `None` when the node count makes the matrix not worth it.
+    home_affinity: Option<Vec<u64>>,
     store: Mutex<FxHashMap<Vpn, StorePage>>,
     network: Network,
     barrier: BarrierTally,
@@ -194,6 +202,10 @@ impl DirnnbMachine {
     pub fn new(cfg: SystemConfig, workload: Box<dyn Workload>) -> Self {
         let layout = workload.layout();
         let mut home_map = FxHashMap::default();
+        // Owner→home page weights for the topology-aware shard map
+        // (skipped past 256 nodes, where the equal split is used).
+        let n = cfg.nodes;
+        let mut home_affinity = (2..=256).contains(&n).then(|| vec![0u64; n * n]);
         for (vpn, owner, _mode) in layout.pages(cfg.nodes) {
             let home = match cfg.dirnnb.placement {
                 tt_base::config::DirPlacement::RoundRobin => {
@@ -201,6 +213,9 @@ impl DirnnbMachine {
                 }
                 tt_base::config::DirPlacement::Owner => owner,
             };
+            if let Some(w) = home_affinity.as_mut() {
+                w[owner.index() * n + home.index()] += 1;
+            }
             home_map.insert(vpn, home);
         }
         let mut rng = DetRng::new(cfg.seed);
@@ -234,6 +249,7 @@ impl DirnnbMachine {
             cpus,
             dirs: FxHashMap::default(),
             home_map,
+            home_affinity,
             store: Mutex::new(FxHashMap::default()),
             network,
             barrier: BarrierTally::default(),
@@ -270,12 +286,81 @@ impl DirnnbMachine {
     /// Panics on deadlock or on a value-verification failure, like
     /// `TyphoonMachine::run`.
     pub fn run(&mut self) -> RunResult {
-        let shard_count = self.cfg.sim_threads.max(1).min(self.cfg.nodes);
+        let (shard_count, threads) = self.cfg.pdes_shape();
         if shard_count == 1 {
             self.run_sequential()
         } else {
-            self.run_parallel(shard_count)
+            self.run_parallel(shard_count, threads)
         }
+    }
+
+    /// Topology-aware shard map: contiguous `(first, len)` ranges whose
+    /// cut points maximize the owner→home page weight kept inside a
+    /// shard (equivalently, minimize cross-shard directory traffic),
+    /// subject to every shard size staying within one node of the equal
+    /// split — shard maps tune only wall-clock, never cycles, so load
+    /// balance must not be traded away wholesale. Deterministic: size
+    /// candidates are tried equal-split-first and only strict
+    /// improvements move a cut, so uniform weights (e.g. round-robin
+    /// placement) reproduce [`split_ranges`] exactly.
+    fn affinity_ranges(&self, parts: usize) -> Vec<(usize, usize)> {
+        let n = self.cfg.nodes;
+        let equal = split_ranges(n, parts);
+        let Some(w) = self.home_affinity.as_ref().filter(|_| (2..=n).contains(&parts)) else {
+            return equal;
+        };
+        // 2D prefix sums: pre[i][j] = Σ w[a][b] for a < i, b < j.
+        let m = n + 1;
+        let mut pre = vec![0u64; m * m];
+        for i in 0..n {
+            for j in 0..n {
+                pre[(i + 1) * m + j + 1] =
+                    w[i * n + j] + pre[i * m + j + 1] + pre[(i + 1) * m + j] - pre[i * m + j];
+            }
+        }
+        let intra = |a: usize, b: usize| -> u64 {
+            pre[b * m + b] + pre[a * m + a] - pre[a * m + b] - pre[b * m + a]
+        };
+        let lo = (n / parts).max(1);
+        let hi = n / parts + usize::from(!n.is_multiple_of(parts));
+        // best[s][c]: max intra weight over splits of nodes [0, c) into
+        // s shards; from[s][c] the cut that achieved it.
+        let mut best = vec![vec![None::<u64>; m]; parts + 1];
+        let mut from = vec![vec![0usize; m]; parts + 1];
+        best[0][0] = Some(0);
+        for s in 1..=parts {
+            let eq_len = equal[s - 1].1;
+            let mut sizes: Vec<usize> = (lo..=hi).collect();
+            sizes.sort_by_key(|&l| (l != eq_len, l));
+            for c in 1..=n {
+                for &len in &sizes {
+                    if len > c {
+                        continue;
+                    }
+                    let p = c - len;
+                    let Some(b) = best[s - 1][p] else { continue };
+                    let cand = b + intra(p, c);
+                    if best[s][c].is_none_or(|cur| cand > cur) {
+                        best[s][c] = Some(cand);
+                        from[s][c] = p;
+                    }
+                }
+            }
+        }
+        if best[parts][n].is_none() {
+            return equal;
+        }
+        let mut cuts = vec![n];
+        let mut c = n;
+        for s in (1..=parts).rev() {
+            c = from[s][c];
+            cuts.push(c);
+        }
+        cuts.reverse();
+        debug_assert_eq!(cuts[0], 0, "reconstruction must reach node 0");
+        (0..parts)
+            .map(|i| (cuts[i], cuts[i + 1] - cuts[i]))
+            .collect()
     }
 
     fn run_sequential(&mut self) -> RunResult {
@@ -309,11 +394,13 @@ impl DirnnbMachine {
         self.finish()
     }
 
-    fn run_parallel(&mut self, shard_count: usize) -> RunResult {
+    fn run_parallel(&mut self, shard_count: usize, threads: usize) -> RunResult {
         let nodes_total = self.cfg.nodes;
         let lookahead = self.network.lookahead();
         let release_delay = self.cfg.timing.barrier_latency;
-        let ranges = split_ranges(nodes_total, shard_count);
+        let policy = self.cfg.window_policy;
+        let ranges = self.affinity_ranges(shard_count);
+        let telemetry;
 
         let mut queues: Vec<ShardQueue<Event>> = ranges
             .iter()
@@ -375,20 +462,23 @@ impl DirnnbMachine {
                 shard.init_nodes(queue);
             }
             let home_map: &FxHashMap<Vpn, NodeId> = home_map;
-            tt_sim::run_windows(
+            telemetry = tt_sim::run_windows(
                 &mut shards,
                 &mut queues,
                 Windowing {
                     lookahead,
                     release_delay,
                     barrier_expected: nodes_total,
+                    policy,
+                    threads,
                 },
                 |shard: &mut Shard<'_>, now, event, queue| shard.handle(now, event, queue),
                 |_shard, queue, at, generation| {
                     queue.deliver_release(at, generation, Event::BarrierRelease { generation })
                 },
                 |e: &Event| target_in(home_map, e),
-            );
+            )
+            .1;
         }
 
         for net in &nets {
@@ -407,7 +497,9 @@ impl DirnnbMachine {
             "shards disagree on barrier history: {tallies:?}"
         );
         self.barrier = tallies[0].clone();
-        self.finish()
+        let mut result = self.finish();
+        result.pdes = Some(telemetry);
+        result
     }
 
     /// Asserts the machine drained cleanly and builds the result.
@@ -437,6 +529,7 @@ impl DirnnbMachine {
         RunResult {
             cycles,
             report: self.build_report(cycles),
+            pdes: None,
         }
     }
 

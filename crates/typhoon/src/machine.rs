@@ -22,7 +22,7 @@ use std::sync::Mutex;
 
 use tt_base::addr::{VAddr, WORD_BYTES};
 use tt_base::config::SystemConfig;
-use tt_base::stats::Report;
+use tt_base::stats::{PdesTelemetry, Report};
 use tt_base::workload::{Layout, Op, Workload};
 use tt_base::{Cycles, DetRng, NodeId};
 use tt_mem::{AccessKind, NodeMemory, PageTable, Tag};
@@ -139,6 +139,10 @@ pub struct RunResult {
     pub cycles: Cycles,
     /// Aggregated machine, network, and protocol statistics.
     pub report: Report,
+    /// Host-side window-driver telemetry; `None` on the sequential path.
+    /// Kept out of `report` so sequential and parallel reports compare
+    /// equal.
+    pub pdes: Option<PdesTelemetry>,
 }
 
 /// The Typhoon machine (see crate docs).
@@ -311,11 +315,11 @@ impl TyphoonMachine {
     /// is enabled and a load observes a value that a sequentially
     /// consistent execution could not produce.
     pub fn run(&mut self) -> RunResult {
-        let shard_count = self.cfg.sim_threads.max(1).min(self.cfg.nodes);
+        let (shard_count, threads) = self.cfg.pdes_shape();
         if shard_count == 1 {
             self.run_sequential()
         } else {
-            self.run_parallel(shard_count)
+            self.run_parallel(shard_count, threads)
         }
     }
 
@@ -387,7 +391,7 @@ impl TyphoonMachine {
         self.finish()
     }
 
-    fn run_parallel(&mut self, shard_count: usize) -> RunResult {
+    fn run_parallel(&mut self, shard_count: usize, threads: usize) -> RunResult {
         assert!(
             self.tracer.is_none(),
             "tracing requires sim_threads = 1: a tracer observes one total event order"
@@ -395,7 +399,9 @@ impl TyphoonMachine {
         let nodes_total = self.cfg.nodes;
         let lookahead = self.network.lookahead();
         let release_delay = self.cfg.timing.barrier_latency;
+        let policy = self.cfg.window_policy;
         let ranges = split_ranges(nodes_total, shard_count);
+        let telemetry;
 
         let mut queues: Vec<ShardQueue<Event>> = ranges
             .iter()
@@ -468,20 +474,23 @@ impl TyphoonMachine {
                 queues[owner].deliver(msg);
             }
 
-            tt_sim::run_windows(
+            telemetry = tt_sim::run_windows(
                 &mut shards,
                 &mut queues,
                 Windowing {
                     lookahead,
                     release_delay,
                     barrier_expected: nodes_total,
+                    policy,
+                    threads,
                 },
                 |shard: &mut Shard<'_>, now, event, queue| shard.handle(now, event, queue),
                 |_shard, queue, at, generation| {
                     queue.deliver_release(at, generation, Event::BarrierRelease { generation })
                 },
                 |e: &Event| e.target(),
-            );
+            )
+            .1;
         }
 
         for net in &nets {
@@ -492,7 +501,9 @@ impl TyphoonMachine {
             "shards disagree on barrier history: {tallies:?}"
         );
         self.barrier = tallies[0].clone();
-        self.finish()
+        let mut result = self.finish();
+        result.pdes = Some(telemetry);
+        result
     }
 
     /// Asserts the machine drained cleanly and builds the result.
@@ -522,6 +533,7 @@ impl TyphoonMachine {
         RunResult {
             cycles,
             report: self.build_report(cycles),
+            pdes: None,
         }
     }
 

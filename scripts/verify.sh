@@ -26,6 +26,13 @@ echo "==> figure3 smoke, parallel simulator (--sim-threads 2)"
 cargo run --release -p tt-bench --bin figure3 -- \
     --scale 64 --nodes 8 --jobs 2 --sim-threads 2 >/dev/null
 
+# Adaptive windowing: same canary-checked smoke with the idle-skipping
+# per-shard window bounds in place of the fixed quantum. Cycle tables
+# must be byte-identical; only the rendezvous count may change.
+echo "==> figure3 smoke, adaptive windows (--sim-threads 2 --window-policy adaptive)"
+cargo run --release -p tt-bench --bin figure3 -- \
+    --scale 64 --nodes 8 --jobs 2 --sim-threads 2 --window-policy adaptive >/dev/null
+
 # Bounded model-checking sweep (fixed seeds, well under a minute): 500
 # litmus cases under schedule perturbation — including the
 # sequential-vs-parallel simulator differential on the seeds that draw
@@ -43,5 +50,12 @@ cargo run --release -p tt-bench --bin tt-check -- run --seeds 500 --planted-bug
 echo "==> tt-check parallel differential (200 seeds, forced --sim-threads 2)"
 cargo run --release -p tt-bench --bin tt-check -- \
     run --seeds 200 --sim-threads 2
+
+# The same 200-seed window with the adaptive window policy forced on the
+# parallel leg: idle-window batching and lookahead widening must never
+# change cycles or memory images.
+echo "==> tt-check adaptive differential (200 seeds, forced adaptive windows)"
+cargo run --release -p tt-bench --bin tt-check -- \
+    run --seeds 200 --sim-threads 2 --window-policy adaptive
 
 echo "==> verify OK"
