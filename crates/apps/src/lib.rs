@@ -34,9 +34,11 @@ pub mod appbt;
 pub mod barnes;
 pub mod datasets;
 pub mod em3d;
+pub mod kv_update;
 pub mod mp3d;
 pub mod ocean;
 pub mod phased;
 
 pub use datasets::{AppId, DataSet};
+pub use kv_update::{run_kv_update, KvUpdateProtocol};
 pub use phased::{PhasedApp, PhasedWorkload};

@@ -40,4 +40,4 @@ pub use config::{SystemConfig, WindowPolicy};
 pub use cycles::Cycles;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use ids::NodeId;
-pub use rng::{mix64, DetRng};
+pub use rng::{mix64, DetRng, Zipf};

@@ -135,6 +135,129 @@ impl Histogram {
     }
 }
 
+/// Sub-buckets per power-of-two group of a [`LatHistogram`].
+const LAT_SUB: usize = 32;
+const LAT_SUB_BITS: u32 = 5;
+/// Values `0..2*LAT_SUB` get exact buckets; groups cover the rest of u64.
+const LAT_BUCKETS: usize = 2 * LAT_SUB + (64 - LAT_SUB_BITS as usize - 1) * LAT_SUB;
+
+/// A log-linear histogram of u64 samples (latencies in simulated cycles).
+///
+/// Values below 64 are counted exactly; above that, each power-of-two
+/// range is split into 32 linear sub-buckets, bounding the relative
+/// quantile error at ~3% while keeping the footprint fixed (no stored
+/// samples, so millions of ops cost nothing). Merging is bucket-wise
+/// addition — commutative and order-independent, so per-node histograms
+/// folded together are identical at every simulator thread count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LatHistogram {
+    fn default() -> Self {
+        LatHistogram::new()
+    }
+}
+
+impl LatHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatHistogram {
+            counts: vec![0; LAT_BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v < (2 * LAT_SUB) as u64 {
+            v as usize
+        } else {
+            let msb = 63 - v.leading_zeros() as usize;
+            let group = msb - LAT_SUB_BITS as usize - 1;
+            let sub = ((v >> (msb - LAT_SUB_BITS as usize)) & (LAT_SUB as u64 - 1)) as usize;
+            2 * LAT_SUB + group * LAT_SUB + sub
+        }
+    }
+
+    /// Smallest value mapping to bucket `i` — the value quantiles report.
+    fn bucket_low(i: usize) -> u64 {
+        if i < 2 * LAT_SUB {
+            i as u64
+        } else {
+            let group = (i - 2 * LAT_SUB) / LAT_SUB;
+            let sub = (i - 2 * LAT_SUB) % LAT_SUB;
+            ((LAT_SUB + sub) as u64) << (group + 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the recorded samples (exact — the running sum is kept
+    /// outside the buckets).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest sample recorded (exact).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the lower bound of the bucket
+    /// holding the `ceil(q * total)`-th smallest sample; 0 when empty.
+    /// `quantile(0.5)` is p50, `quantile(0.99)` p99.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        // Nearest-rank, with a one-ulp shave so q * total landing a hair
+        // above an integer (0.999 * 1000 = 999.0000…1) doesn't skip a rank.
+        let mut target = ((q * self.total as f64) * (1.0 - 1e-12)).ceil() as u64;
+        target = target.clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_low(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
 /// One named value in a statistics report.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ReportRow {
@@ -234,6 +357,80 @@ mod tests {
         h.record(4);
         assert!((h.mean() - 3.0).abs() < 1e-12);
         assert_eq!(Histogram::new(3).mean(), 0.0);
+    }
+
+    #[test]
+    fn lat_histogram_is_exact_below_64() {
+        let mut h = LatHistogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 64);
+        assert_eq!(h.quantile(0.5), 31); // 32nd smallest of 0..=63
+        assert_eq!(h.quantile(1.0), 63);
+        assert_eq!(h.max(), 63);
+        assert!((h.mean() - 31.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lat_histogram_buckets_are_monotone() {
+        let mut last = 0;
+        for v in [0u64, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, u64::MAX] {
+            let b = LatHistogram::bucket_of(v);
+            assert!(b >= last, "bucket order broke at {v}");
+            assert!(LatHistogram::bucket_low(b) <= v);
+            last = b;
+        }
+        assert!(LatHistogram::bucket_of(u64::MAX) < LAT_BUCKETS);
+    }
+
+    #[test]
+    fn lat_histogram_quantile_error_is_bounded() {
+        let mut h = LatHistogram::new();
+        // 999 fast ops at 100 cycles, 1 slow op at 100_000.
+        for _ in 0..999 {
+            h.record(100);
+        }
+        h.record(100_000);
+        let p50 = h.quantile(0.5);
+        assert!((96..=100).contains(&p50), "p50 {p50} off");
+        let p999 = h.quantile(0.999);
+        assert!((96..=100).contains(&p999), "p999 {p999} should be fast");
+        let p100 = h.quantile(1.0);
+        assert!(
+            (96_000..=100_000).contains(&p100),
+            "p100 {p100} outside the slow op's bucket"
+        );
+        // Relative error of the bucketing stays ~3%.
+        let v = 123_456u64;
+        let low = LatHistogram::bucket_low(LatHistogram::bucket_of(v));
+        assert!((v - low) as f64 / (v as f64) < 0.04);
+    }
+
+    #[test]
+    fn lat_histogram_merge_matches_combined_recording() {
+        let mut a = LatHistogram::new();
+        let mut b = LatHistogram::new();
+        let mut both = LatHistogram::new();
+        for v in [5u64, 70, 900, 12_345] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 100, 1_000_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        assert_eq!(a.total(), 7);
+    }
+
+    #[test]
+    fn lat_histogram_empty_is_zero() {
+        let h = LatHistogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.total(), 0);
     }
 
     #[test]

@@ -59,6 +59,19 @@ pub enum Op {
         /// Protocol-defined argument.
         arg: u64,
     },
+    /// Open-loop idling: advance this processor's clock to `until` (an
+    /// absolute simulated cycle) if it is not already past it; otherwise
+    /// a free no-op. Serving workloads use this to realize scheduled
+    /// request arrival times independently of how long earlier requests
+    /// took — the open-loop client model, where queueing delay shows up
+    /// in latency instead of being absorbed by a slowed-down generator.
+    /// The processor never suspends and no event is consumed, so the op
+    /// is exactly as cheap and as deterministic as a `Compute` span.
+    WaitUntil {
+        /// Absolute cycle the processor's clock must reach before the
+        /// next op.
+        until: u64,
+    },
 }
 
 /// How pages of a region are assigned home nodes.

@@ -48,6 +48,7 @@ fn record(point: String, system: &str, out: &RunOutcome) -> PointRecord {
         wall_secs: out.wall_secs,
         ops: out.ops,
         pdes: out.pdes,
+        extra: None,
     }
 }
 
@@ -318,19 +319,5 @@ fn main() {
         "  sweep: {n} runs in {total_wall_secs:.2}s wall ({jobs} jobs)",
         n = records.len(),
     );
-    if let Some(path) = &cli.json {
-        let meta = tt_bench::json::SweepMeta {
-            figure: "ablations".into(),
-            nodes,
-            scale: cli.scale,
-            jobs,
-            repeat,
-            sim_threads: cli.sim_threads,
-            sim_shards: cli.sim_shards,
-            window_policy: cli.window_policy,
-            total_wall_secs,
-        };
-        tt_bench::json::write_report(path, &meta, &records).expect("write --json report");
-        eprintln!("  wrote {}", path.display());
-    }
+    cli.write_json("ablations", total_wall_secs, &records);
 }

@@ -64,6 +64,7 @@ fn main() {
                 wall_secs: point.typhoon_stats.wall_secs,
                 ops: point.typhoon_stats.ops,
                 pdes: point.typhoon_stats.pdes,
+                extra: None,
             });
             records.push(PointRecord {
                 point: name,
@@ -72,6 +73,7 @@ fn main() {
                 wall_secs: point.dirnnb_stats.wall_secs,
                 ops: point.dirnnb_stats.ops,
                 pdes: point.dirnnb_stats.pdes,
+                extra: None,
             });
         }
         table.row(row);
@@ -86,19 +88,5 @@ fn main() {
         n = records.len(),
         jobs = cli.jobs,
     );
-    if let Some(path) = &cli.json {
-        let meta = tt_bench::json::SweepMeta {
-            figure: "figure3".into(),
-            nodes: cli.nodes,
-            scale: cli.scale,
-            jobs: cli.jobs,
-            repeat: cli.repeat,
-            sim_threads: cli.sim_threads,
-            sim_shards: cli.sim_shards,
-            window_policy: cli.window_policy,
-            total_wall_secs,
-        };
-        tt_bench::json::write_report(path, &meta, &records).expect("write --json report");
-        eprintln!("  wrote {}", path.display());
-    }
+    cli.write_json("figure3", total_wall_secs, &records);
 }

@@ -57,6 +57,7 @@ fn main() {
                 wall_secs: p.stats[i].wall_secs,
                 ops: p.stats[i].ops,
                 pdes: p.stats[i].pdes,
+                extra: None,
             });
         }
     }
@@ -71,19 +72,5 @@ fn main() {
         n = records.len(),
         jobs = cli.jobs,
     );
-    if let Some(path) = &cli.json {
-        let meta = tt_bench::json::SweepMeta {
-            figure: "figure4".into(),
-            nodes: cli.nodes,
-            scale: cli.scale,
-            jobs: cli.jobs,
-            repeat: cli.repeat,
-            sim_threads: cli.sim_threads,
-            sim_shards: cli.sim_shards,
-            window_policy: cli.window_policy,
-            total_wall_secs,
-        };
-        tt_bench::json::write_report(path, &meta, &records).expect("write --json report");
-        eprintln!("  wrote {}", path.display());
-    }
+    cli.write_json("figure4", total_wall_secs, &records);
 }

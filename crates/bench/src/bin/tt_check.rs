@@ -5,6 +5,7 @@
 //! tt-check run [--seeds N] [--base B] [--sim-threads N] [--window-policy P]
 //!              [--planted-bug] [--out PATH]
 //! tt-check replay --seed S [--sim-threads N] [--window-policy P]
+//! tt-check kv [--seeds N] [--base B] [--seed S] [--sim-threads N] [--window-policy P]
 //! ```
 //!
 //! `run` fuzzes `N` consecutive seeds (litmus workloads × schedule
@@ -21,6 +22,12 @@
 //! `SkipInvalidate` Stache variant: that run *must* fail, proving the
 //! harness has teeth. `--out` writes a JSON report alongside the other
 //! bench reports.
+//!
+//! `kv` fuzzes the KV-serving litmus family instead: seed-generated
+//! put/get races over `tt-serve` key slots, run through a three-machine
+//! differential (Stache-served Typhoon, write-update-served Typhoon,
+//! DirNNB) whose final images must agree word-for-word with each other
+//! and the generator's prediction. `--seed S` replays one seed.
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -28,13 +35,18 @@ use std::time::Instant;
 use tt_base::{NodeId, WindowPolicy};
 use tt_bench::json::{git_rev, hostname};
 use tt_check::scenarios::SkipInvalidate;
-use tt_check::{fuzz_with_overrides, run_seed_with_overrides, shrink, stache_factory, Failure};
+use tt_check::{
+    fuzz_kv, fuzz_with_overrides, run_kv_seed, run_seed_with_overrides, shrink, stache_factory,
+    Failure,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: tt-check run [--seeds N] [--base B] [--sim-threads N] \
          [--window-policy fixed|adaptive] [--planted-bug] [--out PATH]\n\
          \x20      tt-check replay --seed S [--sim-threads N] \
+         [--window-policy fixed|adaptive]\n\
+         \x20      tt-check kv [--seeds N] [--base B] [--seed S] [--sim-threads N] \
          [--window-policy fixed|adaptive]"
     );
     std::process::exit(2);
@@ -247,11 +259,75 @@ fn cmd_replay(args: &[String]) -> i32 {
     }
 }
 
+/// `tt-check kv`: the KV-serving litmus family. Fuzzes `--seeds`
+/// consecutive seeds through the three-machine differential
+/// (Stache-served, write-update-served, DirNNB) plus the parallel
+/// reruns; `--seed S` replays one seed instead.
+fn cmd_kv(args: &[String]) -> i32 {
+    let mut seeds: u64 = 200;
+    let mut base: u64 = 0;
+    let mut replay: Option<u64> = None;
+    let mut sim_threads: Option<usize> = None;
+    let mut window_policy: Option<WindowPolicy> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => seeds = parse_u64(args, &mut i, "--seeds"),
+            "--base" => base = parse_u64(args, &mut i, "--base"),
+            "--seed" => replay = Some(parse_u64(args, &mut i, "--seed")),
+            "--sim-threads" => {
+                sim_threads = Some(parse_u64(args, &mut i, "--sim-threads") as usize)
+            }
+            "--window-policy" => window_policy = Some(parse_policy(args, &mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    if let Some(seed) = replay {
+        return match run_kv_seed(seed, sim_threads, window_policy) {
+            Ok(r) => {
+                println!(
+                    "tt-check: kv seed {seed} clean — stache {} cycles, update {} cycles, \
+                     dirnnb {} cycles, {} events observed",
+                    r.stache_cycles, r.update_cycles, r.dirnnb_cycles, r.events
+                );
+                0
+            }
+            Err(f) => {
+                println!("tt-check: kv seed {seed} FAILS");
+                println!("  {f}");
+                1
+            }
+        };
+    }
+
+    let start = Instant::now();
+    let report = fuzz_kv(base, seeds, sim_threads, window_policy);
+    let wall = start.elapsed().as_secs_f64();
+    match report.failure {
+        None => {
+            println!(
+                "tt-check: {} kv seeds clean on all three machines in {wall:.1}s (base {base})",
+                report.seeds_run
+            );
+            0
+        }
+        Some(f) => {
+            println!("tt-check: kv FAILURE after {} seeds in {wall:.1}s", report.seeds_run);
+            println!("  {f}");
+            println!("  reproduce with: tt-check kv --seed {}", f.seed);
+            1
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("kv") => cmd_kv(&args[1..]),
         _ => usage(),
     };
     std::process::exit(code);

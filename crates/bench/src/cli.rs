@@ -1,0 +1,219 @@
+//! Command-line parsing shared by every harness binary.
+//!
+//! `figure3`, `figure4`, `ablations`, and `kv_bench` all take the same
+//! simulator knobs (`--jobs`, `--repeat`, `--sim-threads`,
+//! `--sim-shards`, `--window-policy`, `--json`, ...); this module parses
+//! them once into a [`Cli`] and owns the equally repetitive tail — the
+//! [`SweepMeta`] header and `--json` report write. Binaries with extra
+//! flags hook them in through [`parse_cli_with`] instead of forking the
+//! parser.
+
+use tt_base::{SystemConfig, WindowPolicy};
+
+use crate::json::{write_report, PointRecord, SweepMeta};
+use crate::{bench_config, par};
+
+/// Command-line options shared by the figure/ablation binaries.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// Data-set divisor (1 = the paper's sizes).
+    pub scale: usize,
+    /// Simulated machine size.
+    pub nodes: usize,
+    /// Worker threads for the point sweep (default: available
+    /// parallelism). Any value produces identical tables.
+    pub jobs: usize,
+    /// Runs per point; wall timings are min-of-N (default 1). Cycle
+    /// counts are asserted identical across repeats.
+    pub repeat: usize,
+    /// OS threads *inside* each simulation (conservative PDES; default 1
+    /// = sequential). Orthogonal to `jobs`, which parallelizes across
+    /// sweep points. Any value produces identical tables.
+    pub sim_threads: usize,
+    /// Shards per simulation (0 = one per sim thread). More shards than
+    /// threads makes each worker multiplex, which narrows windows less
+    /// under the adaptive policy. Any value produces identical tables.
+    pub sim_shards: usize,
+    /// Window-advance policy for parallel simulations (fixed quantum or
+    /// adaptive per-shard widening). Identical tables either way.
+    pub window_policy: WindowPolicy,
+    /// Where to write the machine-readable run report, if anywhere.
+    pub json: Option<std::path::PathBuf>,
+}
+
+impl Cli {
+    /// The [`bench_config`] for this invocation, with the
+    /// `--sim-threads`, `--sim-shards`, and `--window-policy` settings
+    /// applied.
+    pub fn config(&self) -> SystemConfig {
+        let mut cfg = bench_config(self.nodes);
+        cfg.sim_threads = self.sim_threads;
+        cfg.sim_shards = self.sim_shards;
+        cfg.window_policy = self.window_policy;
+        cfg
+    }
+
+    /// The [`SweepMeta`] header for this invocation's report.
+    pub fn sweep_meta(&self, figure: &str, total_wall_secs: f64) -> SweepMeta {
+        SweepMeta {
+            figure: figure.into(),
+            nodes: self.nodes,
+            scale: self.scale,
+            jobs: self.jobs,
+            repeat: self.repeat,
+            sim_threads: self.sim_threads,
+            sim_shards: self.sim_shards,
+            window_policy: self.window_policy,
+            total_wall_secs,
+        }
+    }
+
+    /// Writes the `--json` report if one was requested (the shared tail
+    /// of every harness binary).
+    pub fn write_json(&self, figure: &str, total_wall_secs: f64, records: &[PointRecord]) {
+        if let Some(path) = &self.json {
+            let meta = self.sweep_meta(figure, total_wall_secs);
+            write_report(path, &meta, records).expect("write --json report");
+            eprintln!("  wrote {}", path.display());
+        }
+    }
+}
+
+/// Parses `--scale N`, `--nodes N`, `--full`, `--jobs N`, `--repeat N`,
+/// `--sim-threads N`, `--sim-shards N`, `--window-policy fixed|adaptive`,
+/// and `--json PATH` arguments shared by the harness binaries.
+pub fn parse_cli(args: &[String], default_scale: usize) -> Cli {
+    parse_cli_with(args, default_scale, &mut |flag, _, _| {
+        panic!(
+            "unknown argument {flag}; use --scale N | --nodes N | --jobs N \
+             | --repeat N | --sim-threads N | --sim-shards N \
+             | --window-policy fixed|adaptive | --json PATH | --full"
+        )
+    })
+}
+
+/// [`parse_cli`] with a hook for binary-specific flags: `extra` is
+/// called with `(flag, args, &mut i)` for any argument the shared
+/// parser does not recognize and must consume it (advancing `i` past
+/// the flag and its value) or panic with a usage message.
+pub fn parse_cli_with(
+    args: &[String],
+    default_scale: usize,
+    extra: &mut dyn FnMut(&str, &[String], &mut usize),
+) -> Cli {
+    let mut cli = Cli {
+        scale: default_scale,
+        nodes: 32,
+        jobs: par::default_jobs(),
+        repeat: 1,
+        sim_threads: 1,
+        sim_shards: 0,
+        window_policy: WindowPolicy::Fixed,
+        json: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                cli.scale = number(args, i, "--scale");
+                i += 2;
+            }
+            "--nodes" => {
+                cli.nodes = number(args, i, "--nodes");
+                i += 2;
+            }
+            "--jobs" => {
+                cli.jobs = number(args, i, "--jobs");
+                i += 2;
+            }
+            "--repeat" => {
+                cli.repeat = number(args, i, "--repeat").max(1);
+                i += 2;
+            }
+            "--sim-threads" => {
+                cli.sim_threads = number(args, i, "--sim-threads").max(1);
+                i += 2;
+            }
+            "--sim-shards" => {
+                cli.sim_shards = number(args, i, "--sim-shards");
+                i += 2;
+            }
+            "--window-policy" => {
+                cli.window_policy = value(args, i, "--window-policy")
+                    .parse()
+                    .unwrap_or_else(|e| panic!("--window-policy: {e}"));
+                i += 2;
+            }
+            "--json" => {
+                cli.json = Some(std::path::PathBuf::from(value(args, i, "--json")));
+                i += 2;
+            }
+            "--full" => {
+                cli.scale = 1;
+                i += 1;
+            }
+            other => {
+                let before = i;
+                extra(other, args, &mut i);
+                assert!(i > before, "extra-flag hook must consume {other}");
+            }
+        }
+    }
+    cli
+}
+
+/// The value following flag position `i`, or a usage panic.
+pub fn value<'a>(args: &'a [String], i: usize, flag: &str) -> &'a str {
+    args.get(i + 1)
+        .unwrap_or_else(|| panic!("{flag} requires a value"))
+}
+
+/// The numeric value following flag position `i`, or a usage panic.
+pub fn number(args: &[String], i: usize, flag: &str) -> usize {
+    value(args, i, flag)
+        .parse()
+        .unwrap_or_else(|e| panic!("{flag} N: {e}"))
+}
+
+/// Parses `--scale N`, `--nodes N`, `--full` style arguments shared by
+/// the harness binaries. Returns `(scale, nodes)`.
+pub fn parse_args(args: &[String], default_scale: usize) -> (usize, usize) {
+    let cli = parse_cli(args, default_scale);
+    (cli.scale, cli.nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn extra_flags_are_routed_to_the_hook() {
+        let args = strs(&["--nodes", "8", "--keys", "512", "--jobs", "2"]);
+        let mut keys = 0usize;
+        let cli = parse_cli_with(&args, 1, &mut |flag, args, i| match flag {
+            "--keys" => {
+                keys = number(args, *i, "--keys");
+                *i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        });
+        assert_eq!(cli.nodes, 8);
+        assert_eq!(cli.jobs, 2);
+        assert_eq!(keys, 512);
+    }
+
+    #[test]
+    fn sweep_meta_mirrors_the_cli() {
+        let args = strs(&["--sim-threads", "3", "--window-policy", "adaptive"]);
+        let cli = parse_cli(&args, 7);
+        let meta = cli.sweep_meta("figX", 1.5);
+        assert_eq!(meta.figure, "figX");
+        assert_eq!(meta.scale, 7);
+        assert_eq!(meta.sim_threads, 3);
+        assert_eq!(meta.window_policy, WindowPolicy::Adaptive);
+    }
+}

@@ -32,6 +32,10 @@ pub struct PointRecord {
     /// Window-driver telemetry of the run (`None` for sequential runs,
     /// emitted as JSON `null`).
     pub pdes: Option<PdesTelemetry>,
+    /// Binary-specific additions, as a raw `"key": value` JSON fragment
+    /// appended to the record object (e.g. `kv_bench` latency
+    /// percentiles). `None` adds nothing.
+    pub extra: Option<String>,
 }
 
 impl PointRecord {
@@ -70,11 +74,15 @@ impl PointRecord {
                 t.cross_messages_per_window(),
             ),
         };
+        let extra = match &self.extra {
+            None => String::new(),
+            Some(frag) => format!(", {frag}"),
+        };
         format!(
             "    {{\"point\": {}, \"system\": {}, \"cycles\": {}, \
              \"wall_secs\": {:.6}, \"ops\": {}, \
              \"sim_cycles_per_sec\": {:.1}, \"ops_per_sec\": {:.1}, \
-             \"pdes\": {pdes}}}",
+             \"pdes\": {pdes}{extra}}}",
             escape(&self.point),
             escape(&self.system),
             self.cycles,
@@ -204,6 +212,7 @@ mod tests {
             wall_secs: 0.5,
             ops: 200,
             pdes: None,
+            extra: None,
         };
         assert_eq!(p.sim_cycles_per_sec(), 2000.0);
         assert_eq!(p.ops_per_sec(), 400.0);
@@ -218,6 +227,7 @@ mod tests {
             wall_secs: 0.0,
             ops: 200,
             pdes: None,
+            extra: None,
         };
         assert_eq!(p.sim_cycles_per_sec(), 0.0);
         assert_eq!(p.ops_per_sec(), 0.0);
@@ -241,6 +251,7 @@ mod tests {
                 wall_secs: 0.001,
                 ops: 7,
                 pdes: None,
+                extra: None,
             },
             PointRecord {
                 point: "em3d small/4K".into(),
@@ -256,6 +267,7 @@ mod tests {
                     cross_messages: 40,
                     releases: 2,
                 }),
+                extra: Some("\"kv\": {\"p99\": 123}".into()),
             },
         ];
         let meta = SweepMeta {
@@ -279,6 +291,8 @@ mod tests {
         assert!(text.contains("\"sim_shards\": 8"));
         assert!(text.contains("\"window_policy\": \"adaptive\""));
         assert!(text.contains("\"pdes\": null"));
+        assert!(text.contains("\"pdes\": null}"));
+        assert!(text.contains(", \"kv\": {\"p99\": 123}}"));
         assert!(text.contains("\"rendezvous_elided\": 30"));
         assert!(text.contains("\"events_per_window\": 50.00"));
         assert!(text.contains("\"git_rev\": "));

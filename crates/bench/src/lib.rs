@@ -21,15 +21,18 @@
 //! byte-identical whatever `jobs` is. `--json PATH` writes per-run
 //! throughput records (see [`json`]).
 
+pub mod cli;
 pub mod harness;
 pub mod json;
 pub mod par;
+
+pub use cli::{parse_args, parse_cli, parse_cli_with, Cli};
 
 use std::time::Instant;
 
 use tt_base::stats::{PdesTelemetry, Report};
 use tt_base::workload::Workload;
-use tt_base::{Cycles, SystemConfig, WindowPolicy};
+use tt_base::{Cycles, SystemConfig};
 use tt_apps::appbt::{Appbt, AppbtParams};
 use tt_apps::barnes::{Barnes, BarnesParams};
 use tt_apps::em3d::{Em3d, Em3dParams, SyncMode};
@@ -475,128 +478,6 @@ pub fn bench_config(nodes: usize) -> SystemConfig {
     cfg.nodes = nodes;
     cfg.verify_values = false;
     cfg
-}
-
-/// Command-line options shared by the figure/ablation binaries.
-#[derive(Clone, Debug)]
-pub struct Cli {
-    /// Data-set divisor (1 = the paper's sizes).
-    pub scale: usize,
-    /// Simulated machine size.
-    pub nodes: usize,
-    /// Worker threads for the point sweep (default: available
-    /// parallelism). Any value produces identical tables.
-    pub jobs: usize,
-    /// Runs per point; wall timings are min-of-N (default 1). Cycle
-    /// counts are asserted identical across repeats.
-    pub repeat: usize,
-    /// OS threads *inside* each simulation (conservative PDES; default 1
-    /// = sequential). Orthogonal to `jobs`, which parallelizes across
-    /// sweep points. Any value produces identical tables.
-    pub sim_threads: usize,
-    /// Shards per simulation (0 = one per sim thread). More shards than
-    /// threads makes each worker multiplex, which narrows windows less
-    /// under the adaptive policy. Any value produces identical tables.
-    pub sim_shards: usize,
-    /// Window-advance policy for parallel simulations (fixed quantum or
-    /// adaptive per-shard widening). Identical tables either way.
-    pub window_policy: WindowPolicy,
-    /// Where to write the machine-readable run report, if anywhere.
-    pub json: Option<std::path::PathBuf>,
-}
-
-impl Cli {
-    /// The [`bench_config`] for this invocation, with the
-    /// `--sim-threads`, `--sim-shards`, and `--window-policy` settings
-    /// applied.
-    pub fn config(&self) -> SystemConfig {
-        let mut cfg = bench_config(self.nodes);
-        cfg.sim_threads = self.sim_threads;
-        cfg.sim_shards = self.sim_shards;
-        cfg.window_policy = self.window_policy;
-        cfg
-    }
-}
-
-/// Parses `--scale N`, `--nodes N`, `--full`, `--jobs N`, `--repeat N`,
-/// `--sim-threads N`, `--sim-shards N`, `--window-policy fixed|adaptive`,
-/// and `--json PATH` arguments shared by the harness binaries.
-pub fn parse_cli(args: &[String], default_scale: usize) -> Cli {
-    let mut cli = Cli {
-        scale: default_scale,
-        nodes: 32,
-        jobs: par::default_jobs(),
-        repeat: 1,
-        sim_threads: 1,
-        sim_shards: 0,
-        window_policy: WindowPolicy::Fixed,
-        json: None,
-    };
-    let mut i = 0;
-    let value = |i: usize, flag: &str| -> &str {
-        args.get(i + 1)
-            .unwrap_or_else(|| panic!("{flag} requires a value"))
-    };
-    let number = |i: usize, flag: &str| -> usize {
-        value(i, flag)
-            .parse()
-            .unwrap_or_else(|e| panic!("{flag} N: {e}"))
-    };
-    while i < args.len() {
-        match args[i].as_str() {
-            "--scale" => {
-                cli.scale = number(i, "--scale");
-                i += 2;
-            }
-            "--nodes" => {
-                cli.nodes = number(i, "--nodes");
-                i += 2;
-            }
-            "--jobs" => {
-                cli.jobs = number(i, "--jobs");
-                i += 2;
-            }
-            "--repeat" => {
-                cli.repeat = number(i, "--repeat").max(1);
-                i += 2;
-            }
-            "--sim-threads" => {
-                cli.sim_threads = number(i, "--sim-threads").max(1);
-                i += 2;
-            }
-            "--sim-shards" => {
-                cli.sim_shards = number(i, "--sim-shards");
-                i += 2;
-            }
-            "--window-policy" => {
-                cli.window_policy = value(i, "--window-policy")
-                    .parse()
-                    .unwrap_or_else(|e| panic!("--window-policy: {e}"));
-                i += 2;
-            }
-            "--json" => {
-                cli.json = Some(std::path::PathBuf::from(value(i, "--json")));
-                i += 2;
-            }
-            "--full" => {
-                cli.scale = 1;
-                i += 1;
-            }
-            other => panic!(
-                "unknown argument {other}; use --scale N | --nodes N | --jobs N \
-                 | --repeat N | --sim-threads N | --sim-shards N \
-                 | --window-policy fixed|adaptive | --json PATH | --full"
-            ),
-        }
-    }
-    cli
-}
-
-/// Parses `--scale N`, `--nodes N`, `--full` style arguments shared by
-/// the harness binaries. Returns `(scale, nodes)`.
-pub fn parse_args(args: &[String], default_scale: usize) -> (usize, usize) {
-    let cli = parse_cli(args, default_scale);
-    (cli.scale, cli.nodes)
 }
 
 /// Smoke-level constants so `cargo test -p tt-bench` stays quick.

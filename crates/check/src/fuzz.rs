@@ -171,7 +171,7 @@ static HOOK_LOCK: Mutex<()> = Mutex::new(());
 /// Runs `f`, converting a panic into its message. The default panic
 /// hook is silenced for the duration: the fuzzer *expects* failures and
 /// reports them itself.
-fn catch<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+pub(crate) fn catch<T>(f: impl FnOnce() -> T) -> Result<T, String> {
     let guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let prev = panic::take_hook();
     panic::set_hook(Box::new(|_| {}));
@@ -192,7 +192,7 @@ fn catch<T>(f: impl FnOnce() -> T) -> Result<T, String> {
 /// Reconstructs the word at `addr` from a finished Typhoon machine:
 /// prefer the writable copy (SWMR makes it unique), then any readable
 /// copy, then the home node's memory.
-fn typhoon_word(m: &TyphoonMachine, addr: VAddr) -> u64 {
+pub(crate) fn typhoon_word(m: &TyphoonMachine, addr: VAddr) -> u64 {
     let nodes = m.config().nodes;
     let mut readable = None;
     for n in 0..nodes {

@@ -42,6 +42,7 @@
 
 pub mod fuzz;
 pub mod invariants;
+pub mod kvlitmus;
 pub mod litmus;
 pub mod scenarios;
 
@@ -51,4 +52,8 @@ pub use fuzz::{
     CaseResult, Failure, FuzzReport, PerturbConfig,
 };
 pub use invariants::InvariantChecker;
+pub use kvlitmus::{
+    fuzz_kv, run_kv_case, run_kv_seed, KvCaseResult, KvFailure, KvFuzzReport, KvLitmus,
+    KvLitmusConfig,
+};
 pub use litmus::{Litmus, LitmusConfig};

@@ -49,6 +49,8 @@ struct CpuStats {
     upgrades: Counter,
     miss_stall_cycles: Counter,
     barrier_wait_cycles: Counter,
+    /// Cycles skipped by `Op::WaitUntil` (open-loop arrival idling).
+    idle_cycles: Counter,
 }
 
 struct Cpu {
@@ -550,8 +552,10 @@ impl DirnnbMachine {
         let mut cache_hits = 0u64;
         let mut cache_misses = 0u64;
         let mut tlb_misses = 0u64;
+        let mut idle = 0u64;
         for cpu in &self.cpus {
             ops += cpu.stats.ops.get();
+            idle += cpu.stats.idle_cycles.get();
             reads += cpu.stats.reads.get();
             writes += cpu.stats.writes.get();
             compute += cpu.stats.compute_cycles.get();
@@ -576,6 +580,7 @@ impl DirnnbMachine {
         r.push_count("cpu.cache_hits", cache_hits);
         r.push_count("cpu.cache_misses", cache_misses);
         r.push_count("cpu.tlb_misses", tlb_misses);
+        r.push_count("cpu.idle_cycles", idle);
         r.push_count("dir.ops", self.dir_stats.dir_ops.get());
         r.push_count("dir.invalidations", self.dir_stats.invalidations.get());
         r.push_count("dir.recalls", self.dir_stats.recalls.get());
@@ -763,6 +768,15 @@ impl<'m> Shard<'m> {
                         }
                         Op::Read { addr, expect } => break (addr, AccessKind::Load, 0, expect),
                         Op::Write { addr, value } => break (addr, AccessKind::Store, value, None),
+                        Op::WaitUntil { until } => {
+                            cpu.stats.ops.inc();
+                            cpu.pc += 1;
+                            let target = Cycles::new(until);
+                            if target > cpu.clock {
+                                cpu.stats.idle_cycles.add((target - cpu.clock).raw());
+                                cpu.clock = target;
+                            }
+                        }
                     }
                     if cpu.clock >= deadline {
                         let at = cpu.clock;

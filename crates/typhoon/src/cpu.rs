@@ -63,6 +63,8 @@ pub struct CpuStats {
     pub call_stall_cycles: Counter,
     /// RTLB misses observed on this CPU's bus transactions.
     pub rtlb_misses: Counter,
+    /// Cycles skipped by `Op::WaitUntil` (open-loop arrival idling).
+    pub idle_cycles: Counter,
 }
 
 /// The state of one node's computation thread.

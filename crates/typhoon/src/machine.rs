@@ -560,6 +560,7 @@ impl TyphoonMachine {
         let mut cache_misses = 0u64;
         let mut tlb_misses = 0u64;
         let mut rtlb_misses = 0u64;
+        let mut idle = 0u64;
         for node in &self.nodes {
             let s = &node.cpu.stats;
             ops += s.ops.get();
@@ -577,6 +578,7 @@ impl TyphoonMachine {
             cache_misses += node.cpu.cache.stats().misses.get();
             tlb_misses += node.cpu.tlb.stats().misses.get();
             rtlb_misses += s.rtlb_misses.get();
+            idle += s.idle_cycles.get();
         }
         r.push_count("cpu.ops", ops);
         r.push_count("cpu.reads", reads);
@@ -593,6 +595,7 @@ impl TyphoonMachine {
         r.push_count("cpu.cache_misses", cache_misses);
         r.push_count("cpu.tlb_misses", tlb_misses);
         r.push_count("cpu.rtlb_misses", rtlb_misses);
+        r.push_count("cpu.idle_cycles", idle);
 
         let mut handlers = 0u64;
         let mut instr = 0u64;
@@ -853,6 +856,16 @@ impl<'m> Shard<'m> {
                         },
                     );
                     return;
+                }
+                Op::WaitUntil { until } => {
+                    let cpu = &mut node.cpu;
+                    cpu.pc += 1;
+                    cpu.stats.ops.inc();
+                    let target = Cycles::new(until);
+                    if target > cpu.clock {
+                        cpu.stats.idle_cycles.add((target - cpu.clock).raw());
+                        cpu.clock = target;
+                    }
                 }
             }
 

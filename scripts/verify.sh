@@ -58,4 +58,29 @@ echo "==> tt-check adaptive differential (200 seeds, forced adaptive windows)"
 cargo run --release -p tt-bench --bin tt-check -- \
     run --seeds 200 --sim-threads 2 --window-policy adaptive
 
+# KV-serving smoke (tt-serve): the same sweep twice, once parallel
+# across points and once under the parallel simulator with adaptive
+# windows. Latency percentiles and cycle counts print to stdout (wall
+# rates go to stderr), so the two tables must be byte-identical.
+echo "==> kv_bench smoke (sweep parallelism vs parallel simulator, identical stdout)"
+cargo run --release -p tt-bench --bin kv_bench -- \
+    --nodes 8 --keys 512 --requests 100 --jobs 2 >/tmp/kv_a.txt
+cargo run --release -p tt-bench --bin kv_bench -- \
+    --nodes 8 --keys 512 --requests 100 \
+    --sim-threads 2 --window-policy adaptive >/tmp/kv_b.txt
+cmp /tmp/kv_a.txt /tmp/kv_b.txt
+rm -f /tmp/kv_a.txt /tmp/kv_b.txt
+
+# KV litmus family: put/get races over tt-serve key slots, run
+# differentially on three machines (Stache-served, write-update-served,
+# DirNNB) with word-for-word image agreement, then a window with the
+# parallel simulator forced on every seed.
+echo "==> tt-check kv (200 seeds + 100 forced-parallel seeds)"
+cargo run --release -p tt-bench --bin tt-check -- kv --seeds 200
+cargo run --release -p tt-bench --bin tt-check -- \
+    kv --seeds 100 --sim-threads 2 --window-policy adaptive
+
+echo "==> examples build"
+cargo build --release --examples
+
 echo "==> verify OK"

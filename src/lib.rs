@@ -4,6 +4,7 @@ pub use tt_base as base;
 pub use tt_dirnnb as dirnnb;
 pub use tt_mem as mem;
 pub use tt_net as net;
+pub use tt_serve as serve;
 pub use tt_sim as sim;
 pub use tt_stache as stache;
 pub use tt_tempest as tempest;
