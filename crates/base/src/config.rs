@@ -7,6 +7,7 @@
 //! than copied prose.
 
 use crate::cycles::Cycles;
+use crate::rng::DetRng;
 
 /// Configuration of the primary CPU's cache and TLB (Table 2, "Common").
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -265,6 +266,77 @@ impl Default for TyphoonConfig {
     }
 }
 
+/// A deterministic lossy-network fault schedule (DESIGN.md §10).
+///
+/// The paper assumes a reliable interconnect; this knob drops, duplicates,
+/// bit-corrupts, and transiently partitions per-link traffic so the
+/// protocols' retry/idempotence machinery can be exercised. Every fault
+/// decision is a pure hash of `(seed, ordered link, per-link packet
+/// index)` — or, for partitions, of `(seed, link, epoch run)` — so a
+/// fault schedule replays bit-exactly at any `sim_threads`/`sim_shards`
+/// setting, exactly like network jitter.
+///
+/// Partitions are bounded by construction: time is cut into
+/// `partition_epoch`-cycle epochs grouped into runs of `partition_run`
+/// epochs, and a partitioned run blacks out at most `partition_run - 1`
+/// epochs from its start. The last epoch of every run is always clear,
+/// so a bounded retry/backoff schedule is guaranteed to get a packet
+/// through eventually (unless `drop_permille` is 1000, the
+/// total-blackout setting used to test graceful degradation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Seed all fault decisions derive from.
+    pub seed: u64,
+    /// Per-packet drop probability in permille (1000 = drop everything).
+    pub drop_permille: u32,
+    /// Per-packet duplication probability in permille.
+    pub dup_permille: u32,
+    /// Per-packet-copy corruption probability in permille. Corruption is
+    /// always detected by the wire checksum, so a corrupted copy behaves
+    /// like a detected drop (and is counted separately).
+    pub corrupt_permille: u32,
+    /// Probability in permille that a given (link, run) is partitioned.
+    pub partition_permille: u32,
+    /// Cycles per partition epoch (0 disables partitions entirely).
+    pub partition_epoch: u64,
+    /// Epochs per partition decision run (must be ≥ 2 when partitions
+    /// are enabled; a partition lasts at most `partition_run - 1` epochs).
+    pub partition_run: u64,
+}
+
+impl FaultSpec {
+    /// Derives a randomized-but-bounded fault mix from one seed: the
+    /// rates stay low enough that a 24-retry capped-backoff sender
+    /// succeeds with overwhelming probability, so clean fuzzing sweeps
+    /// stay clean.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = DetRng::new(seed).fork(11);
+        FaultSpec {
+            seed,
+            drop_permille: rng.below(151) as u32,
+            dup_permille: rng.below(151) as u32,
+            corrupt_permille: rng.below(81) as u32,
+            partition_permille: if rng.chance(0.5) { 100 + rng.below(201) as u32 } else { 0 },
+            partition_epoch: 1024 + rng.below(2048),
+            partition_run: 4,
+        }
+    }
+
+    /// A flat loss profile for benchmark sweeps: drop and duplicate at
+    /// `permille`, corrupt at half that, no partitions.
+    pub fn uniform(seed: u64, permille: u32) -> Self {
+        FaultSpec {
+            seed,
+            drop_permille: permille,
+            dup_permille: permille,
+            corrupt_permille: permille / 2,
+            partition_permille: 0,
+            partition_epoch: 0,
+            partition_run: 4,
+        }
+    }
+}
+
 /// The complete configuration of a simulated target system.
 ///
 /// # Example
@@ -308,6 +380,12 @@ pub struct SystemConfig {
     /// How the parallel simulator advances its windows (fixed quanta vs
     /// adaptive per-shard bounds). Ignored by the sequential path.
     pub window_policy: WindowPolicy,
+    /// Deterministic lossy-network fault schedule; `None` (the default)
+    /// is the paper's reliable interconnect. Machines that model the
+    /// network install this as a `tt_net::FaultPlan`; protocol stacks
+    /// must then be wrapped in a reliable transport (see
+    /// `tt_stache::Reliable`) to survive it.
+    pub fault: Option<FaultSpec>,
     /// Bytes of local memory each node may devote to stache pages.
     /// `usize::MAX` (the default) means "as much as needed"; benchmarks of
     /// page replacement set a finite budget.
@@ -332,6 +410,7 @@ impl Default for SystemConfig {
             sim_threads: 1,
             sim_shards: 0,
             window_policy: WindowPolicy::Fixed,
+            fault: None,
             stache_capacity_bytes: usize::MAX,
             cpu: CpuConfig::default(),
             timing: TimingConfig::default(),
@@ -445,6 +524,27 @@ mod tests {
         }
         assert!("eager".parse::<WindowPolicy>().is_err());
         assert_eq!(WindowPolicy::default(), WindowPolicy::Fixed);
+    }
+
+    #[test]
+    fn fault_spec_derivation_is_deterministic_and_bounded() {
+        for seed in 0..200 {
+            let a = FaultSpec::from_seed(seed);
+            assert_eq!(a, FaultSpec::from_seed(seed));
+            assert!(a.drop_permille <= 150);
+            assert!(a.dup_permille <= 150);
+            assert!(a.corrupt_permille <= 80);
+            assert!(a.partition_permille <= 300);
+            assert!(a.partition_epoch >= 1024);
+            assert!(a.partition_run >= 2);
+        }
+        assert!(
+            (0..50).any(|s| FaultSpec::from_seed(s).partition_permille > 0),
+            "partitions must be exercised"
+        );
+        let u = FaultSpec::uniform(7, 100);
+        assert_eq!(u.drop_permille, 100);
+        assert_eq!(u.partition_permille, 0);
     }
 
     #[test]

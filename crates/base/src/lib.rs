@@ -36,7 +36,7 @@ pub mod table;
 pub mod workload;
 
 pub use addr::{PAddr, Ppn, VAddr, Vpn};
-pub use config::{SystemConfig, WindowPolicy};
+pub use config::{FaultSpec, SystemConfig, WindowPolicy};
 pub use cycles::Cycles;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use ids::NodeId;

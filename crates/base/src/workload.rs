@@ -41,6 +41,16 @@ pub enum Op {
         /// The value a sequentially consistent execution would load.
         expect: Option<u64>,
     },
+    /// A tag-checked load of the 64-bit word at `addr` whose observed
+    /// value is appended to the processor's *recorded-read log* (exposed
+    /// by each machine after the run). Litmus harnesses use this to
+    /// check outcome combinations across processors — the classic
+    /// weak-memory shapes (SB, MP, LB, IRIW) need the values racy reads
+    /// actually returned, which `Read { expect: None }` discards.
+    ReadRecord {
+        /// Word-aligned shared virtual address.
+        addr: VAddr,
+    },
     /// A tag-checked store of `value` to the 64-bit word at `addr`.
     Write {
         /// Word-aligned shared virtual address.

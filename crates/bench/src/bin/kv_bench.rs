@@ -12,14 +12,21 @@
 //! `--json` report only).
 //!
 //! Usage: `kv_bench [--nodes N] [--keys N] [--requests N]
-//! [--value-words N] [--interarrival CYCLES] [--jobs N] [--repeat N]
-//! [--sim-threads N] [--window-policy fixed|adaptive] [--json PATH]`
+//! [--value-words N] [--interarrival CYCLES] [--fault-rate PERMILLE]
+//! [--jobs N] [--repeat N] [--sim-threads N]
+//! [--window-policy fixed|adaptive] [--json PATH]`
+//!
+//! `--fault-rate R` runs the sweep over a lossy network: every packet
+//! is dropped and duplicated with probability R‰ (corrupted at R/2‰),
+//! and both server variants run behind the reliable transport. The
+//! table gains a retransmission column; at the default rate 0 nothing
+//! is wrapped and the output is byte-identical to a fault-free build.
 
 use std::time::Instant;
 
 use tt_apps::run_kv_update;
 use tt_base::table::Table;
-use tt_base::SystemConfig;
+use tt_base::{FaultSpec, SystemConfig};
 use tt_bench::json::PointRecord;
 use tt_bench::{cli, par};
 use tt_serve::{run_kv_stache, KvOutcome, KvParams, KvVariant};
@@ -37,6 +44,7 @@ struct KvCli {
     requests_per_node: u64,
     value_words: usize,
     mean_interarrival: f64,
+    fault_permille: u32,
 }
 
 fn params(kv: &KvCli, nodes: usize, mix: u32, skew: f64, variant: KvVariant) -> KvParams {
@@ -96,6 +104,7 @@ fn main() {
         requests_per_node: 256,
         value_words: 4,
         mean_interarrival: 500.0,
+        fault_permille: 0,
     };
     let shared = cli::parse_cli_with(&args, 1, &mut |flag, args, i| match flag {
         "--keys" => {
@@ -114,22 +123,41 @@ fn main() {
             kv.mean_interarrival = cli::number(args, *i, "--interarrival").max(1) as f64;
             *i += 2;
         }
+        "--fault-rate" => {
+            kv.fault_permille = cli::number(args, *i, "--fault-rate").min(500) as u32;
+            *i += 2;
+        }
         other => panic!(
             "unknown argument {other}; kv_bench adds --keys N | --requests N \
-             | --value-words N | --interarrival CYCLES to the shared flags"
+             | --value-words N | --interarrival CYCLES | --fault-rate PERMILLE \
+             to the shared flags"
         ),
     });
-    let cfg = shared.config();
+    let mut cfg = shared.config();
+    let faulty = kv.fault_permille > 0;
+    if faulty {
+        cfg.fault = Some(FaultSpec::uniform(cfg.seed, kv.fault_permille));
+    }
     assert_kv_sim_threads_identity(&cfg);
     println!(
         "KV SERVING. {nodes}-node tt-serve under open-loop Zipfian load \
          ({keys} keys, {req} requests/node, {vw}-word values, mean \
-         interarrival {ia:.0} cycles).\n",
+         interarrival {ia:.0} cycles).{faults}\n",
         nodes = shared.nodes,
         keys = kv.keys,
         req = kv.requests_per_node,
         vw = kv.value_words,
         ia = kv.mean_interarrival,
+        faults = if faulty {
+            format!(
+                "\nLossy network: drop/dup {r}\u{2030}, corrupt {h}\u{2030} \
+                 (detected), reliable transport on.",
+                r = kv.fault_permille,
+                h = kv.fault_permille / 2,
+            )
+        } else {
+            String::new()
+        },
     );
 
     let mut grid = Vec::new();
@@ -163,14 +191,21 @@ fn main() {
     });
     let total_wall_secs = start.elapsed().as_secs_f64();
 
-    let mut table = Table::new(vec![
+    // The retransmission column exists only on lossy sweeps: at
+    // --fault-rate 0 the table (and JSON `extra`) must stay
+    // byte-identical to a fault-free build.
+    let mut columns = vec![
         "mix", "skew", "server", "cycles", "req/kcyc", "get p50", "get p99",
         "get p999", "put p50", "put p99", "put p999",
-    ]);
+    ];
+    if faulty {
+        columns.push("retx");
+    }
+    let mut table = Table::new(columns);
     let mut records = Vec::new();
     for p in &points {
         let (get, put) = (&p.out.lat.get, &p.out.lat.put);
-        table.row(vec![
+        let mut row = vec![
             format!("{}/{}", 100 - p.mix, p.mix),
             format!("{:.1}", p.skew),
             p.variant.name().into(),
@@ -182,8 +217,12 @@ fn main() {
             format!("{}", put.quantile(0.50)),
             format!("{}", put.quantile(0.99)),
             format!("{}", put.quantile(0.999)),
-        ]);
-        let extra = format!(
+        ];
+        if faulty {
+            row.push(format!("{}", p.out.report.get("rel.retransmits").unwrap_or(0.0) as u64));
+        }
+        table.row(row);
+        let mut extra = format!(
             "\"kv\": {{\"mix\": \"{}/{}\", \"skew\": {:.2}, \"keys\": {}, \
              \"requests\": {}, \"requests_per_kcycle\": {:.4}, \
              \"get\": {{\"p50\": {}, \"p99\": {}, \"p999\": {}, \"mean\": {:.1}, \"max\": {}}}, \
@@ -205,6 +244,16 @@ fn main() {
             put.mean(),
             put.max(),
         );
+        if faulty {
+            extra = format!(
+                "{}, \"fault\": {{\"rate_permille\": {}, \"retransmits\": {}, \
+                 \"sent\": {}}}",
+                &extra[..extra.len() - 1],
+                kv.fault_permille,
+                p.out.report.get("rel.retransmits").unwrap_or(0.0) as u64,
+                p.out.report.get("rel.sent").unwrap_or(0.0) as u64,
+            ) + "}";
+        }
         records.push(PointRecord {
             point: format!("{}/{} skew {:.1}", 100 - p.mix, p.mix, p.skew),
             system: p.variant.name().into(),

@@ -3,9 +3,11 @@
 //!
 //! ```text
 //! tt-check run [--seeds N] [--base B] [--sim-threads N] [--window-policy P]
-//!              [--planted-bug] [--out PATH]
+//!              [--faults] [--fault-seed F] [--planted-bug] [--out PATH]
 //! tt-check replay --seed S [--sim-threads N] [--window-policy P]
+//!                 [--faults] [--fault-seed F]
 //! tt-check kv [--seeds N] [--base B] [--seed S] [--sim-threads N] [--window-policy P]
+//!             [--faults] [--fault-seed F]
 //! ```
 //!
 //! `run` fuzzes `N` consecutive seeds (litmus workloads × schedule
@@ -18,10 +20,16 @@
 //! instead of letting each seed draw its own thread count.
 //! `--window-policy fixed|adaptive` likewise forces the parallel leg's
 //! window-advance policy instead of each seed's coin flip.
+//! `--faults` gives every case a seed-derived lossy-network schedule
+//! (drops, duplicates, detected corruption, transient partitions) with
+//! the protocol running behind the reliable transport; the final image
+//! must still match the fault-free DirNNB reference, and
+//! `--fault-seed F` replays one specific schedule bit-exactly.
 //! `--planted-bug` swaps in the deliberately broken
-//! `SkipInvalidate` Stache variant: that run *must* fail, proving the
-//! harness has teeth. `--out` writes a JSON report alongside the other
-//! bench reports.
+//! `SkipInvalidate` Stache variant — or, with `--faults`, a transport
+//! that retransmits without duplicate suppression: that run *must*
+//! fail, proving the harness has teeth. `--out` writes a JSON report
+//! alongside the other bench reports.
 //!
 //! `kv` fuzzes the KV-serving litmus family instead: seed-generated
 //! put/get races over `tt-serve` key slots, run through a three-machine
@@ -36,18 +44,30 @@ use tt_base::{NodeId, WindowPolicy};
 use tt_bench::json::{git_rev, hostname};
 use tt_check::scenarios::SkipInvalidate;
 use tt_check::{
-    fuzz_kv, fuzz_with_overrides, run_kv_seed, run_seed_with_overrides, shrink, stache_factory,
-    Failure,
+    fuzz_kv_with_options, fuzz_with_options, run_kv_seed_with_options, run_seed_with_options,
+    shrink_with_transport, stache_factory, Failure, FuzzOptions,
 };
+use tt_stache::ReliableConfig;
 
 fn usage() -> ! {
     eprintln!(
         "usage: tt-check run [--seeds N] [--base B] [--sim-threads N] \
-         [--window-policy fixed|adaptive] [--planted-bug] [--out PATH]\n\
+         [--window-policy fixed|adaptive] [--faults] [--fault-seed F] \
+         [--planted-bug] [--out PATH]\n\
          \x20      tt-check replay --seed S [--sim-threads N] \
-         [--window-policy fixed|adaptive]\n\
+         [--window-policy fixed|adaptive] [--faults] [--fault-seed F]\n\
          \x20      tt-check kv [--seeds N] [--base B] [--seed S] [--sim-threads N] \
-         [--window-policy fixed|adaptive]"
+         [--window-policy fixed|adaptive] [--faults] [--fault-seed F]\n\
+         \n\
+         --faults draws a seed-derived lossy-network schedule per case \
+         (drops, duplicates,\n\
+         detected corruption, transient partitions) and runs the protocol \
+         behind the\n\
+         reliable transport; --fault-seed F forces one fault schedule \
+         (implies --faults).\n\
+         With --faults, --planted-bug plants the transport bug \
+         (retransmission without\n\
+         duplicate suppression) instead of the Stache one."
     );
     std::process::exit(2);
 }
@@ -87,6 +107,17 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+fn fault_json(fault: &Option<tt_base::FaultSpec>) -> String {
+    match fault {
+        Some(fs) => format!(
+            "{{\"seed\": {}, \"drop_permille\": {}, \"dup_permille\": {}, \
+             \"corrupt_permille\": {}, \"partition_permille\": {}}}",
+            fs.seed, fs.drop_permille, fs.dup_permille, fs.corrupt_permille, fs.partition_permille
+        ),
+        None => "null".to_string(),
+    }
+}
+
 fn failure_json(f: &Failure) -> String {
     let shrunk = match &f.shrunk {
         Some(s) => format!(
@@ -95,27 +126,36 @@ fn failure_json(f: &Failure) -> String {
         ),
         None => "null".to_string(),
     };
+    let shrunk_fault = match &f.shrunk_perturb {
+        Some(p) => fault_json(&p.fault),
+        None => "null".to_string(),
+    };
     format!(
         "{{\n    \"seed\": {},\n    \"stage\": \"{}\",\n    \"nodes\": {},\n    \
          \"pages\": {},\n    \"blocks\": {},\n    \"phases\": {},\n    \
-         \"message\": \"{}\",\n    \"shrunk\": {}\n  }}",
+         \"fault\": {},\n    \"message\": \"{}\",\n    \"shrunk\": {},\n    \
+         \"shrunk_fault\": {}\n  }}",
         f.seed,
         f.stage,
         f.cfg.nodes,
         f.cfg.pages,
         f.cfg.blocks,
         f.cfg.phases,
+        fault_json(&f.perturb.fault),
         json_escape(&f.message),
-        shrunk
+        shrunk,
+        shrunk_fault
     )
 }
 
+#[allow(clippy::too_many_arguments)] // report plumbing, one call site per command
 fn write_fuzz_report(
     path: &str,
     base: u64,
     requested: u64,
     seeds_run: u64,
     planted: bool,
+    options: &FuzzOptions,
     wall: f64,
     failure: Option<&Failure>,
 ) {
@@ -128,6 +168,11 @@ fn write_fuzz_report(
     out.push_str(&format!("  \"seeds_requested\": {requested},\n"));
     out.push_str(&format!("  \"seeds_run\": {seeds_run},\n"));
     out.push_str(&format!("  \"planted_bug\": {planted},\n"));
+    out.push_str(&format!("  \"faults\": {},\n", options.faults || options.fault_seed.is_some()));
+    out.push_str(&format!(
+        "  \"fault_seed\": {},\n",
+        options.fault_seed.map_or("null".to_string(), |f| f.to_string())
+    ));
     out.push_str(&format!("  \"wall_secs\": {wall:.3},\n"));
     out.push_str(&format!("  \"clean\": {},\n", failure.is_none()));
     match failure {
@@ -148,8 +193,7 @@ fn write_fuzz_report(
 fn cmd_run(args: &[String]) -> i32 {
     let mut seeds: u64 = 500;
     let mut base: u64 = 0;
-    let mut sim_threads: Option<usize> = None;
-    let mut window_policy: Option<WindowPolicy> = None;
+    let mut options = FuzzOptions::default();
     let mut planted = false;
     let mut out_path: Option<String> = None;
     let mut i = 0;
@@ -158,9 +202,14 @@ fn cmd_run(args: &[String]) -> i32 {
             "--seeds" => seeds = parse_u64(args, &mut i, "--seeds"),
             "--base" => base = parse_u64(args, &mut i, "--base"),
             "--sim-threads" => {
-                sim_threads = Some(parse_u64(args, &mut i, "--sim-threads") as usize)
+                options.sim_threads = Some(parse_u64(args, &mut i, "--sim-threads") as usize)
             }
-            "--window-policy" => window_policy = Some(parse_policy(args, &mut i)),
+            "--window-policy" => options.window_policy = Some(parse_policy(args, &mut i)),
+            "--faults" => options.faults = true,
+            "--fault-seed" => {
+                options.fault_seed = Some(parse_u64(args, &mut i, "--fault-seed"));
+                options.faults = true;
+            }
             "--planted-bug" => planted = true,
             "--out" => {
                 i += 1;
@@ -171,27 +220,45 @@ fn cmd_run(args: &[String]) -> i32 {
         i += 1;
     }
 
+    // With faults, the planted bug is the transport-level one — the
+    // retry path ships without duplicate suppression, so a retransmit
+    // whose original arrived replays into the protocol. Without faults
+    // it stays the classic Stache skip-invalidate.
+    let plant_transport = planted && options.faults;
+    if plant_transport {
+        options.transport = Some(ReliableConfig { dedupe: false, ..ReliableConfig::default() });
+    }
     let planted_factory = |id: NodeId, layout: &_, cfg: &_| {
         Box::new(SkipInvalidate::new(id, layout, cfg)) as Box<dyn tt_tempest::Protocol>
     };
     let start = Instant::now();
-    let report = if planted {
-        fuzz_with_overrides(base, seeds, sim_threads, window_policy, &planted_factory)
+    let report = if planted && !plant_transport {
+        fuzz_with_options(base, seeds, &options, &planted_factory)
     } else {
-        fuzz_with_overrides(base, seeds, sim_threads, window_policy, &stache_factory)
+        fuzz_with_options(base, seeds, &options, &stache_factory)
     };
+    let transport = options.transport_config();
     let failure = report.failure.map(|f| {
         eprintln!("tt-check: shrinking failing seed {}...", f.seed);
-        if planted {
-            shrink(&f, &planted_factory)
+        if planted && !plant_transport {
+            shrink_with_transport(&f, &planted_factory, &transport)
         } else {
-            shrink(&f, &stache_factory)
+            shrink_with_transport(&f, &stache_factory, &transport)
         }
     });
     let wall = start.elapsed().as_secs_f64();
 
     if let Some(path) = &out_path {
-        write_fuzz_report(path, base, seeds, report.seeds_run, planted, wall, failure.as_ref());
+        write_fuzz_report(
+            path,
+            base,
+            seeds,
+            report.seeds_run,
+            planted,
+            &options,
+            wall,
+            failure.as_ref(),
+        );
     }
     match (planted, failure) {
         (false, None) => {
@@ -227,22 +294,26 @@ fn cmd_run(args: &[String]) -> i32 {
 
 fn cmd_replay(args: &[String]) -> i32 {
     let mut seed: Option<u64> = None;
-    let mut sim_threads: Option<usize> = None;
-    let mut window_policy: Option<WindowPolicy> = None;
+    let mut options = FuzzOptions::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--seed" => seed = Some(parse_u64(args, &mut i, "--seed")),
             "--sim-threads" => {
-                sim_threads = Some(parse_u64(args, &mut i, "--sim-threads") as usize)
+                options.sim_threads = Some(parse_u64(args, &mut i, "--sim-threads") as usize)
             }
-            "--window-policy" => window_policy = Some(parse_policy(args, &mut i)),
+            "--window-policy" => options.window_policy = Some(parse_policy(args, &mut i)),
+            "--faults" => options.faults = true,
+            "--fault-seed" => {
+                options.fault_seed = Some(parse_u64(args, &mut i, "--fault-seed"));
+                options.faults = true;
+            }
             _ => usage(),
         }
         i += 1;
     }
     let seed = seed.unwrap_or_else(|| usage());
-    match run_seed_with_overrides(seed, sim_threads, window_policy) {
+    match run_seed_with_options(seed, &options) {
         Ok(r) => {
             println!(
                 "tt-check: seed {seed} clean — typhoon {} cycles, dirnnb {} cycles, \
@@ -267,8 +338,7 @@ fn cmd_kv(args: &[String]) -> i32 {
     let mut seeds: u64 = 200;
     let mut base: u64 = 0;
     let mut replay: Option<u64> = None;
-    let mut sim_threads: Option<usize> = None;
-    let mut window_policy: Option<WindowPolicy> = None;
+    let mut options = FuzzOptions::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -276,16 +346,21 @@ fn cmd_kv(args: &[String]) -> i32 {
             "--base" => base = parse_u64(args, &mut i, "--base"),
             "--seed" => replay = Some(parse_u64(args, &mut i, "--seed")),
             "--sim-threads" => {
-                sim_threads = Some(parse_u64(args, &mut i, "--sim-threads") as usize)
+                options.sim_threads = Some(parse_u64(args, &mut i, "--sim-threads") as usize)
             }
-            "--window-policy" => window_policy = Some(parse_policy(args, &mut i)),
+            "--window-policy" => options.window_policy = Some(parse_policy(args, &mut i)),
+            "--faults" => options.faults = true,
+            "--fault-seed" => {
+                options.fault_seed = Some(parse_u64(args, &mut i, "--fault-seed"));
+                options.faults = true;
+            }
             _ => usage(),
         }
         i += 1;
     }
 
     if let Some(seed) = replay {
-        return match run_kv_seed(seed, sim_threads, window_policy) {
+        return match run_kv_seed_with_options(seed, &options) {
             Ok(r) => {
                 println!(
                     "tt-check: kv seed {seed} clean — stache {} cycles, update {} cycles, \
@@ -303,7 +378,7 @@ fn cmd_kv(args: &[String]) -> i32 {
     }
 
     let start = Instant::now();
-    let report = fuzz_kv(base, seeds, sim_threads, window_policy);
+    let report = fuzz_kv_with_options(base, seeds, &options);
     let wall = start.elapsed().as_secs_f64();
     match report.failure {
         None => {

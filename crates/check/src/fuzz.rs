@@ -28,14 +28,14 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::Mutex;
 
 use tt_base::workload::Layout;
-use tt_base::{Cycles, DetRng, NodeId, SystemConfig, VAddr, WindowPolicy};
+use tt_base::{Cycles, DetRng, FaultSpec, NodeId, SystemConfig, VAddr, WindowPolicy};
 use tt_dirnnb::DirnnbMachine;
 use tt_mem::Tag;
-use tt_stache::StacheProtocol;
+use tt_stache::{reliable_vn_policy, Reliable, ReliableConfig, StacheProtocol};
 use tt_tempest::Protocol;
 use tt_typhoon::TyphoonMachine;
 
-use crate::invariants::InvariantChecker;
+use crate::invariants::{InvariantChecker, DEFAULT_EVENT_BUDGET};
 use crate::litmus::{Litmus, LitmusConfig};
 
 /// Builds one node's protocol instance (same shape as
@@ -73,6 +73,14 @@ pub struct PerturbConfig {
     /// Adaptive widening must never change cycles or images, so both
     /// policies are drawn with equal probability.
     pub window_policy: WindowPolicy,
+    /// Lossy-network fault schedule for the Typhoon legs (`None` =
+    /// perfect network). When set, the Stache legs run wrapped in the
+    /// [`Reliable`] transport, the invariant budget widens (retries
+    /// inflate the event count), and the DirNNB leg stays fault-free as
+    /// the reference: faults may cost cycles but must never change the
+    /// final memory image. The fault schedule is keyed off deterministic
+    /// merge keys, so the parallel leg replays it bit-exactly.
+    pub fault: Option<FaultSpec>,
 }
 
 impl PerturbConfig {
@@ -93,7 +101,17 @@ impl PerturbConfig {
             } else {
                 WindowPolicy::Fixed
             },
+            fault: None,
         }
+    }
+
+    /// [`PerturbConfig::from_seed`] plus a seed-derived fault schedule:
+    /// the fault-plan seed comes from its own fork so fault decisions
+    /// are independent of every other drawn dimension.
+    pub fn from_seed_with_faults(seed: u64) -> Self {
+        let mut p = PerturbConfig::from_seed(seed);
+        p.fault = Some(FaultSpec::from_seed(DetRng::new(seed).fork(12).next_u64()));
+        p
     }
 
     /// No perturbation at all (production schedule).
@@ -106,8 +124,23 @@ impl PerturbConfig {
             direct_execution: false,
             sim_threads: 1,
             window_policy: WindowPolicy::Fixed,
+            fault: None,
         }
     }
+}
+
+/// Compact one-line rendering of a fault schedule for failure reports.
+pub(crate) fn fault_summary(f: &FaultSpec) -> String {
+    format!(
+        "faults[seed={} drop={}‰ dup={}‰ corrupt={}‰ partition={}‰/{}x{}]",
+        f.seed,
+        f.drop_permille,
+        f.dup_permille,
+        f.corrupt_permille,
+        f.partition_permille,
+        f.partition_epoch,
+        f.partition_run
+    )
 }
 
 /// A clean run's vitals.
@@ -138,26 +171,43 @@ pub struct Failure {
     pub message: String,
     /// A smaller shape that still fails, if [`shrink`] ran.
     pub shrunk: Option<LitmusConfig>,
+    /// A simpler perturbation/fault schedule that still fails, if
+    /// [`shrink`] ran: each schedule dimension is delta-debugged toward
+    /// the production schedule one at a time.
+    pub shrunk_perturb: Option<PerturbConfig>,
 }
 
 impl std::fmt::Display for Failure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "seed {} [{} stage] nodes={} pages={} blocks={} phases={}: {}",
-            self.seed,
-            self.stage,
-            self.cfg.nodes,
-            self.cfg.pages,
-            self.cfg.blocks,
-            self.cfg.phases,
-            self.message
+            "seed {} [{} stage] nodes={} pages={} blocks={} phases={}",
+            self.seed, self.stage, self.cfg.nodes, self.cfg.pages, self.cfg.blocks, self.cfg.phases,
         )?;
+        if let Some(fs) = &self.perturb.fault {
+            write!(f, " {}", fault_summary(fs))?;
+        }
+        write!(f, ": {}", self.message)?;
         if let Some(s) = &self.shrunk {
             write!(
                 f,
                 " (shrunk to nodes={} pages={} blocks={} phases={})",
                 s.nodes, s.pages, s.blocks, s.phases
+            )?;
+        }
+        if let Some(p) = &self.shrunk_perturb {
+            write!(
+                f,
+                " (schedule shrunk to tie={} jitter={} coalesce={} direct={} threads={} {})",
+                p.tie_shuffle.is_some(),
+                p.jitter_max,
+                p.coalesce,
+                p.direct_execution,
+                p.sim_threads,
+                match &p.fault {
+                    Some(fs) => fault_summary(fs),
+                    None => "no-faults".to_string(),
+                }
             )?;
         }
         Ok(())
@@ -220,11 +270,27 @@ pub fn run_case(cfg: &LitmusConfig, perturb: &PerturbConfig) -> Result<CaseResul
 }
 
 /// Runs one case with an injected protocol factory (used to prove the
-/// harness catches planted bugs).
+/// harness catches planted bugs). Under a fault schedule the protocol
+/// is wrapped in the stock [`Reliable`] transport.
 pub fn run_case_with(
     cfg: &LitmusConfig,
     perturb: &PerturbConfig,
     factory: ProtocolFactory,
+) -> Result<CaseResult, Box<Failure>> {
+    run_case_full(cfg, perturb, factory, &ReliableConfig::default())
+}
+
+/// [`run_case_with`] with the reliable transport's configuration also
+/// injectable. `transport` matters only when `perturb.fault` is set —
+/// a perfect network never wraps the protocol — and exists so the
+/// harness can plant the transport-level bug (`dedupe: false`:
+/// retransmission without duplicate suppression) and prove the fuzzer
+/// catches it.
+pub fn run_case_full(
+    cfg: &LitmusConfig,
+    perturb: &PerturbConfig,
+    factory: ProtocolFactory,
+    transport: &ReliableConfig,
 ) -> Result<CaseResult, Box<Failure>> {
     let litmus = Litmus::generate(cfg);
     let fail = |stage: &'static str, message: String| Box::new(Failure {
@@ -234,11 +300,39 @@ pub fn run_case_with(
         stage,
         message,
         shrunk: None,
+        shrunk_perturb: None,
     });
 
     let mut syscfg = SystemConfig::test_config(cfg.nodes);
     syscfg.seed = cfg.seed;
     syscfg.direct_execution = perturb.direct_execution;
+    syscfg.fault = perturb.fault;
+
+    // Under faults the protocol runs behind the reliable transport,
+    // the invariant engine accepts the transport's ack handler, and the
+    // livelock watchdog widens (every retry/ack is an extra event).
+    type BoxedFactory<'a> = Box<dyn Fn(NodeId, &Layout, &SystemConfig) -> Box<dyn Protocol> + 'a>;
+    let wrapped: Option<BoxedFactory<'_>> = perturb.fault.map(|_| {
+        let rel = *transport;
+        Box::new(move |id: NodeId, layout: &Layout, scfg: &SystemConfig| {
+            Box::new(Reliable::with_config(factory(id, layout, scfg), rel))
+                as Box<dyn Protocol>
+        }) as BoxedFactory<'_>
+    });
+    let tfactory: ProtocolFactory = match &wrapped {
+        Some(w) => &**w,
+        None => factory,
+    };
+    let make_checker = |blocks: Vec<VAddr>| {
+        let checker = InvariantChecker::new(blocks);
+        if perturb.fault.is_some() {
+            checker
+                .with_policy(reliable_vn_policy(tt_stache::vn_policy()))
+                .with_budget(DEFAULT_EVENT_BUDGET * 4)
+        } else {
+            checker
+        }
+    };
 
     // Typhoon under the invariant engine and the full perturbation set.
     let (typhoon_cycles, typhoon_image, events) = {
@@ -248,7 +342,7 @@ pub fn run_case_with(
             let mut m = TyphoonMachine::new(
                 syscfg,
                 Box::new(litmus.workload(perturb.coalesce)),
-                factory,
+                tfactory,
             );
             if let Some(seed) = perturb.tie_shuffle {
                 m.set_tie_shuffle(seed);
@@ -256,7 +350,7 @@ pub fn run_case_with(
             if perturb.jitter_max > 0 {
                 m.set_net_jitter(perturb.jitter_seed, Cycles::new(perturb.jitter_max));
             }
-            let mut checker = InvariantChecker::new(litmus.blocks.clone());
+            let mut checker = make_checker(litmus.blocks.clone());
             let r = m.run_observed(&mut |now, ev, mach| checker.check(now, ev, mach));
             let image: Vec<(VAddr, u64)> = litmus
                 .finals
@@ -269,9 +363,12 @@ pub fn run_case_with(
     };
 
     // DirNNB: same workload and tie-break seed; jitter is a Typhoon
-    // network knob (DirNNB latencies come from its cost tables).
+    // network knob (DirNNB latencies come from its cost tables), and
+    // faults never apply — DirNNB is the pristine reference a lossy
+    // Typhoon run's final image is held against.
     let (dirnnb_cycles, dirnnb_image) = {
-        let syscfg = syscfg.clone();
+        let mut syscfg = syscfg.clone();
+        syscfg.fault = None;
         let litmus = &litmus;
         catch(move || {
             let mut m = DirnnbMachine::new(syscfg, Box::new(litmus.workload(perturb.coalesce)));
@@ -321,7 +418,7 @@ pub fn run_case_with(
                 let mut m = TyphoonMachine::new(
                     parcfg,
                     Box::new(litmus.workload(perturb.coalesce)),
-                    factory,
+                    tfactory,
                 );
                 if let Some(seed) = perturb.tie_shuffle {
                     m.set_tie_shuffle(seed);
@@ -340,7 +437,8 @@ pub fn run_case_with(
             .map_err(|msg| fail("parallel", msg))?
         };
         let (par_dirnnb_cycles, par_dirnnb_image) = {
-            let parcfg = parcfg.clone();
+            let mut parcfg = parcfg.clone();
+            parcfg.fault = None;
             let litmus = &litmus;
             catch(move || {
                 let mut m = DirnnbMachine::new(parcfg, Box::new(litmus.workload(perturb.coalesce)));
@@ -417,14 +515,74 @@ pub fn run_seed_with_overrides(
     sim_threads: Option<usize>,
     window_policy: Option<WindowPolicy>,
 ) -> Result<CaseResult, Box<Failure>> {
-    let mut perturb = PerturbConfig::from_seed(seed);
-    if let Some(n) = sim_threads {
-        perturb.sim_threads = n.max(1);
+    let options = FuzzOptions {
+        sim_threads,
+        window_policy,
+        ..FuzzOptions::default()
+    };
+    run_seed_with_options(seed, &options)
+}
+
+/// Cross-cutting knobs for a fuzzing run or replay — everything the
+/// `tt-check` CLI can force on top of the seed-derived shapes.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzOptions {
+    /// Force the parallel-differential thread count (`None` = each
+    /// seed's own draw).
+    pub sim_threads: Option<usize>,
+    /// Force the parallel leg's window policy (`None` = each seed's
+    /// own draw).
+    pub window_policy: Option<WindowPolicy>,
+    /// Enable the lossy-network dimension: every case gets a
+    /// seed-derived fault schedule and the protocol runs behind the
+    /// reliable transport.
+    pub faults: bool,
+    /// Force the fault-plan seed instead of deriving it from the case
+    /// seed (`tt-check replay --fault-seed F`). Implies `faults`.
+    pub fault_seed: Option<u64>,
+    /// Reliable-transport configuration for faulty runs; `None` = the
+    /// stock config. `ReliableConfig { dedupe: false, .. }` is the
+    /// transport-level planted bug.
+    pub transport: Option<ReliableConfig>,
+}
+
+impl FuzzOptions {
+    /// The perturbation this options set produces for one seed.
+    pub fn perturb_for(&self, seed: u64) -> PerturbConfig {
+        let mut p = PerturbConfig::from_seed(seed);
+        if let Some(n) = self.sim_threads {
+            p.sim_threads = n.max(1);
+        }
+        if let Some(w) = self.window_policy {
+            p.window_policy = w;
+        }
+        if self.faults || self.fault_seed.is_some() {
+            let fs = self
+                .fault_seed
+                .unwrap_or_else(|| DetRng::new(seed).fork(12).next_u64());
+            p.fault = Some(FaultSpec::from_seed(fs));
+        }
+        p
     }
-    if let Some(p) = window_policy {
-        perturb.window_policy = p;
+
+    /// The transport configuration in force.
+    pub fn transport_config(&self) -> ReliableConfig {
+        self.transport.unwrap_or_default()
     }
-    run_case(&LitmusConfig::from_seed(seed), &perturb)
+}
+
+/// Derives the case from `seed` under `options` and runs it — the
+/// engine behind `tt-check replay` in all its variants.
+pub fn run_seed_with_options(
+    seed: u64,
+    options: &FuzzOptions,
+) -> Result<CaseResult, Box<Failure>> {
+    run_case_full(
+        &LitmusConfig::from_seed(seed),
+        &options.perturb_for(seed),
+        &stache_factory,
+        &options.transport_config(),
+    )
 }
 
 /// What a fuzzing sweep found.
@@ -470,52 +628,140 @@ pub fn fuzz_with_overrides(
     window_policy: Option<WindowPolicy>,
     factory: ProtocolFactory,
 ) -> FuzzReport {
+    let options = FuzzOptions {
+        sim_threads,
+        window_policy,
+        ..FuzzOptions::default()
+    };
+    fuzz_with_options(base_seed, count, &options, factory)
+}
+
+/// Fuzzes `count` consecutive seeds under the full options set —
+/// including the fault-schedule dimension — stopping at the first
+/// failure. The engine behind `tt-check run` in all its variants.
+pub fn fuzz_with_options(
+    base_seed: u64,
+    count: u64,
+    options: &FuzzOptions,
+    factory: ProtocolFactory,
+) -> FuzzReport {
+    let transport = options.transport_config();
     for i in 0..count {
         let seed = base_seed + i;
         let cfg = LitmusConfig::from_seed(seed);
-        let mut perturb = PerturbConfig::from_seed(seed);
-        if let Some(n) = sim_threads {
-            perturb.sim_threads = n.max(1);
-        }
-        if let Some(p) = window_policy {
-            perturb.window_policy = p;
-        }
-        if let Err(f) = run_case_with(&cfg, &perturb, factory) {
+        let perturb = options.perturb_for(seed);
+        if let Err(f) = run_case_full(&cfg, &perturb, factory, &transport) {
             return FuzzReport { seeds_run: i + 1, failure: Some(*f) };
         }
     }
     FuzzReport { seeds_run: count, failure: None }
 }
 
-/// Greedily shrinks a failing case: repeatedly tries dropping a phase,
-/// a block, a page, or a node (in that order), keeping any reduction
-/// that still fails under the same perturbation. Returns the failure
-/// with `shrunk` filled in.
+/// Greedily shrinks a failing case. Two interleaved dimensions:
+///
+/// - **shape** — repeatedly tries dropping a phase, a block, a page, or
+///   a node (in that order), keeping any reduction that still fails;
+/// - **schedule** — delta-debugs the perturbation and fault dimensions
+///   one at a time toward the production schedule (tie-shuffle off,
+///   jitter 0, no coalescing, direct execution off, sequential,
+///   fixed windows, each fault rate 0, finally no faults at all),
+///   keeping any simplification that still fails.
+///
+/// Returns the failure with `shrunk` and `shrunk_perturb` filled in.
 pub fn shrink(failure: &Failure, factory: ProtocolFactory) -> Failure {
-    let still_fails =
-        |c: &LitmusConfig| run_case_with(c, &failure.perturb, factory).is_err();
+    shrink_with_transport(failure, factory, &ReliableConfig::default())
+}
+
+/// [`shrink`] under an injected transport configuration, so
+/// transport-level planted bugs shrink under the same broken transport
+/// that caught them.
+pub fn shrink_with_transport(
+    failure: &Failure,
+    factory: ProtocolFactory,
+    transport: &ReliableConfig,
+) -> Failure {
+    let still_fails = |c: &LitmusConfig, p: &PerturbConfig| {
+        run_case_full(c, p, factory, transport).is_err()
+    };
     let mut cur = failure.cfg.clone();
+    let mut per = failure.perturb.clone();
     loop {
-        let mut candidates = Vec::new();
-        if cur.phases > 1 {
-            candidates.push(LitmusConfig { phases: cur.phases - 1, ..cur.clone() });
+        let mut progressed = false;
+
+        // Shape: drop one dimension at a time.
+        loop {
+            let mut candidates = Vec::new();
+            if cur.phases > 1 {
+                candidates.push(LitmusConfig { phases: cur.phases - 1, ..cur.clone() });
+            }
+            if cur.blocks > 1 {
+                let blocks = cur.blocks - 1;
+                candidates
+                    .push(LitmusConfig { blocks, pages: cur.pages.min(blocks), ..cur.clone() });
+            }
+            if cur.pages > 1 {
+                candidates.push(LitmusConfig { pages: cur.pages - 1, ..cur.clone() });
+            }
+            if cur.nodes > 2 {
+                candidates.push(LitmusConfig { nodes: cur.nodes - 1, ..cur.clone() });
+            }
+            match candidates.into_iter().find(|c| still_fails(c, &per)) {
+                Some(smaller) => {
+                    cur = smaller;
+                    progressed = true;
+                }
+                None => break,
+            }
         }
-        if cur.blocks > 1 {
-            let blocks = cur.blocks - 1;
-            candidates.push(LitmusConfig { blocks, pages: cur.pages.min(blocks), ..cur.clone() });
+
+        // Schedule: simplify one dimension at a time.
+        loop {
+            let mut candidates: Vec<PerturbConfig> = Vec::new();
+            if per.tie_shuffle.is_some() {
+                candidates.push(PerturbConfig { tie_shuffle: None, ..per.clone() });
+            }
+            if per.jitter_max > 0 {
+                candidates.push(PerturbConfig { jitter_max: 0, jitter_seed: 0, ..per.clone() });
+            }
+            if per.coalesce {
+                candidates.push(PerturbConfig { coalesce: false, ..per.clone() });
+            }
+            if per.direct_execution {
+                candidates.push(PerturbConfig { direct_execution: false, ..per.clone() });
+            }
+            if per.sim_threads > 1 {
+                candidates.push(PerturbConfig { sim_threads: 1, ..per.clone() });
+            }
+            if per.window_policy != WindowPolicy::Fixed {
+                candidates.push(PerturbConfig { window_policy: WindowPolicy::Fixed, ..per.clone() });
+            }
+            if let Some(fs) = per.fault {
+                for zeroed in [
+                    FaultSpec { drop_permille: 0, ..fs },
+                    FaultSpec { dup_permille: 0, ..fs },
+                    FaultSpec { corrupt_permille: 0, ..fs },
+                    FaultSpec { partition_permille: 0, ..fs },
+                ] {
+                    if zeroed != fs {
+                        candidates.push(PerturbConfig { fault: Some(zeroed), ..per.clone() });
+                    }
+                }
+                candidates.push(PerturbConfig { fault: None, ..per.clone() });
+            }
+            match candidates.into_iter().find(|p| still_fails(&cur, p)) {
+                Some(simpler) => {
+                    per = simpler;
+                    progressed = true;
+                }
+                None => break,
+            }
         }
-        if cur.pages > 1 {
-            candidates.push(LitmusConfig { pages: cur.pages - 1, ..cur.clone() });
-        }
-        if cur.nodes > 2 {
-            candidates.push(LitmusConfig { nodes: cur.nodes - 1, ..cur.clone() });
-        }
-        match candidates.into_iter().find(|c| still_fails(c)) {
-            Some(smaller) => cur = smaller,
-            None => break,
+
+        if !progressed {
+            break;
         }
     }
-    Failure { shrunk: Some(cur), ..failure.clone() }
+    Failure { shrunk: Some(cur), shrunk_perturb: Some(per), ..failure.clone() }
 }
 
 #[cfg(test)]
@@ -578,5 +824,74 @@ mod tests {
         let b = run_seed(7).expect("seed 7 clean on replay");
         assert_eq!(a, b);
         assert!(a.events > 0);
+    }
+
+    #[test]
+    fn fault_dimension_is_deterministic_and_varied() {
+        for seed in 0..50 {
+            let a = PerturbConfig::from_seed_with_faults(seed);
+            assert_eq!(a, PerturbConfig::from_seed_with_faults(seed));
+            let fs = a.fault.expect("faults drawn");
+            // Everything else matches the fault-free draw: the fault
+            // dimension must not disturb historical seed shapes.
+            assert_eq!(PerturbConfig { fault: None, ..a }, PerturbConfig::from_seed(seed));
+            assert!(fs.drop_permille <= 150 && fs.dup_permille <= 150);
+        }
+        assert!(
+            (0..50).any(|s| {
+                let f = PerturbConfig::from_seed_with_faults(s).fault.unwrap();
+                f.drop_permille > 0 && f.dup_permille > 0
+            }),
+            "some schedules must both drop and duplicate"
+        );
+    }
+
+    #[test]
+    fn faulty_seeds_run_clean_and_replay_identically() {
+        let options = FuzzOptions { faults: true, ..FuzzOptions::default() };
+        for seed in 0..4 {
+            let a = run_seed_with_options(seed, &options)
+                .unwrap_or_else(|f| panic!("faulty seed {seed} failed: {f}"));
+            let b = run_seed_with_options(seed, &options).expect("replay clean");
+            assert_eq!(a, b, "faulty seed {seed} did not replay bit-exactly");
+        }
+    }
+
+    #[test]
+    fn forced_fault_seed_is_bit_exact_across_sim_threads() {
+        // Same fault schedule, 1 vs 3 simulator threads: identical
+        // cycles (the images are checked inside the case itself).
+        let one = FuzzOptions {
+            faults: true,
+            fault_seed: Some(0xFA17),
+            sim_threads: Some(1),
+            ..FuzzOptions::default()
+        };
+        let three = FuzzOptions { sim_threads: Some(3), ..one.clone() };
+        let a = run_seed_with_options(11, &one).expect("sequential faulty run clean");
+        let b = run_seed_with_options(11, &three).expect("3-thread faulty run clean");
+        assert_eq!(a, b, "fault schedule not bit-exact across sim-thread counts");
+    }
+
+    #[test]
+    fn planted_transport_bug_is_caught_and_shrunk() {
+        // Retransmission without duplicate suppression: the transport
+        // hands stale deliveries to Stache, which the harness must
+        // catch. The shrinker then delta-debugs the fault schedule.
+        let broken = ReliableConfig { dedupe: false, ..ReliableConfig::default() };
+        let options = FuzzOptions {
+            faults: true,
+            transport: Some(broken),
+            ..FuzzOptions::default()
+        };
+        let report = fuzz_with_options(0, 30, &options, &stache_factory);
+        let failure = report.failure.expect("dedupe-off transport must be caught");
+        let shrunk = shrink_with_transport(&failure, &stache_factory, &broken);
+        let per = shrunk.shrunk_perturb.expect("schedule shrink ran");
+        assert!(
+            per.fault.is_some(),
+            "the failure needs faults, so shrinking must keep a fault schedule"
+        );
+        assert!(shrunk.shrunk.is_some());
     }
 }

@@ -44,10 +44,11 @@ use tt_base::{Cycles, DetRng, NodeId, SystemConfig, VAddr, WindowPolicy};
 use tt_apps::kv_update::KvUpdateProtocol;
 use tt_dirnnb::DirnnbMachine;
 use tt_serve::{header_word, value_word, KvLayout, SharedKvLatency, KV_PUT_OP};
+use tt_stache::{reliable_vn_policy, Reliable, ReliableConfig};
 use tt_typhoon::TyphoonMachine;
 
-use crate::fuzz::{catch, stache_factory, typhoon_word, PerturbConfig};
-use crate::invariants::InvariantChecker;
+use crate::fuzz::{catch, fault_summary, stache_factory, typhoon_word, FuzzOptions, PerturbConfig};
+use crate::invariants::{InvariantChecker, DEFAULT_EVENT_BUDGET};
 
 /// Words written by one put: `(addr, value)` pairs over the slot.
 type SlotWords = Vec<(VAddr, u64)>;
@@ -282,7 +283,7 @@ impl std::fmt::Display for KvFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "seed {} [{} stage] nodes={} keyspace={} hot={} rounds={} words={}{}: {}",
+            "seed {} [{} stage] nodes={} keyspace={} hot={} rounds={} words={}{}",
             self.seed,
             self.stage,
             self.cfg.nodes,
@@ -291,8 +292,11 @@ impl std::fmt::Display for KvFailure {
             self.cfg.rounds,
             self.cfg.value_words,
             if self.cfg.tight_stache { " tight" } else { "" },
-            self.message
-        )
+        )?;
+        if let Some(fs) = &self.perturb.fault {
+            write!(f, " {}", fault_summary(fs))?;
+        }
+        write!(f, ": {}", self.message)
     }
 }
 
@@ -330,6 +334,7 @@ pub fn run_kv_case(
     let mut syscfg = SystemConfig::test_config(cfg.nodes);
     syscfg.seed = cfg.seed;
     syscfg.direct_execution = perturb.direct_execution;
+    syscfg.fault = perturb.fault;
     if cfg.tight_stache {
         syscfg.stache_capacity_bytes = 2 * PAGE_BYTES;
     }
@@ -347,13 +352,27 @@ pub fn run_kv_case(
         catch(move || {
             let workload = Box::new(litmus.workload(update_variant, perturb.coalesce));
             let collector = SharedKvLatency::default();
-            let factory: BoxedFactory = if update_variant {
+            let inner: BoxedFactory = if update_variant {
                 let kv = litmus.kv.clone();
                 Box::new(move |id, layout, cfg| {
                     Box::new(KvUpdateProtocol::new(id, layout, cfg, kv.clone(), collector.clone()))
                 })
             } else {
                 Box::new(stache_factory)
+            };
+            // Under a fault schedule both protocols — Stache *and* the
+            // custom kv_update protocol — run behind the reliable
+            // transport; the fault plan replays identically on the
+            // parallel reruns via the deterministic merge keys.
+            let factory: BoxedFactory = if perturb.fault.is_some() {
+                Box::new(move |id, layout, cfg| {
+                    Box::new(Reliable::with_config(
+                        inner(id, layout, cfg),
+                        ReliableConfig::default(),
+                    ))
+                })
+            } else {
+                inner
             };
             let mut m = TyphoonMachine::new(runcfg, workload, &*factory);
             if let Some(seed) = perturb.tie_shuffle {
@@ -364,6 +383,11 @@ pub fn run_kv_case(
             }
             let (cycles, events) = if observe {
                 let mut checker = InvariantChecker::new(litmus.blocks.clone());
+                if perturb.fault.is_some() {
+                    checker = checker
+                        .with_policy(reliable_vn_policy(tt_stache::vn_policy()))
+                        .with_budget(DEFAULT_EVENT_BUDGET * 4);
+                }
                 let r = m.run_observed(&mut |now, ev, mach| checker.check(now, ev, mach));
                 (r.cycles, checker.events())
             } else {
@@ -390,9 +414,11 @@ pub fn run_kv_case(
     let (update_cycles, update_image, _) =
         run_typhoon(false, true, false).map_err(|m| fail("kv-update", m))?;
 
-    // Leg 3: DirNNB on raw stores.
+    // Leg 3: DirNNB on raw stores — always fault-free; it is the
+    // pristine reference the lossy legs' final images are held against.
     let (dirnnb_cycles, dirnnb_image) = {
-        let syscfg = syscfg.clone();
+        let mut syscfg = syscfg.clone();
+        syscfg.fault = None;
         let litmus = &litmus;
         catch(move || {
             let mut m = DirnnbMachine::new(syscfg, Box::new(litmus.workload(false, perturb.coalesce)));
@@ -468,14 +494,18 @@ pub fn run_kv_seed(
     sim_threads: Option<usize>,
     window_policy: Option<WindowPolicy>,
 ) -> Result<KvCaseResult, Box<KvFailure>> {
-    let mut perturb = PerturbConfig::from_seed(seed);
-    if let Some(n) = sim_threads {
-        perturb.sim_threads = n.max(1);
-    }
-    if let Some(p) = window_policy {
-        perturb.window_policy = p;
-    }
-    run_kv_case(&KvLitmusConfig::from_seed(seed), &perturb)
+    let options = FuzzOptions { sim_threads, window_policy, ..FuzzOptions::default() };
+    run_kv_seed_with_options(seed, &options)
+}
+
+/// [`run_kv_seed`] under the full options set, including the
+/// fault-schedule dimension — `kv_update` under retransmission is the
+/// scariest corner the harness covers.
+pub fn run_kv_seed_with_options(
+    seed: u64,
+    options: &FuzzOptions,
+) -> Result<KvCaseResult, Box<KvFailure>> {
+    run_kv_case(&KvLitmusConfig::from_seed(seed), &options.perturb_for(seed))
 }
 
 /// What a KV fuzzing sweep found.
@@ -496,9 +526,15 @@ pub fn fuzz_kv(
     sim_threads: Option<usize>,
     window_policy: Option<WindowPolicy>,
 ) -> KvFuzzReport {
+    let options = FuzzOptions { sim_threads, window_policy, ..FuzzOptions::default() };
+    fuzz_kv_with_options(base_seed, count, &options)
+}
+
+/// [`fuzz_kv`] under the full options set, including fault schedules.
+pub fn fuzz_kv_with_options(base_seed: u64, count: u64, options: &FuzzOptions) -> KvFuzzReport {
     for i in 0..count {
         let seed = base_seed + i;
-        if let Err(f) = run_kv_seed(seed, sim_threads, window_policy) {
+        if let Err(f) = run_kv_seed_with_options(seed, options) {
             return KvFuzzReport { seeds_run: i + 1, failure: Some(*f) };
         }
     }
@@ -559,5 +595,35 @@ mod tests {
             "seed failed: {}",
             report.failure.unwrap()
         );
+    }
+
+    #[test]
+    fn faulty_kv_seeds_pass_the_differential() {
+        let options = FuzzOptions { faults: true, ..FuzzOptions::default() };
+        let report = fuzz_kv_with_options(0, 8, &options);
+        assert!(
+            report.failure.is_none(),
+            "faulty kv seed failed: {}",
+            report.failure.unwrap()
+        );
+        assert_eq!(report.seeds_run, 8);
+    }
+
+    #[test]
+    fn same_fault_seed_is_bit_exact_across_sim_threads() {
+        // The acceptance bar for determinism: one fault schedule, run
+        // at 1 and at 3 simulator threads, must produce identical
+        // cycles on every leg (the parallel reruns inside the 3-thread
+        // case additionally pin the final images).
+        let base = FuzzOptions {
+            faults: true,
+            fault_seed: Some(0xFA17_5EED),
+            sim_threads: Some(1),
+            ..FuzzOptions::default()
+        };
+        let three = FuzzOptions { sim_threads: Some(3), ..base.clone() };
+        let a = run_kv_seed_with_options(5, &base).expect("sequential faulty kv run clean");
+        let b = run_kv_seed_with_options(5, &three).expect("3-thread faulty kv run clean");
+        assert_eq!(a, b, "kv fault schedule not bit-exact across sim-thread counts");
     }
 }

@@ -47,13 +47,14 @@ pub mod litmus;
 pub mod scenarios;
 
 pub use fuzz::{
-    fuzz, fuzz_with, fuzz_with_overrides, fuzz_with_threads, run_case, run_case_with,
-    run_seed, run_seed_with_overrides, run_seed_with_threads, shrink, stache_factory,
-    CaseResult, Failure, FuzzReport, PerturbConfig,
+    fuzz, fuzz_with, fuzz_with_options, fuzz_with_overrides, fuzz_with_threads, run_case,
+    run_case_full, run_case_with, run_seed, run_seed_with_options, run_seed_with_overrides,
+    run_seed_with_threads, shrink, shrink_with_transport, stache_factory, CaseResult, Failure,
+    FuzzOptions, FuzzReport, PerturbConfig,
 };
 pub use invariants::InvariantChecker;
 pub use kvlitmus::{
-    fuzz_kv, run_kv_case, run_kv_seed, KvCaseResult, KvFailure, KvFuzzReport, KvLitmus,
-    KvLitmusConfig,
+    fuzz_kv, fuzz_kv_with_options, run_kv_case, run_kv_seed, run_kv_seed_with_options,
+    KvCaseResult, KvFailure, KvFuzzReport, KvLitmus, KvLitmusConfig,
 };
-pub use litmus::{Litmus, LitmusConfig};
+pub use litmus::{classic_suite, run_classic, ClassicLitmus, Litmus, LitmusConfig};

@@ -16,7 +16,13 @@ use tt_base::addr::{BLOCK_BYTES, PAGE_BYTES, WORD_BYTES};
 use tt_base::workload::{
     coalesce_computes, Layout, Op, Placement, Region, ScriptWorkload, SHARED_SEGMENT_BASE,
 };
-use tt_base::{DetRng, NodeId, VAddr};
+use tt_base::{Cycles, DetRng, NodeId, SystemConfig, VAddr};
+use tt_dirnnb::DirnnbMachine;
+use tt_stache::{Reliable, ReliableConfig};
+use tt_tempest::Protocol;
+use tt_typhoon::TyphoonMachine;
+
+use crate::fuzz::{stache_factory, PerturbConfig};
 
 /// The words in a coherence block.
 pub const WORDS_PER_BLOCK: usize = BLOCK_BYTES / WORD_BYTES;
@@ -180,9 +186,210 @@ impl Litmus {
     }
 }
 
+/// A classic hand-written weak-memory litmus shape — store buffering,
+/// message passing, load buffering, IRIW — expressed over two shared
+/// variables homed at *different* nodes (so every access crosses the
+/// network) and value-recording reads ([`Op::ReadRecord`]).
+///
+/// Both machines implement sequential consistency: a CPU blocks on its
+/// single outstanding access and the coherence protocol serializes
+/// conflicting writes. The `forbidden` predicate names the outcome a
+/// weaker memory model would admit but SC forbids; the harness asserts
+/// it never appears — on either machine, under any legal schedule
+/// perturbation, and (for Typhoon) under lossy-network fault schedules
+/// with the reliable transport underneath.
+pub struct ClassicLitmus {
+    /// Litmus-tradition name: `"SB"`, `"MP"`, `"LB"`, `"IRIW"`.
+    pub name: &'static str,
+    /// Processors the shape needs (2, or 4 for IRIW).
+    pub nodes: usize,
+    /// Per-node op scripts over variables `x` and `y`.
+    pub scripts: Vec<Vec<Op>>,
+    /// Returns true if the per-node recorded-read vectors form the
+    /// SC-forbidden outcome.
+    pub forbidden: fn(&[Vec<u64>]) -> bool,
+}
+
+/// Variable `x`: first word of a page homed at node 0.
+fn var_x() -> VAddr {
+    VAddr::new(SHARED_SEGMENT_BASE)
+}
+
+/// Variable `y`: first word of a page homed at node 1.
+fn var_y() -> VAddr {
+    VAddr::new(SHARED_SEGMENT_BASE + PAGE_BYTES as u64)
+}
+
+impl ClassicLitmus {
+    /// Two one-page regions, homed at nodes 0 and 1 — the homes are
+    /// always distinct from each other, and for IRIW distinct from the
+    /// readers too.
+    pub fn layout(&self) -> Layout {
+        let mut l = Layout::new();
+        for (p, home) in [(0usize, 0u16), (1, 1)] {
+            l.add(Region {
+                base: VAddr::new(SHARED_SEGMENT_BASE + (p * PAGE_BYTES) as u64),
+                bytes: PAGE_BYTES,
+                placement: Placement::PerPage(vec![NodeId::new(home)]),
+                mode: 0,
+            });
+        }
+        l
+    }
+
+    /// A fresh workload for one machine run.
+    pub fn workload(&self) -> ScriptWorkload {
+        let mut w = ScriptWorkload::new(self.nodes).with_layout(self.layout());
+        for (n, script) in self.scripts.iter().enumerate() {
+            w.set(n, script.clone());
+        }
+        w
+    }
+
+    /// Recorded reads each node's script will produce.
+    pub fn reads_per_node(&self) -> Vec<usize> {
+        self.scripts
+            .iter()
+            .map(|s| s.iter().filter(|o| matches!(o, Op::ReadRecord { .. })).count())
+            .collect()
+    }
+}
+
+/// The classic suite. Initial state is all-zero; writes store 1.
+pub fn classic_suite() -> Vec<ClassicLitmus> {
+    let (x, y) = (var_x(), var_y());
+    let w = |addr| Op::Write { addr, value: 1 };
+    let r = |addr| Op::ReadRecord { addr };
+    vec![
+        // Store buffering: both writes buffered past the reads would
+        // let both nodes read 0.
+        ClassicLitmus {
+            name: "SB",
+            nodes: 2,
+            scripts: vec![vec![w(x), r(y)], vec![w(y), r(x)]],
+            forbidden: |recs| recs[0][0] == 0 && recs[1][0] == 0,
+        },
+        // Message passing: the flag (y) visible without the data (x)
+        // means the writes were reordered.
+        ClassicLitmus {
+            name: "MP",
+            nodes: 2,
+            scripts: vec![vec![w(x), w(y)], vec![r(y), r(x)]],
+            forbidden: |recs| recs[1][0] == 1 && recs[1][1] == 0,
+        },
+        // Load buffering: each load observing the *other* node's later
+        // store requires loads hoisted above program order.
+        ClassicLitmus {
+            name: "LB",
+            nodes: 2,
+            scripts: vec![vec![r(x), w(y)], vec![r(y), w(x)]],
+            forbidden: |recs| recs[0][0] == 1 && recs[1][0] == 1,
+        },
+        // Independent reads of independent writes: the two readers
+        // disagreeing on the write order breaks write atomicity.
+        ClassicLitmus {
+            name: "IRIW",
+            nodes: 4,
+            scripts: vec![
+                vec![w(x)],
+                vec![w(y)],
+                vec![r(x), r(y)],
+                vec![r(y), r(x)],
+            ],
+            forbidden: |recs| {
+                recs[2][0] == 1 && recs[2][1] == 0 && recs[3][0] == 1 && recs[3][1] == 0
+            },
+        },
+    ]
+}
+
+/// Runs one classic shape on both machines under `perturb` (`seed`
+/// feeds the machines' internal RNG streams) and checks the forbidden
+/// outcome never appears. A fault schedule applies to the Typhoon leg
+/// only (behind the reliable transport); DirNNB has no lossy mode.
+///
+/// Returns the observed per-node recorded reads of the Typhoon leg, or
+/// an error naming the machine and outcome.
+pub fn run_classic(
+    case: &ClassicLitmus,
+    seed: u64,
+    perturb: &PerturbConfig,
+) -> Result<Vec<Vec<u64>>, String> {
+    let mut syscfg = SystemConfig::test_config(case.nodes);
+    syscfg.seed = seed;
+    syscfg.direct_execution = perturb.direct_execution;
+    syscfg.fault = perturb.fault;
+
+    let check = |machine: &str, recs: &[Vec<u64>]| -> Result<(), String> {
+        for (n, (got, want)) in recs.iter().zip(case.reads_per_node()).enumerate() {
+            if got.len() != want {
+                return Err(format!(
+                    "{}: {machine} node {n} recorded {} reads, script has {want}",
+                    case.name,
+                    got.len()
+                ));
+            }
+            if let Some(v) = got.iter().find(|v| **v > 1) {
+                return Err(format!(
+                    "{}: {machine} node {n} read corrupt value {v:#x}",
+                    case.name
+                ));
+            }
+        }
+        if (case.forbidden)(recs) {
+            return Err(format!(
+                "{}: {machine} produced the SC-forbidden outcome {recs:?}",
+                case.name
+            ));
+        }
+        Ok(())
+    };
+
+    let wrapped = |id: NodeId, layout: &Layout, cfg: &SystemConfig| -> Box<dyn Protocol> {
+        Box::new(Reliable::with_config(
+            stache_factory(id, layout, cfg),
+            ReliableConfig::default(),
+        ))
+    };
+    let typhoon_recs = {
+        let mut m = if perturb.fault.is_some() {
+            TyphoonMachine::new(syscfg.clone(), Box::new(case.workload()), &wrapped)
+        } else {
+            TyphoonMachine::new(syscfg.clone(), Box::new(case.workload()), &stache_factory)
+        };
+        if let Some(s) = perturb.tie_shuffle {
+            m.set_tie_shuffle(s);
+        }
+        if perturb.jitter_max > 0 {
+            m.set_net_jitter(perturb.jitter_seed, Cycles::new(perturb.jitter_max));
+        }
+        m.run();
+        let recs: Vec<Vec<u64>> =
+            (0..case.nodes).map(|n| m.recorded_reads(n).to_vec()).collect();
+        check("typhoon+stache", &recs)?;
+        recs
+    };
+
+    {
+        let mut dircfg = syscfg;
+        dircfg.fault = None;
+        let mut m = DirnnbMachine::new(dircfg, Box::new(case.workload()));
+        if let Some(s) = perturb.tie_shuffle {
+            m.set_tie_shuffle(s);
+        }
+        m.run();
+        let recs: Vec<Vec<u64>> =
+            (0..case.nodes).map(|n| m.recorded_reads(n).to_vec()).collect();
+        check("dirnnb", &recs)?;
+    }
+
+    Ok(typhoon_recs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tt_base::FaultSpec;
 
     #[test]
     fn config_derivation_is_deterministic_and_in_range() {
@@ -235,5 +442,52 @@ mod tests {
             let distinct_words = l.cfg.phases.min(WORDS_PER_BLOCK);
             assert_eq!(l.finals.len(), l.cfg.blocks * distinct_words, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn classic_shapes_are_well_formed() {
+        let suite = classic_suite();
+        assert_eq!(suite.len(), 4);
+        for case in &suite {
+            assert_eq!(case.scripts.len(), case.nodes);
+            let reads: usize = case.reads_per_node().iter().sum();
+            assert!(reads >= 1, "{} records no reads", case.name);
+        }
+        assert_eq!(suite[3].name, "IRIW");
+        assert_eq!(suite[3].nodes, 4);
+    }
+
+    #[test]
+    fn classic_suite_holds_on_both_machines() {
+        for case in &classic_suite() {
+            for seed in 0..6 {
+                let perturb = PerturbConfig::from_seed(seed);
+                run_classic(case, seed, &perturb)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn classic_suite_holds_under_faults() {
+        for case in &classic_suite() {
+            for seed in 0..4 {
+                let mut perturb = PerturbConfig::from_seed(seed);
+                perturb.fault = Some(FaultSpec::from_seed(seed.wrapping_mul(0x9E37)));
+                run_classic(case, seed, &perturb)
+                    .unwrap_or_else(|e| panic!("faulty seed {seed}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn classic_runs_are_deterministic() {
+        let suite = classic_suite();
+        let case = &suite[0];
+        let mut perturb = PerturbConfig::from_seed(5);
+        perturb.fault = Some(FaultSpec::from_seed(5));
+        let a = run_classic(case, 5, &perturb).expect("clean");
+        let b = run_classic(case, 5, &perturb).expect("clean replay");
+        assert_eq!(a, b);
     }
 }

@@ -6,7 +6,7 @@
 
 use tt_base::NodeId;
 use tt_check::scenarios::SkipInvalidate;
-use tt_check::{fuzz, fuzz_with, run_seed, shrink};
+use tt_check::{fuzz, fuzz_with, fuzz_with_options, run_seed, shrink, stache_factory, FuzzOptions};
 
 /// Debug-mode smoke budget; the release binary sweeps 500.
 const SMOKE_SEEDS: u64 = 60;
@@ -47,6 +47,22 @@ fn planted_skip_invalidate_bug_is_caught_and_shrinks() {
     assert!(s.blocks <= failure.cfg.blocks);
     assert!(s.phases <= failure.cfg.phases);
     assert!(s.pages <= failure.cfg.pages);
+}
+
+#[test]
+fn clean_fault_fuzz_sweep_finds_nothing() {
+    // Lossy network + reliable transport: every seed must still pass
+    // the full invariant set and the differential final-image check.
+    // The wide ≥200-seed sweep runs in release via `tt-check run
+    // --faults` (scripts/verify.sh).
+    let options = FuzzOptions { faults: true, ..FuzzOptions::default() };
+    let report = fuzz_with_options(0, 30, &options, &stache_factory);
+    assert_eq!(report.seeds_run, 30);
+    assert!(
+        report.failure.is_none(),
+        "stock Stache behind the reliable transport failed fault fuzzing: {}",
+        report.failure.unwrap()
+    );
 }
 
 #[test]

@@ -17,7 +17,7 @@ use tt_mem::{PageMeta, Tag};
 use tt_net::{Payload, VirtualNet};
 
 use crate::bulk::BulkRequest;
-use crate::fault::ThreadId;
+use crate::fault::{NetFault, ThreadId};
 use crate::msg::HandlerId;
 
 /// Errors surfaced to protocol handlers.
@@ -89,6 +89,30 @@ pub trait TempestCtx {
     /// Starts an asynchronous bulk transfer; the machine packetizes it and
     /// invokes the requested completion handlers when it finishes.
     fn bulk_transfer(&mut self, request: BulkRequest);
+
+    // --- Protocol timers (retransmission support) ---
+
+    /// Arms (or re-arms) a protocol timer: at cycle `at` (clamped to no
+    /// earlier than now) the machine invokes
+    /// [`crate::Protocol::on_timer`] with `token` on this node's NP.
+    /// Timers are a machine service like message delivery: the firing is
+    /// an ordinary NP work item, so it participates in the same
+    /// deterministic event order as everything else.
+    ///
+    /// The default panics: a machine (or mock) that hands protocols no
+    /// timer facility cannot host a retransmitting transport.
+    fn set_timer(&mut self, at: Cycles, token: u64) {
+        let _ = (at, token);
+        panic!("this machine does not support protocol timers");
+    }
+
+    /// Reports an unrecoverable network fault (a reliable transport
+    /// exhausted its retry budget). The default terminates the run with
+    /// the fault's diagnostic — deterministic graceful degradation
+    /// rather than a silent hang behind a dead link.
+    fn raise_net_fault(&mut self, fault: NetFault) {
+        panic!("{fault}");
+    }
 
     // --- Virtual memory management (Section 2.3) ---
 

@@ -16,6 +16,9 @@
 
 use tt_base::{NodeId, VAddr};
 use tt_mem::{AccessKind, PageMeta, Tag};
+use tt_net::VirtualNet;
+
+use crate::msg::HandlerId;
 
 /// Identifies a suspended computation thread awaiting `resume`.
 ///
@@ -60,6 +63,43 @@ pub struct BlockFault {
     pub meta: PageMeta,
 }
 
+/// A network fault a reliable transport could not recover from: every
+/// retransmission of a message was lost (or unacknowledged) until the
+/// retry budget ran out.
+///
+/// This is the graceful-degradation path for lossy-network runs: rather
+/// than retrying forever (which would hang the simulation behind a
+/// permanently partitioned link), the transport raises a Tempest-visible
+/// fault through [`crate::TempestCtx::raise_net_fault`] and the machine
+/// terminates the run with a deterministic diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetFault {
+    /// The node whose transport gave up.
+    pub node: NodeId,
+    /// The unreachable destination.
+    pub dst: NodeId,
+    /// Virtual network the lost message traveled on.
+    pub vn: VirtualNet,
+    /// Handler the lost message named.
+    pub handler: HandlerId,
+    /// Retransmissions attempted before giving up.
+    pub retries: u32,
+}
+
+impl std::fmt::Display for NetFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "network fault: node {} gave up on {:?} message {:?} to node {} after {} retries",
+            self.node.index(),
+            self.vn,
+            self.handler,
+            self.dst.index(),
+            self.retries
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +126,20 @@ mod tests {
         assert_eq!(f.meta.user[0], 9);
         assert!(f.kind.is_store());
         assert_eq!(f.tag, Tag::ReadOnly);
+    }
+
+    #[test]
+    fn net_fault_displays_its_context() {
+        let f = NetFault {
+            node: NodeId::new(3),
+            dst: NodeId::new(5),
+            vn: VirtualNet::Request,
+            handler: HandlerId(0x12),
+            retries: 24,
+        };
+        let s = f.to_string();
+        assert!(s.contains("node 3"), "{s}");
+        assert!(s.contains("node 5"), "{s}");
+        assert!(s.contains("24 retries"), "{s}");
     }
 }

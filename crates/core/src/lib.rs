@@ -72,7 +72,7 @@ pub mod testing;
 pub use access::TagOp;
 pub use bulk::BulkRequest;
 pub use ctx::{TempestCtx, TempestError};
-pub use fault::{BlockFault, PageFault, ThreadId};
+pub use fault::{BlockFault, NetFault, PageFault, ThreadId};
 pub use inspect::{BlockDirSnapshot, DirSnapshotState, VnPolicy};
 pub use msg::{HandlerId, Message};
 pub use protocol::{Protocol, UserCall};

@@ -55,6 +55,12 @@ pub trait Protocol: Send {
     /// Handles an incoming active message.
     fn on_message(&mut self, ctx: &mut dyn TempestCtx, msg: Message);
 
+    /// Handles a protocol timer armed with [`TempestCtx::set_timer`]
+    /// firing. Firings may be spurious (a timer re-armed later still
+    /// fires at its old deadline), so implementations must re-check
+    /// their own state. The default ignores timers.
+    fn on_timer(&mut self, _ctx: &mut dyn TempestCtx, _token: u64) {}
+
     /// Handles an explicit application call. The calling thread is
     /// suspended; the default implementation resumes it immediately
     /// (i.e. unknown calls are no-ops).

@@ -29,7 +29,7 @@ use tt_net::{Payload, VirtualNet};
 
 use crate::bulk::BulkRequest;
 use crate::ctx::{TempestCtx, TempestError};
-use crate::fault::ThreadId;
+use crate::fault::{NetFault, ThreadId};
 use crate::inspect::VnPolicy;
 use crate::msg::HandlerId;
 
@@ -67,6 +67,10 @@ pub struct MockCtx {
     pub charged: u64,
     /// Protocol-data accesses recorded (keys, in order).
     pub data_accesses: Vec<u64>,
+    /// Every timer armed via `set_timer`, in order: `(deadline, token)`.
+    pub timers: Vec<(Cycles, u64)>,
+    /// Every unrecoverable network fault raised, in order.
+    pub net_faults: Vec<NetFault>,
     /// Virtual-net discipline enforced on every `send` — the same
     /// waits-for rule the `tt-check` invariant engine asserts at machine
     /// level (see [`VnPolicy::assert_send`]). Empty by default, so tests
@@ -88,6 +92,8 @@ impl MockCtx {
             bulk: Vec::new(),
             charged: 0,
             data_accesses: Vec::new(),
+            timers: Vec::new(),
+            net_faults: Vec::new(),
             vn_policy: VnPolicy::new(),
         }
     }
@@ -118,6 +124,8 @@ impl MockCtx {
         self.bulk.clear();
         self.charged = 0;
         self.data_accesses.clear();
+        self.timers.clear();
+        self.net_faults.clear();
     }
 
     /// Advances the mock clock.
@@ -165,6 +173,14 @@ impl TempestCtx for MockCtx {
 
     fn bulk_transfer(&mut self, request: BulkRequest) {
         self.bulk.push(request);
+    }
+
+    fn set_timer(&mut self, at: Cycles, token: u64) {
+        self.timers.push((at, token));
+    }
+
+    fn raise_net_fault(&mut self, fault: NetFault) {
+        self.net_faults.push(fault);
     }
 
     fn alloc_page(&mut self) -> Ppn {

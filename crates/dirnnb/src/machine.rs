@@ -66,6 +66,8 @@ struct Cpu {
     /// recall that overtakes this CPU's grant (the protocol's
     /// "relinquish and retry" for a busy owner).
     pending_block: Option<u64>,
+    /// Values observed by `Op::ReadRecord` loads, in program order.
+    recorded: Vec<u64>,
     stats: CpuStats,
 }
 
@@ -237,6 +239,7 @@ impl DirnnbMachine {
                 step_pending: false,
                 suspended_at: Cycles::ZERO,
                 pending_block: None,
+                recorded: Vec::new(),
                 stats: CpuStats::default(),
             })
             .collect();
@@ -277,6 +280,12 @@ impl DirnnbMachine {
     pub fn shared_word(&mut self, addr: VAddr) -> u64 {
         let mut store = self.store.lock().expect("store poisoned");
         read_store(&mut store, addr)
+    }
+
+    /// Values `node`'s CPU observed via `Op::ReadRecord` loads, in
+    /// program order (litmus harnesses read these back after a run).
+    pub fn recorded_reads(&self, node: usize) -> &[u64] {
+        &self.cpus[node].recorded
     }
 
     /// Runs the simulation to completion. `SystemConfig::sim_threads`
@@ -701,7 +710,7 @@ impl<'m> Shard<'m> {
         }
         let mut deadline = now + self.quantum;
         loop {
-            let (addr, kind, value, expect) = {
+            let (addr, kind, value, expect, record) = {
                 let Shard {
                     cfg,
                     quantum,
@@ -766,8 +775,15 @@ impl<'m> Shard<'m> {
                             }
                             return;
                         }
-                        Op::Read { addr, expect } => break (addr, AccessKind::Load, 0, expect),
-                        Op::Write { addr, value } => break (addr, AccessKind::Store, value, None),
+                        Op::Read { addr, expect } => {
+                            break (addr, AccessKind::Load, 0, expect, false)
+                        }
+                        Op::ReadRecord { addr } => {
+                            break (addr, AccessKind::Load, 0, None, true)
+                        }
+                        Op::Write { addr, value } => {
+                            break (addr, AccessKind::Store, value, None, false)
+                        }
                         Op::WaitUntil { until } => {
                             cpu.stats.ops.inc();
                             cpu.pc += 1;
@@ -801,7 +817,7 @@ impl<'m> Shard<'m> {
                     }
                 }
             };
-            if !self.access(n, queue, addr, kind, value, expect) {
+            if !self.access(n, queue, addr, kind, value, expect, record) {
                 return;
             }
             if self.cpus[l].clock >= deadline {
@@ -823,6 +839,7 @@ impl<'m> Shard<'m> {
     }
 
     /// Executes one access; returns `false` if the CPU blocked on a miss.
+    #[allow(clippy::too_many_arguments)]
     fn access(
         &mut self,
         n: usize,
@@ -831,6 +848,7 @@ impl<'m> Shard<'m> {
         kind: AccessKind,
         value: u64,
         expect: Option<u64>,
+        record: bool,
     ) -> bool {
         let l = n - self.first;
         let me = NodeId::new(n as u16);
@@ -851,7 +869,7 @@ impl<'m> Shard<'m> {
         let Some(req) = req else {
             // Cache hit: no directory involvement, so the home lookup is
             // not needed — this is the per-op fast path.
-            self.complete_access(n, addr, kind, value, expect);
+            self.complete_access(n, addr, kind, value, expect, record);
             self.cpus[l].clock += cost;
             self.cpus[l].pc += 1;
             return true;
@@ -889,7 +907,7 @@ impl<'m> Shard<'m> {
                     } else {
                         self.fill(n, key, owned, &mut cost, queue);
                     }
-                    self.complete_access(n, addr, kind, value, expect);
+                    self.complete_access(n, addr, kind, value, expect, record);
                     self.cpus[l].clock += cost;
                     self.cpus[l].pc += 1;
                     return true;
@@ -936,6 +954,7 @@ impl<'m> Shard<'m> {
         kind: AccessKind,
         value: u64,
         expect: Option<u64>,
+        record: bool,
     ) {
         let l = n - self.first;
         match kind {
@@ -945,6 +964,9 @@ impl<'m> Shard<'m> {
                     let mut store = self.store.lock().expect("store poisoned");
                     read_store(&mut store, addr)
                 };
+                if record {
+                    self.cpus[l].recorded.push(got);
+                }
                 if self.verify_values {
                     if let Some(expect) = expect {
                         assert_eq!(
@@ -1277,10 +1299,13 @@ impl<'m> Shard<'m> {
         let op = self.cpus[l].chunk[self.cpus[l].pc];
         match op {
             Op::Read { addr, expect } => {
-                self.complete_access(node, addr, AccessKind::Load, 0, expect)
+                self.complete_access(node, addr, AccessKind::Load, 0, expect, false)
+            }
+            Op::ReadRecord { addr } => {
+                self.complete_access(node, addr, AccessKind::Load, 0, None, true)
             }
             Op::Write { addr, value } => {
-                self.complete_access(node, addr, AccessKind::Store, value, None)
+                self.complete_access(node, addr, AccessKind::Store, value, None, false)
             }
             other => unreachable!("blocked on a non-memory op {other:?}"),
         }

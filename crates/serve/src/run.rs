@@ -16,6 +16,7 @@
 use tt_base::stats::{PdesTelemetry, Report};
 use tt_base::workload::{Layout, Workload};
 use tt_base::{Cycles, NodeId, SystemConfig};
+use tt_stache::Reliable;
 use tt_tempest::Protocol;
 use tt_typhoon::TyphoonMachine;
 
@@ -55,13 +56,26 @@ impl KvOutcome {
 
 /// Runs the workload of `params` on a Typhoon machine whose protocols
 /// come from `factory`. `cfg.nodes` must equal `params.nodes`.
+///
+/// When `cfg.fault` carries a lossy-network schedule, every node's
+/// protocol runs behind the [`Reliable`] transport (seq/ack/retransmit,
+/// duplicate suppression), so the server survives drops, duplicates,
+/// detected corruption, and transient partitions; the retry traffic
+/// shows up in the report as `rel.*` counters. With `cfg.fault = None`
+/// nothing is wrapped and the run is bit-identical to builds before the
+/// fault machinery existed.
 pub fn run_kv(cfg: &SystemConfig, params: &KvParams, factory: KvProtocolFactory) -> KvOutcome {
     assert_eq!(cfg.nodes, params.nodes, "machine and workload sizes differ");
     let shared: SharedKvLatency = Default::default();
     let kv = params.kv_layout();
     let workload: Box<dyn Workload> = Box::new(KvWorkload::new(params.clone()));
     let adapt = |node: NodeId, layout: &Layout, cfg: &SystemConfig| {
-        factory(node, layout, cfg, &kv, shared.clone())
+        let inner = factory(node, layout, cfg, &kv, shared.clone());
+        if cfg.fault.is_some() {
+            Box::new(Reliable::new(inner)) as Box<dyn Protocol>
+        } else {
+            inner
+        }
     };
     let mut machine = TyphoonMachine::new(cfg.clone(), workload, &adapt);
     let result = machine.run();
@@ -111,5 +125,28 @@ mod tests {
         assert_eq!(seq.cycles, par.cycles);
         assert_eq!(seq.report, par.report);
         assert_eq!(seq.lat, par.lat, "histograms must merge order-independently");
+    }
+
+    #[test]
+    fn lossy_serving_completes_and_is_sim_thread_invariant() {
+        let params = KvParams::small(KvVariant::Stache);
+        let mut cfg = SystemConfig::test_config(params.nodes);
+        cfg.fault = Some(tt_base::FaultSpec::uniform(7, 30));
+        let seq = run_kv_stache(&cfg, &params);
+        assert_eq!(
+            seq.lat.requests(),
+            params.requests_per_node * params.nodes as u64,
+            "every request must complete despite the lossy network"
+        );
+        assert!(
+            seq.report.get("rel.sent").unwrap_or(0.0) > 0.0,
+            "the reliable transport must be in the path"
+        );
+        let mut parcfg = cfg.clone();
+        parcfg.sim_threads = 2;
+        let par = run_kv_stache(&parcfg, &params);
+        assert_eq!(seq.cycles, par.cycles, "fault schedule must replay across threads");
+        assert_eq!(seq.report, par.report);
+        assert_eq!(seq.lat, par.lat);
     }
 }

@@ -88,6 +88,9 @@ pub struct CpuState {
     pub step_pending: bool,
     /// Time at which the current suspension began (for stall accounting).
     pub suspended_at: Cycles,
+    /// Values observed by `Op::ReadRecord` loads, in program order
+    /// (litmus harnesses read these back after the run).
+    pub recorded: Vec<u64>,
     /// Statistics.
     pub stats: CpuStats,
 }
@@ -110,6 +113,7 @@ impl CpuState {
             status: CpuStatus::Ready,
             step_pending: false,
             suspended_at: Cycles::ZERO,
+            recorded: Vec::new(),
             stats: CpuStats::default(),
         }
     }

@@ -58,9 +58,10 @@ impl NodeCtx<'_> {
             Some(op) => *op,
             None => return,
         };
-        let (addr, kind, value, expect) = match op {
-            Op::Read { addr, expect } => (addr, tt_mem::AccessKind::Load, 0, expect),
-            Op::Write { addr, value } => (addr, tt_mem::AccessKind::Store, value, None),
+        let (addr, kind, value, expect, record) = match op {
+            Op::Read { addr, expect } => (addr, tt_mem::AccessKind::Load, 0, expect, false),
+            Op::ReadRecord { addr } => (addr, tt_mem::AccessKind::Load, 0, None, true),
+            Op::Write { addr, value } => (addr, tt_mem::AccessKind::Store, value, None, false),
             _ => return,
         };
         match crate::cpu::exec_access(
@@ -75,6 +76,11 @@ impl NodeCtx<'_> {
                             self.id
                         );
                     }
+                }
+                if record {
+                    self.cpu
+                        .recorded
+                        .push(loaded.expect("a load always produces a value"));
                 }
                 self.cpu.clock += cost;
                 self.cpu.pc += 1;
@@ -193,8 +199,27 @@ impl TempestCtx for NodeCtx<'_> {
             handler: handler.raw(),
             payload,
         };
-        let deliver_at = self.network.send(self.now(), &packet);
-        crate::machine::schedule(self.queue, deliver_at, Event::Deliver(packet));
+        // `transmit` applies the installed fault schedule (if any) and
+        // yields zero, one, or two delivery times; with no fault plan it
+        // is exactly `Network::send`.
+        let deliveries = self.network.transmit(self.now(), &packet);
+        for deliver_at in deliveries.iter() {
+            crate::machine::schedule(self.queue, deliver_at, Event::Deliver(packet.clone()));
+        }
+    }
+
+    fn set_timer(&mut self, at: Cycles, token: u64) {
+        // The firing is ordinary NP work on this node: same-shard, so it
+        // needs no lookahead, and it participates in the deterministic
+        // event order like every message delivery.
+        let at = at.max(self.now());
+        crate::machine::schedule(self.queue,
+            at,
+            Event::NpWork {
+                node: self.id.index(),
+                work: crate::np::NpWork::Timer(token),
+            },
+        );
     }
 
     fn bulk_transfer(&mut self, request: BulkRequest) {

@@ -214,6 +214,9 @@ impl TyphoonMachine {
             .collect();
         let mut network = Network::new(cfg.nodes, cfg.timing.network_latency);
         network.set_occupancy(cfg.timing.network_occupancy);
+        if let Some(spec) = cfg.fault {
+            network.set_fault_plan(spec);
+        }
         let quantum = cfg.timing.network_latency;
         let done = vec![None; cfg.nodes];
         TyphoonMachine {
@@ -281,6 +284,12 @@ impl TyphoonMachine {
     pub fn node_word(&self, node: usize, addr: VAddr) -> Option<u64> {
         let n = &self.nodes[node];
         n.ptable.translate_addr(addr).map(|pa| n.mem.read_word(pa))
+    }
+
+    /// Values `node`'s CPU observed via `Op::ReadRecord` loads, in
+    /// program order (litmus harnesses read these back after a run).
+    pub fn recorded_reads(&self, node: usize) -> &[u64] {
+        &self.nodes[node].cpu.recorded
     }
 
     /// Snapshots of every home-block directory entry across all nodes
@@ -797,8 +806,25 @@ impl<'m> Shard<'m> {
                     cpu.pc += 1;
                 }
                 Op::Read { addr, expect } => {
-                    if !Self::access(cfg, tracer, node, n, queue, addr, AccessKind::Load, 0, expect)
-                    {
+                    if !Self::access(
+                        cfg,
+                        tracer,
+                        node,
+                        n,
+                        queue,
+                        addr,
+                        AccessKind::Load,
+                        0,
+                        expect,
+                        false,
+                    ) {
+                        return;
+                    }
+                }
+                Op::ReadRecord { addr } => {
+                    if !Self::access(
+                        cfg, tracer, node, n, queue, addr, AccessKind::Load, 0, None, true,
+                    ) {
                         return;
                     }
                 }
@@ -813,6 +839,7 @@ impl<'m> Shard<'m> {
                         AccessKind::Store,
                         value,
                         None,
+                        false,
                     ) {
                         return;
                     }
@@ -912,6 +939,7 @@ impl<'m> Shard<'m> {
         kind: AccessKind,
         value: u64,
         expect: Option<u64>,
+        record: bool,
     ) -> bool {
         let outcome = exec_access(
             cfg,
@@ -935,6 +963,11 @@ impl<'m> Shard<'m> {
                             node.cpu.clock
                         );
                     }
+                }
+                if record {
+                    node.cpu
+                        .recorded
+                        .push(loaded.expect("a load always produces a value"));
                 }
                 node.cpu.clock += cost;
                 node.cpu.pc += 1;
@@ -1017,7 +1050,7 @@ impl<'m> Shard<'m> {
             let stats = &mut self.nodes[l].np.stats;
             stats.handlers.inc();
             match &work {
-                NpWork::Message(_) => {}
+                NpWork::Message(_) | NpWork::Timer(_) => {}
                 NpWork::BlockFault(_) => stats.block_faults.inc(),
                 NpWork::PageFault(_) => stats.page_faults.inc(),
                 NpWork::UserCall(..) => stats.user_calls.inc(),
@@ -1028,6 +1061,7 @@ impl<'m> Shard<'m> {
             NpWork::BlockFault(_) => HandlerKind::BlockFault,
             NpWork::PageFault(_) => HandlerKind::PageFault,
             NpWork::UserCall(..) => HandlerKind::UserCall,
+            NpWork::Timer(_) => HandlerKind::Timer,
         };
         self.trace(
             start,
@@ -1044,6 +1078,7 @@ impl<'m> Shard<'m> {
                 NpWork::BlockFault(f) => proto.on_block_fault(&mut ctx, f),
                 NpWork::PageFault(f) => proto.on_page_fault(&mut ctx, f),
                 NpWork::UserCall(t, c) => proto.on_user_call(&mut ctx, t, c),
+                NpWork::Timer(token) => proto.on_timer(&mut ctx, token),
             }
             let c = ctx.total_cost();
             if c == Cycles::ZERO {

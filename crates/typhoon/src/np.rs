@@ -33,6 +33,8 @@ pub enum NpWork {
     BlockFault(BlockFault),
     /// An explicit application call into the protocol.
     UserCall(ThreadId, UserCall),
+    /// A protocol timer armed via `TempestCtx::set_timer` firing.
+    Timer(u64),
 }
 
 /// NP statistics.
@@ -74,6 +76,9 @@ pub struct NpState {
     pub fault_q: VecDeque<NpWork>,
     /// Low-priority queue: messages from the request network.
     pub request_q: VecDeque<Message>,
+    /// Protocol timer firings; serviced after faults but before fresh
+    /// requests, so retransmission never starves behind request traffic.
+    pub timer_q: VecDeque<u64>,
     /// Application calls.
     pub call_q: VecDeque<(ThreadId, UserCall)>,
     /// The NP is executing a handler until this time.
@@ -98,6 +103,7 @@ impl NpState {
             rtlb: FifoTlb::new(cfg.typhoon.rtlb_entries),
             response_q: VecDeque::new(),
             fault_q: VecDeque::new(),
+            timer_q: VecDeque::new(),
             request_q: VecDeque::new(),
             call_q: VecDeque::new(),
             busy_until: Cycles::ZERO,
@@ -117,6 +123,7 @@ impl NpState {
                 }
             }
             NpWork::BlockFault(_) | NpWork::PageFault(_) => self.fault_q.push_back(work),
+            NpWork::Timer(t) => self.timer_q.push_back(t),
             NpWork::UserCall(t, c) => self.call_q.push_back((t, c)),
         }
     }
@@ -128,6 +135,9 @@ impl NpState {
         }
         if let Some(w) = self.fault_q.pop_front() {
             return Some(w);
+        }
+        if let Some(t) = self.timer_q.pop_front() {
+            return Some(NpWork::Timer(t));
         }
         if let Some(m) = self.request_q.pop_front() {
             return Some(NpWork::Message(m));
@@ -142,6 +152,7 @@ impl NpState {
     pub fn has_work(&self) -> bool {
         !self.response_q.is_empty()
             || !self.fault_q.is_empty()
+            || !self.timer_q.is_empty()
             || !self.request_q.is_empty()
             || !self.call_q.is_empty()
     }

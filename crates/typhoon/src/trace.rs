@@ -62,6 +62,8 @@ pub enum HandlerKind {
     PageFault,
     /// An explicit application call.
     UserCall,
+    /// A protocol timer firing.
+    Timer,
 }
 
 impl fmt::Display for HandlerKind {
@@ -71,6 +73,7 @@ impl fmt::Display for HandlerKind {
             HandlerKind::BlockFault => f.write_str("block-fault"),
             HandlerKind::PageFault => f.write_str("page-fault"),
             HandlerKind::UserCall => f.write_str("user-call"),
+            HandlerKind::Timer => f.write_str("timer"),
         }
     }
 }

@@ -69,16 +69,55 @@ cargo run --release -p tt-bench --bin kv_bench -- \
     --nodes 8 --keys 512 --requests 100 \
     --sim-threads 2 --window-policy adaptive >/tmp/kv_b.txt
 cmp /tmp/kv_a.txt /tmp/kv_b.txt
-rm -f /tmp/kv_a.txt /tmp/kv_b.txt
+
+# --fault-rate 0 must be cycle-neutral: with no fault schedule nothing
+# is wrapped in the reliable transport and the table stays byte-
+# identical. A nonzero rate runs the same sweep over a lossy network
+# (the parallel-simulator identity canary inside the binary still
+# holds) and must complete every request.
+echo "==> kv_bench fault smoke (--fault-rate 0 byte-identical; lossy sweep completes)"
+cargo run --release -p tt-bench --bin kv_bench -- \
+    --nodes 8 --keys 512 --requests 100 --jobs 2 --fault-rate 0 >/tmp/kv_c.txt
+cmp /tmp/kv_a.txt /tmp/kv_c.txt
+cargo run --release -p tt-bench --bin kv_bench -- \
+    --nodes 8 --keys 512 --requests 100 --jobs 2 \
+    --fault-rate 30 --sim-threads 2 >/dev/null
+rm -f /tmp/kv_a.txt /tmp/kv_b.txt /tmp/kv_c.txt
+
+# Lossy-network fault fuzzing: 200 seeds with a per-seed fault schedule
+# (drops, duplicates, detected corruption, transient partitions) drawn
+# from the case seed; the stock Stache behind the reliable transport
+# must pass the full invariant set and the differential final-image
+# check on every seed. On failure tt-check prints the seed; reproduce
+# with `tt-check replay --seed S --faults`. A planted transport bug
+# (retransmission without duplicate suppression) must be caught and
+# shrunk to a minimal fault schedule.
+echo "==> tt-check fault fuzz (200 lossy seeds clean + planted transport bug caught)"
+cargo run --release -p tt-bench --bin tt-check -- run --seeds 200 --faults
+cargo run --release -p tt-bench --bin tt-check -- \
+    run --seeds 300 --faults --planted-bug
+
+# Fault-schedule determinism: one forced fault seed replayed twice at 3
+# simulator threads must produce byte-identical output (cycles and
+# image digests), proving the fault schedule is keyed off deterministic
+# merge state, not arrival order.
+echo "==> tt-check fault replay determinism (--fault-seed, 2x at --sim-threads 3)"
+cargo run --release -p tt-bench --bin tt-check -- \
+    replay --seed 11 --faults --fault-seed 64023 --sim-threads 3 >/tmp/ttfr_a.txt
+cargo run --release -p tt-bench --bin tt-check -- \
+    replay --seed 11 --faults --fault-seed 64023 --sim-threads 3 >/tmp/ttfr_b.txt
+cmp /tmp/ttfr_a.txt /tmp/ttfr_b.txt
+rm -f /tmp/ttfr_a.txt /tmp/ttfr_b.txt
 
 # KV litmus family: put/get races over tt-serve key slots, run
 # differentially on three machines (Stache-served, write-update-served,
 # DirNNB) with word-for-word image agreement, then a window with the
 # parallel simulator forced on every seed.
-echo "==> tt-check kv (200 seeds + 100 forced-parallel seeds)"
+echo "==> tt-check kv (200 seeds + 100 forced-parallel seeds + 100 lossy seeds)"
 cargo run --release -p tt-bench --bin tt-check -- kv --seeds 200
 cargo run --release -p tt-bench --bin tt-check -- \
     kv --seeds 100 --sim-threads 2 --window-policy adaptive
+cargo run --release -p tt-bench --bin tt-check -- kv --seeds 100 --faults
 
 echo "==> examples build"
 cargo build --release --examples
