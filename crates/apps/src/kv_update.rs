@@ -193,7 +193,7 @@ impl KvUpdateProtocol {
             who,
             VirtualNet::Response,
             KV_PUT_MSG,
-            Payload::with_block(vec![addr.raw()], data),
+            Payload::with_block(&[addr.raw()], data),
         );
     }
 
@@ -224,7 +224,7 @@ impl KvUpdateProtocol {
                 *dst,
                 VirtualNet::Request,
                 KV_UPD,
-                Payload::with_block(vec![addr.raw()], *data),
+                Payload::with_block(&[addr.raw()], *data),
             );
         }
         self.inflight.insert(addr.raw(), WriteTxn { acks_left: sharers.len(), writer });
@@ -235,7 +235,7 @@ impl KvUpdateProtocol {
         if writer == self.node {
             self.complete_put_block(ctx);
         } else {
-            ctx.send(writer, VirtualNet::Response, KV_WACK, Payload::args(vec![addr.raw()]));
+            ctx.send(writer, VirtualNet::Response, KV_WACK, Payload::args(&[addr.raw()]));
         }
     }
 
@@ -307,7 +307,7 @@ impl KvUpdateProtocol {
         } else {
             self.stats.stale_updates.inc();
         }
-        ctx.send(msg.src, VirtualNet::Response, KV_UACK, Payload::args(vec![addr.raw()]));
+        ctx.send(msg.src, VirtualNet::Response, KV_UACK, Payload::args(&[addr.raw()]));
     }
 
     fn on_kv_uack(&mut self, ctx: &mut dyn TempestCtx, msg: &Message) {
@@ -361,7 +361,7 @@ impl KvUpdateProtocol {
                     home,
                     VirtualNet::Request,
                     KV_WRITE,
-                    Payload::with_block(vec![addr.raw()], data),
+                    Payload::with_block(&[addr.raw()], data),
                 );
             }
         }
@@ -399,7 +399,7 @@ impl Protocol for KvUpdateProtocol {
         ctx.set_tag(addr, Tag::Busy);
         assert!(self.pending_get.is_none(), "one slot fault at a time per CPU");
         self.pending_get = Some(fault.thread);
-        ctx.send(home, VirtualNet::Request, KV_GET, Payload::args(vec![addr.raw()]));
+        ctx.send(home, VirtualNet::Request, KV_GET, Payload::args(&[addr.raw()]));
     }
 
     fn on_message(&mut self, ctx: &mut dyn TempestCtx, msg: Message) {

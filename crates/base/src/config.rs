@@ -174,6 +174,80 @@ impl std::fmt::Display for WindowPolicy {
     }
 }
 
+/// Interconnect topology of the simulated machine (DESIGN.md §11).
+///
+/// The paper models an ideal constant-latency network; big-machine mode
+/// replaces it with routed topologies whose links have occupancy queues,
+/// so hot-home saturation is priced per link. Routes and queuing are pure
+/// functions of `(topology, src, dst, per-source send history, inject
+/// time)`, so latencies are bit-identical at every
+/// `sim_threads`/`sim_shards`/`jobs`/`window_policy` setting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Topology {
+    /// Constant-latency pipe (`timing.network_latency` between any pair) —
+    /// the paper's model and the byte-identical default.
+    #[default]
+    Ideal,
+    /// 2D mesh, dimension-order (X then Y) routing. `width` 0 derives
+    /// `ceil(sqrt(nodes))` at install time.
+    Mesh2D {
+        /// Nodes per row; node `i` sits at `(i % width, i / width)`.
+        width: usize,
+    },
+    /// Fat tree over the node leaves: route climbs to the lowest common
+    /// ancestor and back down (`2h` hops for radix-`arity` subtrees).
+    /// `arity` 0 derives 4.
+    FatTree {
+        /// Branching factor of the tree (≥ 2 after derivation).
+        arity: usize,
+    },
+}
+
+impl Topology {
+    /// CLI / provenance spelling: `ideal`, `mesh[:width]`, `fat-tree[:arity]`.
+    pub fn as_string(self) -> String {
+        match self {
+            Topology::Ideal => "ideal".to_string(),
+            Topology::Mesh2D { width: 0 } => "mesh".to_string(),
+            Topology::Mesh2D { width } => format!("mesh:{width}"),
+            Topology::FatTree { arity: 0 } => "fat-tree".to_string(),
+            Topology::FatTree { arity } => format!("fat-tree:{arity}"),
+        }
+    }
+}
+
+impl std::str::FromStr for Topology {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (name, param) = match s.split_once(':') {
+            Some((n, p)) => (n, Some(p)),
+            None => (s, None),
+        };
+        let param = match param {
+            Some(p) => Some(
+                p.parse::<usize>()
+                    .map_err(|_| format!("bad topology parameter {p:?} in {s:?}"))?,
+            ),
+            None => None,
+        };
+        match name {
+            "ideal" if param.is_none() => Ok(Topology::Ideal),
+            "mesh" => Ok(Topology::Mesh2D { width: param.unwrap_or(0) }),
+            "fat-tree" | "fattree" => Ok(Topology::FatTree { arity: param.unwrap_or(0) }),
+            _ => Err(format!(
+                "unknown topology {s:?} (ideal|mesh[:width]|fat-tree[:arity])"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.as_string())
+    }
+}
+
 /// Where protocol handlers execute.
 ///
 /// The paper's Section 2 notes Tempest "can also be implemented in
@@ -380,6 +454,11 @@ pub struct SystemConfig {
     /// How the parallel simulator advances its windows (fixed quanta vs
     /// adaptive per-shard bounds). Ignored by the sequential path.
     pub window_policy: WindowPolicy,
+    /// Interconnect topology. [`Topology::Ideal`] (the default) is the
+    /// paper's constant-latency pipe; mesh / fat-tree route packets over
+    /// per-link occupancy queues (DESIGN.md §11). Unlike the simulator
+    /// knobs above this changes reported cycles — by design.
+    pub topology: Topology,
     /// Deterministic lossy-network fault schedule; `None` (the default)
     /// is the paper's reliable interconnect. Machines that model the
     /// network install this as a `tt_net::FaultPlan`; protocol stacks
@@ -410,6 +489,7 @@ impl Default for SystemConfig {
             sim_threads: 1,
             sim_shards: 0,
             window_policy: WindowPolicy::Fixed,
+            topology: Topology::Ideal,
             fault: None,
             stache_capacity_bytes: usize::MAX,
             cpu: CpuConfig::default(),
@@ -524,6 +604,25 @@ mod tests {
         }
         assert!("eager".parse::<WindowPolicy>().is_err());
         assert_eq!(WindowPolicy::default(), WindowPolicy::Fixed);
+    }
+
+    #[test]
+    fn topology_parses_round_trip() {
+        for t in [
+            Topology::Ideal,
+            Topology::Mesh2D { width: 0 },
+            Topology::Mesh2D { width: 8 },
+            Topology::FatTree { arity: 0 },
+            Topology::FatTree { arity: 4 },
+        ] {
+            assert_eq!(t.as_string().parse::<Topology>(), Ok(t));
+        }
+        assert_eq!("mesh".parse::<Topology>(), Ok(Topology::Mesh2D { width: 0 }));
+        assert_eq!("fattree:2".parse::<Topology>(), Ok(Topology::FatTree { arity: 2 }));
+        assert!("torus".parse::<Topology>().is_err());
+        assert!("mesh:x".parse::<Topology>().is_err());
+        assert!("ideal:3".parse::<Topology>().is_err());
+        assert_eq!(Topology::default(), Topology::Ideal);
     }
 
     #[test]

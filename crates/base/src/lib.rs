@@ -26,6 +26,7 @@
 //! ```
 
 pub mod addr;
+pub mod alloc_stats;
 pub mod config;
 pub mod cycles;
 pub mod fxhash;
@@ -36,7 +37,7 @@ pub mod table;
 pub mod workload;
 
 pub use addr::{PAddr, Ppn, VAddr, Vpn};
-pub use config::{FaultSpec, SystemConfig, WindowPolicy};
+pub use config::{FaultSpec, SystemConfig, Topology, WindowPolicy};
 pub use cycles::Cycles;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use ids::NodeId;

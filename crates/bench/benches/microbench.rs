@@ -187,6 +187,34 @@ fn bench_tag_check_packed_vs_byte(r: &Runner) {
     });
 }
 
+/// Payload construction on the message hot path. The payload used to
+/// carry `Vec<u64>` words and a `Vec<u8>` data block — two heap
+/// allocations per message; it is now a fixed inline array, so building
+/// one allocates nothing. The bench measures both time and (via the
+/// harness's counting allocator) allocations per message, printed once.
+fn bench_payload_inline(r: &Runner) {
+    use tt_net::Payload;
+    let block = [0xA5u8; 32];
+    // One-shot allocation census outside the timed loop.
+    let before = tt_base::alloc_stats::alloc_count();
+    let mut acc = 0u64;
+    for i in 0..10_000u64 {
+        let p = Payload::with_block(&[i, i ^ 7], block);
+        acc = acc.wrapping_add(p.words()[0]).wrapping_add(p.data()[0] as u64);
+    }
+    black_box(acc);
+    let per_msg = (tt_base::alloc_stats::alloc_count() - before) as f64 / 10_000.0;
+    eprintln!("  payload/with_block_32B: {per_msg:.4} allocations per message");
+    r.bench("payload/with_block_32B_10k", || {
+        let mut acc = 0u64;
+        for i in 0..10_000u64 {
+            let p = Payload::with_block(&[i, i ^ 7], block);
+            acc = acc.wrapping_add(p.words()[0]).wrapping_add(p.data()[0] as u64);
+        }
+        black_box(acc)
+    });
+}
+
 /// One remote Stache miss, end to end: page fault, block fault, request,
 /// home handler, reply handler, resume, retry — the §5.1 critical path.
 fn bench_stache_miss_path(r: &Runner) {
@@ -227,5 +255,6 @@ fn main() {
     bench_exec_access_hit(&r);
     bench_hit_run_direct_vs_scheduled(&r);
     bench_tag_check_packed_vs_byte(&r);
+    bench_payload_inline(&r);
     bench_stache_miss_path(&r);
 }

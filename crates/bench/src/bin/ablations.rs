@@ -266,6 +266,8 @@ fn main() {
                     wall_secs,
                     ops,
                     pdes: r.pdes,
+                    peak_bytes: 0,
+                    allocs: 0,
                 }
             })
         });

@@ -6,21 +6,66 @@
 //! 1.0 when the working set exceeds the hardware cache.
 //!
 //! Usage: `figure3 [--scale N] [--nodes N] [--jobs N] [--repeat N]
+//! [--topology ideal|mesh[:W]|fat-tree[:A]] [--apps a,b,...]
 //! [--json PATH] [--full]` (default scale 4; `--full` runs the paper's
 //! exact sizes). The table is byte-identical for any `--jobs` or
 //! `--repeat` value; `--repeat N` reruns each point N times and reports
-//! min-of-N wall timings for stable `sim_cycles_per_sec`.
+//! min-of-N wall timings for stable `sim_cycles_per_sec`. Big-machine
+//! sweeps (`--nodes 64|256|1024 --topology mesh`) use `--apps` to bound
+//! the grid and read cost-per-node metrics from the `--json` report.
 
 use std::time::Instant;
 
 use tt_base::table::Table;
 use tt_bench::json::PointRecord;
-use tt_bench::{figure3_sweep_min, FIGURE3_POINTS};
+use tt_bench::{RunStats, FIGURE3_POINTS};
 use tt_apps::AppId;
+
+/// Big-machine cost-per-node metrics as a JSON fragment: host
+/// microseconds per simulated node per kilocycle, and the heap
+/// high-water mark over the run (attributable per-run only at
+/// `--jobs 1`; see EXPERIMENTS.md).
+fn cost_fragment(nodes: usize, cycles: u64, s: &RunStats) -> Option<String> {
+    let us_per_node_kcycle = if cycles > 0 {
+        s.wall_secs * 1e6 / nodes as f64 / (cycles as f64 / 1000.0)
+    } else {
+        0.0
+    };
+    Some(format!(
+        "\"cost\": {{\"us_per_node_kilocycle\": {:.4}, \"peak_bytes\": {}, \
+         \"bytes_per_node\": {}, \"allocs\": {}}}",
+        us_per_node_kcycle,
+        s.peak_bytes,
+        s.peak_bytes / nodes as u64,
+        s.allocs,
+    ))
+}
+
+/// Parses a comma-separated `--apps` list against the app names.
+fn parse_apps(list: &str) -> Vec<AppId> {
+    list.split(',')
+        .map(|name| {
+            AppId::ALL
+                .into_iter()
+                .find(|a| a.name().eq_ignore_ascii_case(name.trim()))
+                .unwrap_or_else(|| panic!("--apps: unknown application {name}"))
+        })
+        .collect()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = tt_bench::parse_cli(&args, 4);
+    let mut apps: Vec<AppId> = AppId::ALL.to_vec();
+    let cli = tt_bench::parse_cli_with(&args, 4, &mut |flag, args, i| match flag {
+        "--apps" => {
+            apps = parse_apps(tt_bench::cli::value(args, *i, "--apps"));
+            *i += 2;
+        }
+        other => panic!(
+            "unknown argument {other}; figure3 adds --apps a,b,... to the \
+             shared harness flags"
+        ),
+    });
     let cfg = cli.config();
     tt_bench::assert_sim_threads_identity(&cfg);
     println!(
@@ -30,7 +75,7 @@ fn main() {
         scale = cli.scale,
     );
     let start = Instant::now();
-    let points = figure3_sweep_min(cli.scale, &cfg, cli.jobs, cli.repeat);
+    let points = tt_bench::figure3_sweep_apps(&apps, cli.scale, &cfg, cli.jobs, cli.repeat);
     let total_wall_secs = start.elapsed().as_secs_f64();
 
     let mut table = Table::new(vec![
@@ -42,7 +87,7 @@ fn main() {
         "large/256K",
     ]);
     let mut records = Vec::new();
-    for (a, app) in AppId::ALL.into_iter().enumerate() {
+    for (a, app) in apps.iter().copied().enumerate() {
         let mut row = vec![app.name().to_string()];
         for (i, (set, cache)) in FIGURE3_POINTS.into_iter().enumerate() {
             let point = &points[a * FIGURE3_POINTS.len() + i];
@@ -64,7 +109,7 @@ fn main() {
                 wall_secs: point.typhoon_stats.wall_secs,
                 ops: point.typhoon_stats.ops,
                 pdes: point.typhoon_stats.pdes,
-                extra: None,
+                extra: cost_fragment(cli.nodes, point.typhoon.raw(), &point.typhoon_stats),
             });
             records.push(PointRecord {
                 point: name,
@@ -73,7 +118,7 @@ fn main() {
                 wall_secs: point.dirnnb_stats.wall_secs,
                 ops: point.dirnnb_stats.ops,
                 pdes: point.dirnnb_stats.pdes,
-                extra: None,
+                extra: cost_fragment(cli.nodes, point.dirnnb.raw(), &point.dirnnb_stats),
             });
         }
         table.row(row);

@@ -3,11 +3,11 @@
 //!
 //! ```text
 //! tt-check run [--seeds N] [--base B] [--sim-threads N] [--window-policy P]
-//!              [--faults] [--fault-seed F] [--planted-bug] [--out PATH]
+//!              [--topology T] [--faults] [--fault-seed F] [--planted-bug] [--out PATH]
 //! tt-check replay --seed S [--sim-threads N] [--window-policy P]
-//!                 [--faults] [--fault-seed F]
+//!                 [--topology T] [--faults] [--fault-seed F]
 //! tt-check kv [--seeds N] [--base B] [--seed S] [--sim-threads N] [--window-policy P]
-//!             [--faults] [--fault-seed F]
+//!             [--topology T] [--faults] [--fault-seed F]
 //! ```
 //!
 //! `run` fuzzes `N` consecutive seeds (litmus workloads × schedule
@@ -20,6 +20,10 @@
 //! instead of letting each seed draw its own thread count.
 //! `--window-policy fixed|adaptive` likewise forces the parallel leg's
 //! window-advance policy instead of each seed's coin flip.
+//! `--topology ideal|mesh[:W]|fat-tree[:A]` forces the interconnect of
+//! the Typhoon legs instead of each seed's draw; the DirNNB reference
+//! leg always runs the ideal pipe, so mesh cases are checked against a
+//! pristine constant-latency baseline.
 //! `--faults` gives every case a seed-derived lossy-network schedule
 //! (drops, duplicates, detected corruption, transient partitions) with
 //! the protocol running behind the reliable transport; the final image
@@ -40,7 +44,7 @@
 use std::io::Write as _;
 use std::time::Instant;
 
-use tt_base::{NodeId, WindowPolicy};
+use tt_base::{NodeId, Topology, WindowPolicy};
 use tt_bench::json::{git_rev, hostname};
 use tt_check::scenarios::SkipInvalidate;
 use tt_check::{
@@ -52,12 +56,13 @@ use tt_stache::ReliableConfig;
 fn usage() -> ! {
     eprintln!(
         "usage: tt-check run [--seeds N] [--base B] [--sim-threads N] \
-         [--window-policy fixed|adaptive] [--faults] [--fault-seed F] \
+         [--window-policy fixed|adaptive] [--topology ideal|mesh[:W]|fat-tree[:A]] \
+         [--faults] [--fault-seed F] \
          [--planted-bug] [--out PATH]\n\
          \x20      tt-check replay --seed S [--sim-threads N] \
-         [--window-policy fixed|adaptive] [--faults] [--fault-seed F]\n\
+         [--window-policy fixed|adaptive] [--topology T] [--faults] [--fault-seed F]\n\
          \x20      tt-check kv [--seeds N] [--base B] [--seed S] [--sim-threads N] \
-         [--window-policy fixed|adaptive] [--faults] [--fault-seed F]\n\
+         [--window-policy fixed|adaptive] [--topology T] [--faults] [--fault-seed F]\n\
          \n\
          --faults draws a seed-derived lossy-network schedule per case \
          (drops, duplicates,\n\
@@ -78,6 +83,16 @@ fn parse_policy(args: &[String], i: &mut usize) -> WindowPolicy {
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| {
             eprintln!("tt-check: --window-policy needs `fixed` or `adaptive`");
+            usage()
+        })
+}
+
+fn parse_topology(args: &[String], i: &mut usize) -> Topology {
+    *i += 1;
+    args.get(*i)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("tt-check: --topology needs `ideal`, `mesh[:W]`, or `fat-tree[:A]`");
             usage()
         })
 }
@@ -205,6 +220,7 @@ fn cmd_run(args: &[String]) -> i32 {
                 options.sim_threads = Some(parse_u64(args, &mut i, "--sim-threads") as usize)
             }
             "--window-policy" => options.window_policy = Some(parse_policy(args, &mut i)),
+            "--topology" => options.topology = Some(parse_topology(args, &mut i)),
             "--faults" => options.faults = true,
             "--fault-seed" => {
                 options.fault_seed = Some(parse_u64(args, &mut i, "--fault-seed"));
@@ -303,6 +319,7 @@ fn cmd_replay(args: &[String]) -> i32 {
                 options.sim_threads = Some(parse_u64(args, &mut i, "--sim-threads") as usize)
             }
             "--window-policy" => options.window_policy = Some(parse_policy(args, &mut i)),
+            "--topology" => options.topology = Some(parse_topology(args, &mut i)),
             "--faults" => options.faults = true,
             "--fault-seed" => {
                 options.fault_seed = Some(parse_u64(args, &mut i, "--fault-seed"));
@@ -349,6 +366,7 @@ fn cmd_kv(args: &[String]) -> i32 {
                 options.sim_threads = Some(parse_u64(args, &mut i, "--sim-threads") as usize)
             }
             "--window-policy" => options.window_policy = Some(parse_policy(args, &mut i)),
+            "--topology" => options.topology = Some(parse_topology(args, &mut i)),
             "--faults" => options.faults = true,
             "--fault-seed" => {
                 options.fault_seed = Some(parse_u64(args, &mut i, "--fault-seed"));

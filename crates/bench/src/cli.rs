@@ -8,7 +8,7 @@
 //! flags hook them in through [`parse_cli_with`] instead of forking the
 //! parser.
 
-use tt_base::{SystemConfig, WindowPolicy};
+use tt_base::{SystemConfig, Topology, WindowPolicy};
 
 use crate::json::{write_report, PointRecord, SweepMeta};
 use crate::{bench_config, par};
@@ -37,6 +37,10 @@ pub struct Cli {
     /// Window-advance policy for parallel simulations (fixed quantum or
     /// adaptive per-shard widening). Identical tables either way.
     pub window_policy: WindowPolicy,
+    /// Interconnect model (`ideal` keeps the paper's constant-latency
+    /// pipe and its byte-identical tables; `mesh[:width]` /
+    /// `fat-tree[:arity]` add per-link occupancy).
+    pub topology: Topology,
     /// Where to write the machine-readable run report, if anywhere.
     pub json: Option<std::path::PathBuf>,
 }
@@ -50,6 +54,7 @@ impl Cli {
         cfg.sim_threads = self.sim_threads;
         cfg.sim_shards = self.sim_shards;
         cfg.window_policy = self.window_policy;
+        cfg.topology = self.topology;
         cfg
     }
 
@@ -64,6 +69,7 @@ impl Cli {
             sim_threads: self.sim_threads,
             sim_shards: self.sim_shards,
             window_policy: self.window_policy,
+            topology: self.topology,
             total_wall_secs,
         }
     }
@@ -81,13 +87,15 @@ impl Cli {
 
 /// Parses `--scale N`, `--nodes N`, `--full`, `--jobs N`, `--repeat N`,
 /// `--sim-threads N`, `--sim-shards N`, `--window-policy fixed|adaptive`,
-/// and `--json PATH` arguments shared by the harness binaries.
+/// `--topology ideal|mesh[:W]|fat-tree[:A]`, and `--json PATH` arguments
+/// shared by the harness binaries.
 pub fn parse_cli(args: &[String], default_scale: usize) -> Cli {
     parse_cli_with(args, default_scale, &mut |flag, _, _| {
         panic!(
             "unknown argument {flag}; use --scale N | --nodes N | --jobs N \
              | --repeat N | --sim-threads N | --sim-shards N \
-             | --window-policy fixed|adaptive | --json PATH | --full"
+             | --window-policy fixed|adaptive \
+             | --topology ideal|mesh[:W]|fat-tree[:A] | --json PATH | --full"
         )
     })
 }
@@ -109,6 +117,7 @@ pub fn parse_cli_with(
         sim_threads: 1,
         sim_shards: 0,
         window_policy: WindowPolicy::Fixed,
+        topology: Topology::Ideal,
         json: None,
     };
     let mut i = 0;
@@ -142,6 +151,12 @@ pub fn parse_cli_with(
                 cli.window_policy = value(args, i, "--window-policy")
                     .parse()
                     .unwrap_or_else(|e| panic!("--window-policy: {e}"));
+                i += 2;
+            }
+            "--topology" => {
+                cli.topology = value(args, i, "--topology")
+                    .parse()
+                    .unwrap_or_else(|e| panic!("--topology: {e}"));
                 i += 2;
             }
             "--json" => {
@@ -215,5 +230,15 @@ mod tests {
         assert_eq!(meta.scale, 7);
         assert_eq!(meta.sim_threads, 3);
         assert_eq!(meta.window_policy, WindowPolicy::Adaptive);
+        assert_eq!(meta.topology, Topology::Ideal);
+    }
+
+    #[test]
+    fn topology_flag_parses_and_reaches_the_config() {
+        let args = strs(&["--topology", "mesh:4"]);
+        let cli = parse_cli(&args, 1);
+        assert_eq!(cli.topology, Topology::Mesh2D { width: 4 });
+        assert_eq!(cli.config().topology, Topology::Mesh2D { width: 4 });
+        assert_eq!(parse_cli(&[], 1).topology, Topology::Ideal);
     }
 }

@@ -14,7 +14,7 @@ use std::io::Write;
 use std::path::Path;
 
 use tt_base::stats::PdesTelemetry;
-use tt_base::WindowPolicy;
+use tt_base::{Topology, WindowPolicy};
 
 /// One simulation run inside a sweep.
 #[derive(Clone, Debug)]
@@ -159,6 +159,8 @@ pub struct SweepMeta {
     pub sim_shards: usize,
     /// Window-advance policy of the parallel simulator.
     pub window_policy: WindowPolicy,
+    /// Interconnect model the sweep ran under.
+    pub topology: Topology,
     /// Wall seconds for the whole sweep.
     pub total_wall_secs: f64,
 }
@@ -188,6 +190,7 @@ pub fn write_report(path: &Path, meta: &SweepMeta, points: &[PointRecord]) -> st
     writeln!(f, "  \"sim_threads\": {},", meta.sim_threads)?;
     writeln!(f, "  \"sim_shards\": {},", meta.sim_shards)?;
     writeln!(f, "  \"window_policy\": {},", escape(meta.window_policy.as_str()))?;
+    writeln!(f, "  \"topology\": {},", escape(&meta.topology.as_string()))?;
     writeln!(f, "  \"total_wall_secs\": {:.6},", meta.total_wall_secs)?;
     writeln!(f, "  \"points\": [")?;
     for (i, p) in points.iter().enumerate() {
@@ -279,11 +282,13 @@ mod tests {
             sim_threads: 4,
             sim_shards: 8,
             window_policy: WindowPolicy::Adaptive,
+            topology: Topology::Mesh2D { width: 0 },
             total_wall_secs: 0.123,
         };
         write_report(&path, &meta, &points).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"figure\": \"figure3\""));
+        assert!(text.contains("\"topology\": \"mesh\""));
         assert!(text.contains("\"cycles\": 42"));
         assert!(text.contains("\"jobs\": 2"));
         assert!(text.contains("\"repeat\": 3"));

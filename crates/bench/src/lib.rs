@@ -30,6 +30,12 @@ pub use cli::{parse_args, parse_cli, parse_cli_with, Cli};
 
 use std::time::Instant;
 
+/// Every bench binary counts its heap traffic (DESIGN.md §11 reports
+/// resident bytes/node for the big-machine sweeps). The counters are
+/// process-global: per-run readings are attributable only at `--jobs 1`.
+#[global_allocator]
+static ALLOC: tt_base::alloc_stats::CountingAlloc = tt_base::alloc_stats::CountingAlloc;
+
 use tt_base::stats::{PdesTelemetry, Report};
 use tt_base::workload::Workload;
 use tt_base::{Cycles, SystemConfig};
@@ -79,6 +85,11 @@ pub struct RunOutcome {
     pub ops: u64,
     /// Window-driver telemetry (`None` for sequential runs).
     pub pdes: Option<PdesTelemetry>,
+    /// Heap high-water mark over the run (process-global; attributable
+    /// to this run only at `--jobs 1`).
+    pub peak_bytes: u64,
+    /// Heap allocation events during the run (same caveat).
+    pub allocs: u64,
 }
 
 /// Simulator throughput of one run: the host-side cost of a simulation,
@@ -91,6 +102,23 @@ pub struct RunStats {
     pub ops: u64,
     /// Window-driver telemetry (`None` for sequential runs).
     pub pdes: Option<PdesTelemetry>,
+    /// Heap high-water mark over the run (see [`RunOutcome::peak_bytes`]).
+    pub peak_bytes: u64,
+    /// Heap allocation events during the run.
+    pub allocs: u64,
+}
+
+impl RunStats {
+    /// Condenses a [`RunOutcome`]'s host-side throughput fields.
+    pub fn of(out: &RunOutcome) -> RunStats {
+        RunStats {
+            wall_secs: out.wall_secs,
+            ops: out.ops,
+            pdes: out.pdes,
+            peak_bytes: out.peak_bytes,
+            allocs: out.allocs,
+        }
+    }
 }
 
 /// Builds one of the five applications at a Table 3 data set, divided by
@@ -143,6 +171,8 @@ pub fn build_app(
 
 /// Runs a workload on the chosen system, measuring host wall time.
 pub fn run_system(system: System, cfg: &SystemConfig, workload: Box<dyn Workload>) -> RunOutcome {
+    tt_base::alloc_stats::reset_peak();
+    let allocs_before = tt_base::alloc_stats::alloc_count();
     let start = Instant::now();
     let (cycles, report, pdes) = match system {
         System::Dirnnb => {
@@ -172,6 +202,8 @@ pub fn run_system(system: System, cfg: &SystemConfig, workload: Box<dyn Workload
         wall_secs,
         ops,
         pdes,
+        peak_bytes: tt_base::alloc_stats::peak_bytes(),
+        allocs: tt_base::alloc_stats::alloc_count() - allocs_before,
     }
 }
 
@@ -331,16 +363,8 @@ pub fn figure3_point_min(
         cache_bytes,
         typhoon: typhoon.cycles,
         dirnnb: dirnnb.cycles,
-        typhoon_stats: RunStats {
-            wall_secs: typhoon.wall_secs,
-            ops: typhoon.ops,
-            pdes: typhoon.pdes,
-        },
-        dirnnb_stats: RunStats {
-            wall_secs: dirnnb.wall_secs,
-            ops: dirnnb.ops,
-            pdes: dirnnb.pdes,
-        },
+        typhoon_stats: RunStats::of(&typhoon),
+        dirnnb_stats: RunStats::of(&dirnnb),
     }
 }
 
@@ -360,8 +384,23 @@ pub fn figure3_sweep_min(
     jobs: usize,
     repeat: usize,
 ) -> Vec<Figure3Point> {
-    let grid: Vec<(AppId, DataSet, usize)> = AppId::ALL
-        .into_iter()
+    figure3_sweep_apps(&AppId::ALL, scale, cfg, jobs, repeat)
+}
+
+/// [`figure3_sweep_min`] over a subset of the applications — the
+/// big-machine sweeps (`--nodes 256|1024`) run a single app to stay
+/// within the container's single-CPU budget. Points come back app-major
+/// in the order given.
+pub fn figure3_sweep_apps(
+    apps: &[AppId],
+    scale: usize,
+    cfg: &SystemConfig,
+    jobs: usize,
+    repeat: usize,
+) -> Vec<Figure3Point> {
+    let grid: Vec<(AppId, DataSet, usize)> = apps
+        .iter()
+        .copied()
         .flat_map(|app| FIGURE3_POINTS.into_iter().map(move |(set, cache)| (app, set, cache)))
         .collect();
     par::run_indexed(jobs, grid.len(), |i| {
@@ -435,11 +474,7 @@ pub fn figure4_point_min(
         let out = min_of_runs(repeat, || run_system(system, &cfg, mk(sync).0));
         cpe[i] = out.cycles.as_f64() / denom;
         cycles[i] = out.cycles;
-        stats[i] = RunStats {
-            wall_secs: out.wall_secs,
-            ops: out.ops,
-            pdes: out.pdes,
-        };
+        stats[i] = RunStats::of(&out);
     }
     Figure4Point {
         pct_remote,
@@ -556,6 +591,8 @@ mod tests {
                 wall_secs: wall,
                 ops: 7,
                 pdes: None,
+                peak_bytes: 0,
+                allocs: 0,
             }
         });
         assert_eq!(walls.get(), 3);
@@ -575,6 +612,8 @@ mod tests {
                 wall_secs: 1.0,
                 ops: 0,
                 pdes: None,
+                peak_bytes: 0,
+                allocs: 0,
             }
         });
     }

@@ -28,7 +28,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::Mutex;
 
 use tt_base::workload::Layout;
-use tt_base::{Cycles, DetRng, FaultSpec, NodeId, SystemConfig, VAddr, WindowPolicy};
+use tt_base::{Cycles, DetRng, FaultSpec, NodeId, SystemConfig, Topology, VAddr, WindowPolicy};
 use tt_dirnnb::DirnnbMachine;
 use tt_mem::Tag;
 use tt_stache::{reliable_vn_policy, Reliable, ReliableConfig, StacheProtocol};
@@ -81,6 +81,13 @@ pub struct PerturbConfig {
     /// final memory image. The fault schedule is keyed off deterministic
     /// merge keys, so the parallel leg replays it bit-exactly.
     pub fault: Option<FaultSpec>,
+    /// Interconnect model for the Typhoon legs. Routed topologies
+    /// (mesh/fat-tree) change latencies — and therefore cycles — but
+    /// must never change the final memory image, and the parallel leg
+    /// must still reproduce the sequential cycles bit for bit. The
+    /// DirNNB reference leg always runs `Ideal`, mirroring the
+    /// fault-free pristine-reference rule.
+    pub topology: Topology,
 }
 
 impl PerturbConfig {
@@ -102,6 +109,14 @@ impl PerturbConfig {
                 WindowPolicy::Fixed
             },
             fault: None,
+            // Drawn last (newest dimension): half the seeds keep the
+            // ideal pipe, the rest split between the routed topologies
+            // with derived shape parameters (width/arity 0).
+            topology: match rng.below(4) {
+                0 | 1 => Topology::Ideal,
+                2 => Topology::Mesh2D { width: 0 },
+                _ => Topology::FatTree { arity: 0 },
+            },
         }
     }
 
@@ -125,6 +140,7 @@ impl PerturbConfig {
             sim_threads: 1,
             window_policy: WindowPolicy::Fixed,
             fault: None,
+            topology: Topology::Ideal,
         }
     }
 }
@@ -187,6 +203,9 @@ impl std::fmt::Display for Failure {
         if let Some(fs) = &self.perturb.fault {
             write!(f, " {}", fault_summary(fs))?;
         }
+        if self.perturb.topology != Topology::Ideal {
+            write!(f, " topology={}", self.perturb.topology)?;
+        }
         write!(f, ": {}", self.message)?;
         if let Some(s) = &self.shrunk {
             write!(
@@ -198,12 +217,14 @@ impl std::fmt::Display for Failure {
         if let Some(p) = &self.shrunk_perturb {
             write!(
                 f,
-                " (schedule shrunk to tie={} jitter={} coalesce={} direct={} threads={} {})",
+                " (schedule shrunk to tie={} jitter={} coalesce={} direct={} threads={} \
+                 topology={} {})",
                 p.tie_shuffle.is_some(),
                 p.jitter_max,
                 p.coalesce,
                 p.direct_execution,
                 p.sim_threads,
+                p.topology,
                 match &p.fault {
                     Some(fs) => fault_summary(fs),
                     None => "no-faults".to_string(),
@@ -307,6 +328,7 @@ pub fn run_case_full(
     syscfg.seed = cfg.seed;
     syscfg.direct_execution = perturb.direct_execution;
     syscfg.fault = perturb.fault;
+    syscfg.topology = perturb.topology;
 
     // Under faults the protocol runs behind the reliable transport,
     // the invariant engine accepts the transport's ack handler, and the
@@ -364,11 +386,13 @@ pub fn run_case_full(
 
     // DirNNB: same workload and tie-break seed; jitter is a Typhoon
     // network knob (DirNNB latencies come from its cost tables), and
-    // faults never apply — DirNNB is the pristine reference a lossy
-    // Typhoon run's final image is held against.
+    // faults and routed topologies never apply — DirNNB is the pristine
+    // ideal-network reference a lossy or mesh-routed Typhoon run's
+    // final image is held against.
     let (dirnnb_cycles, dirnnb_image) = {
         let mut syscfg = syscfg.clone();
         syscfg.fault = None;
+        syscfg.topology = Topology::Ideal;
         let litmus = &litmus;
         catch(move || {
             let mut m = DirnnbMachine::new(syscfg, Box::new(litmus.workload(perturb.coalesce)));
@@ -439,6 +463,7 @@ pub fn run_case_full(
         let (par_dirnnb_cycles, par_dirnnb_image) = {
             let mut parcfg = parcfg.clone();
             parcfg.fault = None;
+            parcfg.topology = Topology::Ideal;
             let litmus = &litmus;
             catch(move || {
                 let mut m = DirnnbMachine::new(parcfg, Box::new(litmus.workload(perturb.coalesce)));
@@ -544,6 +569,9 @@ pub struct FuzzOptions {
     /// stock config. `ReliableConfig { dedupe: false, .. }` is the
     /// transport-level planted bug.
     pub transport: Option<ReliableConfig>,
+    /// Force the interconnect model of the Typhoon legs
+    /// (`tt-check run --topology mesh`); `None` = each seed's own draw.
+    pub topology: Option<Topology>,
 }
 
 impl FuzzOptions {
@@ -561,6 +589,9 @@ impl FuzzOptions {
                 .fault_seed
                 .unwrap_or_else(|| DetRng::new(seed).fork(12).next_u64());
             p.fault = Some(FaultSpec::from_seed(fs));
+        }
+        if let Some(t) = self.topology {
+            p.topology = t;
         }
         p
     }
@@ -735,6 +766,9 @@ pub fn shrink_with_transport(
             if per.window_policy != WindowPolicy::Fixed {
                 candidates.push(PerturbConfig { window_policy: WindowPolicy::Fixed, ..per.clone() });
             }
+            if per.topology != Topology::Ideal {
+                candidates.push(PerturbConfig { topology: Topology::Ideal, ..per.clone() });
+            }
             if let Some(fs) = per.fault {
                 for zeroed in [
                     FaultSpec { drop_permille: 0, ..fs },
@@ -792,6 +826,23 @@ mod tests {
                 p.sim_threads > 1 && p.window_policy == WindowPolicy::Fixed
             }),
             "some seeds must keep the fixed policy in the parallel leg"
+        );
+        for shape in [
+            Topology::Ideal,
+            Topology::Mesh2D { width: 0 },
+            Topology::FatTree { arity: 0 },
+        ] {
+            assert!(
+                (0..100).any(|s| PerturbConfig::from_seed(s).topology == shape),
+                "some seeds must draw topology {shape}"
+            );
+        }
+        assert!(
+            (0..100).any(|s| {
+                let p = PerturbConfig::from_seed(s);
+                p.sim_threads > 1 && p.topology != Topology::Ideal
+            }),
+            "some seeds must run routed topologies through the parallel differential"
         );
     }
 

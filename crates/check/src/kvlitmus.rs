@@ -335,6 +335,7 @@ pub fn run_kv_case(
     syscfg.seed = cfg.seed;
     syscfg.direct_execution = perturb.direct_execution;
     syscfg.fault = perturb.fault;
+    syscfg.topology = perturb.topology;
     if cfg.tight_stache {
         syscfg.stache_capacity_bytes = 2 * PAGE_BYTES;
     }
@@ -414,11 +415,13 @@ pub fn run_kv_case(
     let (update_cycles, update_image, _) =
         run_typhoon(false, true, false).map_err(|m| fail("kv-update", m))?;
 
-    // Leg 3: DirNNB on raw stores — always fault-free; it is the
-    // pristine reference the lossy legs' final images are held against.
+    // Leg 3: DirNNB on raw stores — always fault-free and on the ideal
+    // network; it is the pristine reference the lossy or mesh-routed
+    // legs' final images are held against.
     let (dirnnb_cycles, dirnnb_image) = {
         let mut syscfg = syscfg.clone();
         syscfg.fault = None;
+        syscfg.topology = tt_base::Topology::Ideal;
         let litmus = &litmus;
         catch(move || {
             let mut m = DirnnbMachine::new(syscfg, Box::new(litmus.workload(false, perturb.coalesce)));

@@ -101,7 +101,7 @@ impl Protocol for NeverInvalidate {
             home,
             VirtualNet::Request,
             GET,
-            Payload::args(vec![fault.addr.block_base().raw()]),
+            Payload::args(&[fault.addr.block_base().raw()]),
         );
     }
 
@@ -116,7 +116,7 @@ impl Protocol for NeverInvalidate {
                     msg.src,
                     VirtualNet::Response,
                     PUT,
-                    Payload::with_block(vec![addr.raw()], data),
+                    Payload::with_block(&[addr.raw()], data),
                 );
             }
             PUT => {
@@ -181,7 +181,7 @@ impl Protocol for SkipInvalidate {
                 msg.src,
                 VirtualNet::Response,
                 STACHE_ACK,
-                Payload::args(vec![addr.raw()]),
+                Payload::args(&[addr.raw()]),
             );
             return;
         }

@@ -81,7 +81,7 @@ impl Message {
     /// Panics if the payload has fewer than `i + 1` words — a protocol
     /// bug, equivalent to a handler reading past the end of a packet.
     pub fn arg(&self, i: usize) -> u64 {
-        self.payload.words[i]
+        self.payload.words()[i]
     }
 }
 
@@ -95,7 +95,7 @@ mod tests {
             src: NodeId::new(3),
             vn: VirtualNet::Response,
             handler: HandlerId(7),
-            payload: Payload::args(vec![10, 20]),
+            payload: Payload::args(&[10, 20]),
         };
         let p = m.clone().into_packet(NodeId::new(5));
         assert_eq!(p.dst, NodeId::new(5));
@@ -109,7 +109,7 @@ mod tests {
             src: NodeId::new(0),
             vn: VirtualNet::Request,
             handler: HandlerId(1),
-            payload: Payload::args(vec![42, 43]),
+            payload: Payload::args(&[42, 43]),
         };
         assert_eq!(m.arg(0), 42);
         assert_eq!(m.arg(1), 43);

@@ -272,7 +272,7 @@ mod tests {
             NodeId::new(2),
             VirtualNet::Request,
             HandlerId(9),
-            Payload::args(vec![1]),
+            Payload::args(&[1]),
         );
         ctx.resume(ThreadId(NodeId::new(1)));
         ctx.charge(14);

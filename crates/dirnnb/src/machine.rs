@@ -26,7 +26,7 @@ use tt_mem::{AccessKind, CacheModel, FifoTlb};
 use tt_net::{Network, VirtualNet, ARG_WORD_BYTES, HANDLER_WORD_BYTES};
 use tt_sim::{ShardQueue, Windowing};
 
-use crate::dir::{DirBusy, DirEntry, DirReq, DirState};
+use crate::dir::{DirBusy, DirReq, DirView, Directory};
 
 /// Execution status of a CPU.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -136,7 +136,7 @@ pub struct DirnnbMachine {
     cfg: SystemConfig,
     quantum: Cycles,
     cpus: Vec<Cpu>,
-    dirs: FxHashMap<u64, DirEntry>,
+    dirs: Directory,
     home_map: FxHashMap<Vpn, NodeId>,
     /// Owner→home page-count weights (`owner * nodes + home`), used to
     /// pick shard cut points that keep directory traffic shard-local.
@@ -187,9 +187,10 @@ struct Shard<'m> {
     first: usize,
     cpus: &'m mut [Cpu],
     done: &'m mut [Option<Cycles>],
-    /// Directory entries homed at this shard's nodes. Disjoint across
-    /// shards because home-directed events are routed by home.
-    dirs: &'m mut FxHashMap<u64, DirEntry>,
+    /// Directory state homed at this shard's nodes. Disjoint across
+    /// shards because home-directed events are routed by home (and
+    /// directory pages align with the page-granular home map).
+    dirs: &'m mut Directory,
     home_map: &'m FxHashMap<Vpn, NodeId>,
     store: &'m Mutex<FxHashMap<Vpn, StorePage>>,
     /// This shard's network instance (statistics only; folded back after
@@ -245,14 +246,15 @@ impl DirnnbMachine {
             .collect();
         let mut network = Network::new(cfg.nodes, cfg.timing.network_latency);
         network.set_occupancy(cfg.timing.network_occupancy);
+        network.set_topology(cfg.topology);
         let quantum = cfg.timing.network_latency;
         let done = vec![None; cfg.nodes];
         let verify_values = cfg.verify_values;
         DirnnbMachine {
+            dirs: Directory::new(cfg.nodes),
             cfg,
             quantum,
             cpus,
-            dirs: FxHashMap::default(),
             home_map,
             home_affinity,
             store: Mutex::new(FxHashMap::default()),
@@ -425,8 +427,8 @@ impl DirnnbMachine {
             .collect();
         let mut nets: Vec<Network> = (0..shard_count).map(|_| self.network.clone()).collect();
         let mut tallies = vec![BarrierTally::default(); shard_count];
-        let mut shard_dirs: Vec<FxHashMap<u64, DirEntry>> =
-            (0..shard_count).map(|_| FxHashMap::default()).collect();
+        let mut shard_dirs: Vec<Directory> =
+            (0..shard_count).map(|_| Directory::new(nodes_total)).collect();
         let mut shard_stats = vec![DirStats::default(); shard_count];
 
         {
@@ -501,7 +503,7 @@ impl DirnnbMachine {
         // Fold shard directories back for post-run diagnostics; they are
         // disjoint by construction (keyed by home).
         for dirs in shard_dirs {
-            self.dirs.extend(dirs);
+            self.dirs.absorb(dirs);
         }
         assert!(
             tallies.windows(2).all(|w| w[0] == w[1]),
@@ -523,12 +525,7 @@ impl DirnnbMachine {
             .map(|(i, c)| (i, c.status))
             .collect();
         if !stuck.is_empty() {
-            let busy: Vec<_> = self
-                .dirs
-                .iter()
-                .filter(|(_, e)| e.is_busy() || !e.queue.is_empty())
-                .map(|(a, e)| (*a, e.state, e.busy, e.queue.len()))
-                .collect();
+            let busy = self.dirs.stuck();
             panic!("DirNNB machine deadlocked: {stuck:?}; stuck directory entries: {busy:?}");
         }
         let cycles = self
@@ -671,22 +668,17 @@ impl<'m> Shard<'m> {
         home_of_in(self.home_map, addr)
     }
 
-    /// Network hop latency between two nodes (zero if the same node).
-    fn hop(&self, a: NodeId, b: NodeId) -> Cycles {
-        if a == b {
-            Cycles::ZERO
-        } else {
-            self.cfg.timing.network_latency
-        }
-    }
-
-    /// Records a protocol message for traffic statistics (the cost model
-    /// charges latencies separately). Wire size matches the one-argument
-    /// packet `send` would have been handed: handler word + one argument
-    /// word, plus a coherence block when `data` is set.
-    fn count_packet(&mut self, _now: Cycles, src: NodeId, dst: NodeId, data: bool) {
+    /// Injects a protocol message at `inject` and returns its arrival
+    /// time at `dst`: the traffic accounting plus the network's latency
+    /// model — a self-send arrives at `inject` (local hand-off is in the
+    /// Table 2 costs), `Topology::Ideal` charges the constant latency,
+    /// and routed topologies charge hop counts plus per-link queuing.
+    /// Wire size matches the one-argument packet `send` would have been
+    /// handed: handler word + one argument word, plus a coherence block
+    /// when `data` is set.
+    fn deliver(&mut self, inject: Cycles, src: NodeId, dst: NodeId, data: bool) -> Cycles {
         let wire = HANDLER_WORD_BYTES + ARG_WORD_BYTES + if data { BLOCK_BYTES } else { 0 };
-        self.network.count(src, dst, VirtualNet::Request, wire);
+        self.network.deliver_at(inject, src, dst, VirtualNet::Request, wire)
     }
 
     // --- CPU execution ----------------------------------------------------
@@ -878,40 +870,37 @@ impl<'m> Shard<'m> {
 
         // Fast local path: home is this node and the directory can grant
         // immediately — a plain 29-cycle local miss.
-        if home == me {
-            let entry = self.dirs.entry(block).or_default();
-            if !entry.is_busy() {
-                let fast = match (entry.state, req) {
-                    (DirState::Uncached | DirState::Shared(_), DirReq::Read) => {
-                        entry.add_sharer(me);
-                        Some(false)
-                    }
-                    (DirState::Uncached, DirReq::Write) => {
-                        entry.state = DirState::Exclusive(me);
-                        Some(true)
-                    }
-                    (DirState::Shared(_), DirReq::Upgrade | DirReq::Write)
-                        if entry.sharers_except(me).is_empty() =>
-                    {
-                        entry.state = DirState::Exclusive(me);
-                        Some(true)
-                    }
-                    _ => None,
-                };
-                if let Some(owned) = fast {
-                    cost += self.cfg.timing.local_miss;
-                    self.cpus[l].stats.local_misses.inc();
-                    if req == DirReq::Upgrade {
-                        // The line is already resident shared.
-                        self.cpus[l].cache.set_owned(key, true);
-                    } else {
-                        self.fill(n, key, owned, &mut cost, queue);
-                    }
-                    self.complete_access(n, addr, kind, value, expect, record);
-                    self.cpus[l].clock += cost;
-                    self.cpus[l].pc += 1;
-                    return true;
+        if home == me && !self.dirs.is_busy(block) {
+            let fast = match (self.dirs.view(block), req) {
+                (DirView::Uncached | DirView::Shared, DirReq::Read) => {
+                    self.dirs.add_sharer(block, me);
+                    Some(false)
                 }
+                (DirView::Uncached, DirReq::Write) => {
+                    self.dirs.set_exclusive(block, me);
+                    Some(true)
+                }
+                (DirView::Shared, DirReq::Upgrade | DirReq::Write)
+                    if !self.dirs.has_other_sharers(block, me) =>
+                {
+                    self.dirs.set_exclusive(block, me);
+                    Some(true)
+                }
+                _ => None,
+            };
+            if let Some(owned) = fast {
+                cost += self.cfg.timing.local_miss;
+                self.cpus[l].stats.local_misses.inc();
+                if req == DirReq::Upgrade {
+                    // The line is already resident shared.
+                    self.cpus[l].cache.set_owned(key, true);
+                } else {
+                    self.fill(n, key, owned, &mut cost, queue);
+                }
+                self.complete_access(n, addr, kind, value, expect, record);
+                self.cpus[l].clock += cost;
+                self.cpus[l].pc += 1;
+                return true;
             }
         }
 
@@ -921,18 +910,19 @@ impl<'m> Shard<'m> {
         } else {
             self.cpus[l].stats.remote_misses.inc();
             cost += self.cfg.dirnnb.remote_miss_request;
-            let at = self.cpus[l].clock;
-            self.count_packet(at, me, home, false);
         }
         if req == DirReq::Upgrade {
             self.cpus[l].stats.upgrades.inc();
         }
-        let cpu = &mut self.cpus[l];
-        cpu.clock += cost;
-        cpu.status = CpuStatus::BlockedMiss;
-        cpu.suspended_at = cpu.clock;
-        cpu.pending_block = Some(block);
-        let at = cpu.clock + self.hop(me, home);
+        let inject = {
+            let cpu = &mut self.cpus[l];
+            cpu.clock += cost;
+            cpu.status = CpuStatus::BlockedMiss;
+            cpu.suspended_at = cpu.clock;
+            cpu.pending_block = Some(block);
+            cpu.clock
+        };
+        let at = self.deliver(inject, me, home, false);
         queue.schedule_for(
             at,
             home.index(),
@@ -1006,8 +996,7 @@ impl<'m> Shard<'m> {
                 let home = self.home_of(victim_addr);
                 let me = NodeId::new(n as u16);
                 let clock = self.cpus[l].clock;
-                self.count_packet(clock, me, home, true);
-                let at = clock.max(queue.now()) + self.hop(me, home);
+                let at = self.deliver(clock.max(queue.now()), me, home, true);
                 queue.schedule_for(
                     at,
                     home.index(),
@@ -1030,28 +1019,27 @@ impl<'m> Shard<'m> {
         now: Cycles,
         queue: &mut ShardQueue<Event>,
     ) {
-        let entry = self.dirs.entry(addr).or_default();
-        if entry.is_busy() {
+        if self.dirs.is_busy(addr) {
             self.dir_stats.deferred.inc();
-            entry.queue.push_back((from, req));
+            self.dirs.push_deferred(addr, from, req);
             return;
         }
         self.dir_stats.dir_ops.inc();
         let home = self.home_of(addr);
         let base = self.cfg.dirnnb.dir_op_base;
-        match (self.dirs.get(&addr).unwrap().state, req) {
-            (DirState::Uncached | DirState::Shared(_), DirReq::Read) => {
-                self.dirs.get_mut(&addr).unwrap().add_sharer(from);
+        match (self.dirs.view(addr), req) {
+            (DirView::Uncached | DirView::Shared, DirReq::Read) => {
+                self.dirs.add_sharer(addr, from);
                 self.grant(addr, from, req, now + base, queue);
             }
-            (DirState::Uncached, DirReq::Write | DirReq::Upgrade) => {
-                self.dirs.get_mut(&addr).unwrap().state = DirState::Exclusive(from);
+            (DirView::Uncached, DirReq::Write | DirReq::Upgrade) => {
+                self.dirs.set_exclusive(addr, from);
                 self.grant(addr, from, req, now + base, queue);
             }
-            (DirState::Shared(_), DirReq::Write | DirReq::Upgrade) => {
-                let targets = self.dirs.get(&addr).unwrap().sharers_except(from);
+            (DirView::Shared, DirReq::Write | DirReq::Upgrade) => {
+                let targets = self.dirs.sharers_except(addr, from);
                 if targets.is_empty() {
-                    self.dirs.get_mut(&addr).unwrap().state = DirState::Exclusive(from);
+                    self.dirs.set_exclusive(addr, from);
                     self.grant(addr, from, req, now + base, queue);
                     return;
                 }
@@ -1059,9 +1047,9 @@ impl<'m> Shard<'m> {
                     + Cycles::new(self.cfg.dirnnb.dir_op_per_msg.raw() * targets.len() as u64);
                 self.dir_stats.invalidations.add(targets.len() as u64);
                 for t in &targets {
-                    self.count_packet(now, home, *t, false);
+                    let at = self.deliver(now + cost, home, *t, false);
                     queue.schedule_for(
-                        now + cost + self.hop(home, *t),
+                        at,
                         t.index(),
                         Event::Invalidate {
                             addr,
@@ -1069,18 +1057,21 @@ impl<'m> Shard<'m> {
                         },
                     );
                 }
-                self.dirs.get_mut(&addr).unwrap().busy = Some(DirBusy::Invalidating {
-                    acks_left: targets.len(),
-                    to: from,
-                    req,
-                });
+                self.dirs.set_busy(
+                    addr,
+                    DirBusy::Invalidating {
+                        acks_left: targets.len(),
+                        to: from,
+                        req,
+                    },
+                );
             }
-            (DirState::Exclusive(owner), _) => {
+            (DirView::Exclusive(owner), _) => {
                 self.dir_stats.recalls.inc();
                 let cost = base + self.cfg.dirnnb.dir_op_per_msg;
-                self.count_packet(now, home, owner, false);
+                let at = self.deliver(now + cost, home, owner, false);
                 queue.schedule_for(
-                    now + cost + self.hop(home, owner),
+                    at,
                     owner.index(),
                     Event::Recall {
                         addr,
@@ -1088,8 +1079,8 @@ impl<'m> Shard<'m> {
                         invalidate: !matches!(req, DirReq::Read),
                     },
                 );
-                self.dirs.get_mut(&addr).unwrap().busy =
-                    Some(DirBusy::Recalling { owner, to: from, req });
+                self.dirs
+                    .set_busy(addr, DirBusy::Recalling { owner, to: from, req });
             }
         }
     }
@@ -1108,9 +1099,9 @@ impl<'m> Shard<'m> {
         if req.needs_data() {
             cost += self.cfg.dirnnb.dir_op_block_send;
         }
-        self.count_packet(at, home, to, req.needs_data());
+        let deliver = self.deliver(at + cost, home, to, req.needs_data());
         queue.schedule_for(
-            at + cost + self.hop(home, to),
+            deliver,
             to.index(),
             Event::Grant {
                 addr,
@@ -1121,40 +1112,36 @@ impl<'m> Shard<'m> {
     }
 
     fn home_ack(&mut self, addr: u64, now: Cycles, queue: &mut ShardQueue<Event>) {
-        let entry = self.dirs.get_mut(&addr).expect("directory entry");
-        let Some(DirBusy::Invalidating { acks_left, to, req }) = entry.busy else {
+        let Some(DirBusy::Invalidating { acks_left, to, req }) = self.dirs.busy(addr) else {
             panic!("ack for a block that is not invalidating");
         };
         if acks_left > 1 {
-            entry.busy = Some(DirBusy::Invalidating {
-                acks_left: acks_left - 1,
-                to,
-                req,
-            });
+            self.dirs.set_busy(
+                addr,
+                DirBusy::Invalidating {
+                    acks_left: acks_left - 1,
+                    to,
+                    req,
+                },
+            );
             return;
         }
-        entry.busy = None;
-        entry.state = DirState::Exclusive(to);
+        self.dirs.clear_busy(addr);
+        self.dirs.set_exclusive(addr, to);
         self.dir_stats.dir_ops.inc();
         self.grant(addr, to, req, now + self.cfg.dirnnb.dir_op_base, queue);
         self.drain_queue(addr, now, queue);
     }
 
     fn home_data(&mut self, addr: u64, from: NodeId, now: Cycles, queue: &mut ShardQueue<Event>) {
-        let entry = self.dirs.get_mut(&addr).expect("directory entry");
-        let Some(DirBusy::Recalling { owner, to, req }) = entry.busy else {
+        let Some(DirBusy::Recalling { owner, to, req }) = self.dirs.busy(addr) else {
             panic!("recall data for a block that is not recalling");
         };
         debug_assert_eq!(owner, from);
-        entry.busy = None;
+        self.dirs.clear_busy(addr);
         match req {
-            DirReq::Read => {
-                entry.state =
-                    DirState::Shared((1u64 << owner.index()) | (1u64 << to.index()));
-            }
-            DirReq::Write | DirReq::Upgrade => {
-                entry.state = DirState::Exclusive(to);
-            }
+            DirReq::Read => self.dirs.set_shared_pair(addr, owner, to),
+            DirReq::Write | DirReq::Upgrade => self.dirs.set_exclusive(addr, to),
         }
         self.dir_stats.dir_ops.inc();
         let cost = self.cfg.dirnnb.dir_op_base + self.cfg.dirnnb.dir_op_block_recv;
@@ -1164,11 +1151,10 @@ impl<'m> Shard<'m> {
 
     fn drain_queue(&mut self, addr: u64, now: Cycles, queue: &mut ShardQueue<Event>) {
         loop {
-            let entry = self.dirs.get_mut(&addr).expect("directory entry");
-            if entry.is_busy() {
+            if self.dirs.is_busy(addr) {
                 return;
             }
-            let Some((from, req)) = entry.queue.pop_front() else {
+            let Some((from, req)) = self.dirs.pop_deferred(addr) else {
                 return;
             };
             self.home_request(addr, from, req, now, queue);
@@ -1183,12 +1169,8 @@ impl<'m> Shard<'m> {
         let cost = self.cfg.dirnnb.remote_invalidate + self.cfg.dirnnb.replace_shared;
         let home = self.home_of(addr);
         let me = NodeId::new(node as u16);
-        self.count_packet(now, me, home, false);
-        queue.schedule_for(
-            now + cost + self.hop(me, home),
-            home.index(),
-            Event::HomeAck { addr },
-        );
+        let at = self.deliver(now + cost, me, home, false);
+        queue.schedule_for(at, home.index(), Event::HomeAck { addr });
     }
 
     fn recall_at(
@@ -1230,9 +1212,9 @@ impl<'m> Shard<'m> {
         let cost = self.cfg.dirnnb.remote_invalidate + self.cfg.dirnnb.replace_exclusive;
         let home = self.home_of(addr);
         let me = NodeId::new(node as u16);
-        self.count_packet(now, me, home, true);
+        let at = self.deliver(now + cost, me, home, true);
         queue.schedule_for(
-            now + cost + self.hop(me, home),
+            at,
             home.index(),
             Event::HomeData {
                 addr,
@@ -1243,8 +1225,7 @@ impl<'m> Shard<'m> {
 
     fn writeback(&mut self, addr: u64, from: NodeId, now: Cycles, queue: &mut ShardQueue<Event>) {
         self.dir_stats.writebacks.inc();
-        let entry = self.dirs.entry(addr).or_default();
-        match entry.busy {
+        match self.dirs.busy(addr) {
             Some(DirBusy::Recalling { owner, .. }) if owner == from => {
                 // The owner's eviction raced our recall; its writeback
                 // carries the block.
@@ -1252,8 +1233,8 @@ impl<'m> Shard<'m> {
             }
             Some(other) => panic!("writeback raced {other:?}"),
             None => {
-                debug_assert_eq!(entry.state, DirState::Exclusive(from));
-                entry.state = DirState::Uncached;
+                debug_assert_eq!(self.dirs.view(addr), DirView::Exclusive(from));
+                self.dirs.set_uncached(addr);
             }
         }
     }

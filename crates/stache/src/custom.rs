@@ -183,7 +183,7 @@ impl Em3dUpdateProtocol {
             msg.src,
             VirtualNet::Response,
             CPUT,
-            Payload::with_block(vec![addr.raw(), mode as u64], data),
+            Payload::with_block(&[addr.raw(), mode as u64], data),
         );
     }
 
@@ -230,7 +230,7 @@ impl Em3dUpdateProtocol {
                         dst,
                         VirtualNet::Request,
                         UPDATE,
-                        Payload::with_block(vec![addr_raw, mode as u64, phase], data),
+                        Payload::with_block(&[addr_raw, mode as u64, phase], data),
                     );
                 }
             }
@@ -286,7 +286,7 @@ impl Protocol for Em3dUpdateProtocol {
             home,
             VirtualNet::Request,
             CGET,
-            Payload::args(vec![addr.raw(), fault.meta.mode as u64]),
+            Payload::args(&[addr.raw(), fault.meta.mode as u64]),
         );
     }
 

@@ -13,19 +13,22 @@ use std::collections::VecDeque;
 use tt_base::NodeId;
 use tt_tempest::ThreadId;
 
-/// Maximum nodes representable by the bit-vector fallback.
-///
-/// The paper's four pointer bytes cover 32 nodes; we use all six spare
-/// bytes' worth of bits, which covers 64. Larger machines would chain to
-/// an auxiliary structure (also as in the paper); the reproduction caps
-/// at 64.
-pub const MAX_BITVECTOR_NODES: usize = 64;
-
 /// Number of explicit sharer pointers before overflowing to a bit vector.
 pub const POINTER_SLOTS: usize = 6;
 
-/// The sharer set of one block: six pointers, or a bit vector after
-/// overflow.
+/// Sharer count at which an overflowed set collapses back to pointers.
+///
+/// Deliberately below [`POINTER_SLOTS`] (hysteresis): a set oscillating
+/// around the boundary does not thrash between representations.
+pub const SHRINK_SLOTS: usize = 3;
+
+/// The sharer set of one block: six pointers, or a heap bit vector after
+/// overflow — the LimitLESS-style chained structure the paper sketches
+/// for machines wider than the inline pointers cover. The vector is
+/// sized to the highest node inserted, so a 1024-node machine pays the
+/// heap allocation only on blocks that actually overflow, and
+/// [`SharerSet::remove`] collapses back to pointers once the population
+/// drops to [`SHRINK_SLOTS`].
 ///
 /// # Example
 ///
@@ -37,7 +40,7 @@ pub const POINTER_SLOTS: usize = 6;
 /// for i in 0..6 {
 ///     assert!(!sharers.insert(NodeId::new(i)), "pointers suffice");
 /// }
-/// assert!(sharers.insert(NodeId::new(9)), "seventh sharer overflows");
+/// assert!(sharers.insert(NodeId::new(999)), "seventh sharer overflows");
 /// assert!(sharers.is_overflowed());
 /// assert_eq!(sharers.len(), 7);
 /// ```
@@ -45,8 +48,9 @@ pub const POINTER_SLOTS: usize = 6;
 pub enum SharerSet {
     /// Up to six explicit node pointers.
     Pointers([Option<NodeId>; POINTER_SLOTS]),
-    /// Bit `i` set means node `i` holds a copy.
-    Bits(u64),
+    /// Bit `i` set means node `i` holds a copy; sized to the highest
+    /// node seen, growing on demand.
+    Bits(Box<[u64]>),
 }
 
 impl Default for SharerSet {
@@ -63,15 +67,7 @@ impl SharerSet {
 
     /// Adds a sharer. Returns `true` if this insertion overflowed the
     /// pointer representation into the bit vector.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` exceeds [`MAX_BITVECTOR_NODES`].
     pub fn insert(&mut self, node: NodeId) -> bool {
-        assert!(
-            node.index() < MAX_BITVECTOR_NODES,
-            "node {node} exceeds the directory's bit-vector capacity"
-        );
         match self {
             SharerSet::Pointers(slots) => {
                 if slots.contains(&Some(node)) {
@@ -81,23 +77,40 @@ impl SharerSet {
                     *empty = Some(node);
                     return false;
                 }
-                // Overflow: convert to bit vector.
-                let mut bits = 0u64;
+                // Overflow: convert to a bit vector wide enough for the
+                // highest node present.
+                let top = slots
+                    .iter()
+                    .flatten()
+                    .map(|s| s.index())
+                    .chain(std::iter::once(node.index()))
+                    .max()
+                    .unwrap();
+                let mut bits = vec![0u64; top / 64 + 1].into_boxed_slice();
                 for s in slots.iter().flatten() {
-                    bits |= 1 << s.index();
+                    bits[s.index() / 64] |= 1 << (s.index() % 64);
                 }
-                bits |= 1 << node.index();
+                bits[node.index() / 64] |= 1 << (node.index() % 64);
                 *self = SharerSet::Bits(bits);
                 true
             }
             SharerSet::Bits(bits) => {
-                *bits |= 1 << node.index();
+                let word = node.index() / 64;
+                if word >= bits.len() {
+                    let mut grown = vec![0u64; word + 1];
+                    grown[..bits.len()].copy_from_slice(bits);
+                    *bits = grown.into_boxed_slice();
+                }
+                bits[word] |= 1 << (node.index() % 64);
                 false
             }
         }
     }
 
-    /// Removes a sharer; returns whether it was present.
+    /// Removes a sharer; returns whether it was present. An overflowed
+    /// set collapses back to the pointer form (ascending node order)
+    /// once the population drops to [`SHRINK_SLOTS`], returning the
+    /// heap vector of a formerly wide set.
     pub fn remove(&mut self, node: NodeId) -> bool {
         match self {
             SharerSet::Pointers(slots) => {
@@ -110,8 +123,19 @@ impl SharerSet {
                 false
             }
             SharerSet::Bits(bits) => {
-                let had = *bits & (1 << node.index()) != 0;
-                *bits &= !(1 << node.index());
+                let word = node.index() / 64;
+                if word >= bits.len() {
+                    return false;
+                }
+                let had = bits[word] & (1 << (node.index() % 64)) != 0;
+                bits[word] &= !(1 << (node.index() % 64));
+                if had && self.len() <= SHRINK_SLOTS {
+                    let mut slots = [None; POINTER_SLOTS];
+                    for (slot, sharer) in slots.iter_mut().zip(self.iter()) {
+                        *slot = Some(sharer);
+                    }
+                    *self = SharerSet::Pointers(slots);
+                }
                 had
             }
         }
@@ -121,7 +145,9 @@ impl SharerSet {
     pub fn contains(&self, node: NodeId) -> bool {
         match self {
             SharerSet::Pointers(slots) => slots.contains(&Some(node)),
-            SharerSet::Bits(bits) => bits & (1 << node.index()) != 0,
+            SharerSet::Bits(bits) => bits
+                .get(node.index() / 64)
+                .is_some_and(|w| w & (1 << (node.index() % 64)) != 0),
         }
     }
 
@@ -129,7 +155,7 @@ impl SharerSet {
     pub fn len(&self) -> usize {
         match self {
             SharerSet::Pointers(slots) => slots.iter().flatten().count(),
-            SharerSet::Bits(bits) => bits.count_ones() as usize,
+            SharerSet::Bits(bits) => bits.iter().map(|w| w.count_ones() as usize).sum(),
         }
     }
 
@@ -143,10 +169,18 @@ impl SharerSet {
     pub fn iter(&self) -> Vec<NodeId> {
         match self {
             SharerSet::Pointers(slots) => slots.iter().flatten().copied().collect(),
-            SharerSet::Bits(bits) => (0..MAX_BITVECTOR_NODES as u16)
-                .filter(|i| bits & (1u64 << i) != 0)
-                .map(NodeId::new)
-                .collect(),
+            SharerSet::Bits(bits) => {
+                let mut out = Vec::with_capacity(self.len());
+                for (wi, &w) in bits.iter().enumerate() {
+                    let mut word = w;
+                    while word != 0 {
+                        let bit = word.trailing_zeros() as usize;
+                        out.push(NodeId::new((wi * 64 + bit) as u16));
+                        word &= word - 1;
+                    }
+                }
+                out
+            }
         }
     }
 
@@ -353,10 +387,60 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bit-vector capacity")]
-    fn node_past_capacity_panics() {
+    fn wide_machine_nodes_fit_and_grow_the_vector() {
         let mut s = SharerSet::new();
-        s.insert(n(64));
+        for i in 0..7 {
+            s.insert(n(i));
+        }
+        assert!(s.is_overflowed());
+        // Node 1000 lands beyond the current one-word vector.
+        s.insert(n(1000));
+        assert!(s.contains(n(1000)));
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.iter().last().copied(), Some(n(1000)));
+    }
+
+    #[test]
+    fn removal_shrinks_back_to_pointers_ascending() {
+        let mut s = SharerSet::new();
+        for i in [9u16, 1, 5, 30, 2, 70, 44] {
+            s.insert(n(i));
+        }
+        assert!(s.is_overflowed());
+        for i in [9u16, 30, 70, 44] {
+            assert!(s.remove(n(i)));
+        }
+        assert!(!s.is_overflowed(), "three sharers fit the pointers again");
+        assert_eq!(s.iter(), vec![n(1), n(2), n(5)], "refilled ascending");
+        // And it can overflow again afterwards.
+        for i in 10..14 {
+            s.insert(n(i));
+        }
+        assert!(s.is_overflowed());
+    }
+
+    #[test]
+    fn bit_vector_iterates_ascending_across_words() {
+        let mut s = SharerSet::new();
+        for i in [200u16, 3, 130, 64, 63, 1000, 65] {
+            s.insert(n(i));
+        }
+        assert_eq!(
+            s.iter(),
+            vec![n(3), n(63), n(64), n(65), n(130), n(200), n(1000)]
+        );
+    }
+
+    #[test]
+    fn thousand_node_all_sharers() {
+        let mut s = SharerSet::new();
+        for i in 0..1024u16 {
+            s.insert(n(i));
+        }
+        assert_eq!(s.len(), 1024);
+        let got = s.iter();
+        assert_eq!(got.len(), 1024);
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "ascending");
     }
 
     #[test]

@@ -207,7 +207,7 @@ impl StacheProtocol {
         addr: VAddr,
     ) {
         let data = ctx.force_read_block(addr);
-        ctx.send(dst, vn, handler, Payload::with_block(vec![addr.raw()], data));
+        ctx.send(dst, vn, handler, Payload::with_block(&[addr.raw()], data));
     }
 
     // --- Home-side protocol engine --------------------------------------
@@ -275,7 +275,7 @@ impl StacheProtocol {
                     owner,
                     VirtualNet::Request,
                     RECALL_RO,
-                    Payload::args(vec![addr.raw()]),
+                    Payload::args(&[addr.raw()]),
                 );
             }
             (DirState::Idle, ReqKind::Rw) => match who {
@@ -312,7 +312,7 @@ impl StacheProtocol {
                             *s,
                             VirtualNet::Request,
                             INV,
-                            Payload::args(vec![addr.raw()]),
+                            Payload::args(&[addr.raw()]),
                         );
                     }
                     self.entry_mut(vpn, block).busy = Some(Busy::Invalidating {
@@ -332,7 +332,7 @@ impl StacheProtocol {
                     owner,
                     VirtualNet::Request,
                     RECALL_RW,
-                    Payload::args(vec![addr.raw()]),
+                    Payload::args(&[addr.raw()]),
                 );
             }
         }
@@ -430,7 +430,7 @@ impl StacheProtocol {
             msg.src,
             VirtualNet::Response,
             ACK,
-            Payload::args(vec![addr.raw()]),
+            Payload::args(&[addr.raw()]),
         );
     }
 
@@ -476,7 +476,7 @@ impl StacheProtocol {
             msg.src,
             VirtualNet::Response,
             RECALL_DATA,
-            Payload::with_block(vec![addr.raw()], data),
+            Payload::with_block(&[addr.raw()], data),
         );
     }
 
@@ -578,7 +578,7 @@ impl StacheProtocol {
                         home,
                         VirtualNet::Request,
                         WRITEBACK,
-                        Payload::with_block(vec![addr.raw()], data),
+                        Payload::with_block(&[addr.raw()], data),
                     );
                 }
                 Tag::ReadOnly | Tag::Invalid => {}
@@ -691,7 +691,7 @@ impl Protocol for StacheProtocol {
             home,
             VirtualNet::Request,
             handler,
-            Payload::args(vec![addr.raw()]),
+            Payload::args(&[addr.raw()]),
         );
     }
 

@@ -104,7 +104,7 @@ impl<P: Protocol> LockLayer<P> {
 
     fn grant(&mut self, ctx: &mut dyn TempestCtx, lock: u64, to: NodeId) {
         self.stats.grants.inc();
-        ctx.send(to, VirtualNet::Response, LOCK_GRANT, Payload::args(vec![lock]));
+        ctx.send(to, VirtualNet::Response, LOCK_GRANT, Payload::args(&[lock]));
     }
 
     fn on_lock_req(&mut self, ctx: &mut dyn TempestCtx, msg: &Message) {
@@ -184,7 +184,7 @@ impl<P: Protocol> Protocol for LockLayer<P> {
                     home,
                     VirtualNet::Request,
                     LOCK_REQ,
-                    Payload::args(vec![call.arg]),
+                    Payload::args(&[call.arg]),
                 );
             }
             RELEASE_OP => {
@@ -195,7 +195,7 @@ impl<P: Protocol> Protocol for LockLayer<P> {
                     home,
                     VirtualNet::Request,
                     LOCK_REL,
-                    Payload::args(vec![call.arg]),
+                    Payload::args(&[call.arg]),
                 );
                 // Release is asynchronous: the caller continues at once.
                 ctx.resume(thread);

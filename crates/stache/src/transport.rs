@@ -200,7 +200,7 @@ impl TempestCtx for RelCtx<'_> {
         let link = self.state.tx.entry(dst.raw()).or_default();
         let seq = link.next_seq;
         link.next_seq += 1;
-        payload.words.push(seq);
+        payload.push_word(seq);
         let deadline = self.ctx.now() + self.cfg.timeout;
         link.inflight.insert(
             seq,
@@ -335,7 +335,7 @@ impl Reliable {
         let next = self.state.rx.entry(src.raw()).or_default().next_expected;
         self.state.stats.acks_sent += 1;
         ctx.charge(REL_BOOKKEEP_INSTR);
-        ctx.send(src, VirtualNet::Response, REL_ACK, Payload::args(vec![next]));
+        ctx.send(src, VirtualNet::Response, REL_ACK, Payload::args(&[next]));
     }
 
     /// Processes a cumulative ack from `src`: everything below `upto`
@@ -403,8 +403,7 @@ impl Protocol for Reliable {
         let mut msg = msg;
         let seq = msg
             .payload
-            .words
-            .pop()
+            .pop_word()
             .expect("sequenced message carries a trailing sequence word");
         ctx.charge(REL_BOOKKEEP_INSTR);
         let src = msg.src;
@@ -558,14 +557,14 @@ mod tests {
             unreachable!("transport tests take no block faults");
         }
         fn on_message(&mut self, _ctx: &mut dyn TempestCtx, msg: Message) {
-            self.log.lock().unwrap().push((msg.handler, msg.payload.words));
+            self.log.lock().unwrap().push((msg.handler, msg.payload.words().to_vec()));
         }
         fn on_user_call(&mut self, ctx: &mut dyn TempestCtx, thread: ThreadId, call: UserCall) {
             ctx.send(
                 NodeId::new(call.op as u16),
                 VirtualNet::Request,
                 PING,
-                Payload::args(vec![call.arg]),
+                Payload::args(&[call.arg]),
             );
             ctx.resume(thread);
         }
@@ -591,7 +590,7 @@ mod tests {
             src: NodeId::new(src),
             vn: VirtualNet::Request,
             handler: PING,
-            payload: Payload::args(words),
+            payload: Payload::args(&words),
         }
     }
 
@@ -601,8 +600,8 @@ mod tests {
         r.on_user_call(&mut ctx, ThreadId(NodeId::new(0)), UserCall { op: 1, arg: 9 });
         r.on_user_call(&mut ctx, ThreadId(NodeId::new(0)), UserCall { op: 1, arg: 10 });
         assert_eq!(ctx.sent.len(), 2);
-        assert_eq!(ctx.sent[0].payload.words, vec![9, 0], "seq 0 appended");
-        assert_eq!(ctx.sent[1].payload.words, vec![10, 1], "seq 1 appended");
+        assert_eq!(ctx.sent[0].payload.words(), &[9, 0], "seq 0 appended");
+        assert_eq!(ctx.sent[1].payload.words(), &[10, 1], "seq 1 appended");
         assert_eq!(r.stats().sent, 2);
         assert_eq!(ctx.timers.len(), 1, "one timer for the earliest deadline");
         assert_eq!(ctx.timers[0].0, Cycles::new(128));
@@ -612,7 +611,7 @@ mod tests {
     fn self_sends_bypass_sequencing() {
         let (mut r, mut ctx, log) = rig(ReliableConfig::default());
         r.on_user_call(&mut ctx, ThreadId(NodeId::new(0)), UserCall { op: 0, arg: 5 });
-        assert_eq!(ctx.sent[0].payload.words, vec![5], "no seq word");
+        assert_eq!(ctx.sent[0].payload.words(), &[5], "no seq word");
         assert_eq!(r.stats().sent, 0);
         assert!(ctx.timers.is_empty());
         // And a self-delivered message needs no seq word stripped.
@@ -620,7 +619,7 @@ mod tests {
             src: NodeId::new(0),
             vn: VirtualNet::Request,
             handler: PING,
-            payload: Payload::args(vec![5]),
+            payload: Payload::args(&[5]),
         };
         r.on_message(&mut ctx, m);
         assert_eq!(delivered(&log), vec![(PING, vec![5])]);
@@ -636,7 +635,7 @@ mod tests {
             .sent
             .iter()
             .filter(|s| s.handler == REL_ACK)
-            .map(|s| (s.dst, s.vn, s.payload.words[0]))
+            .map(|s| (s.dst, s.vn, s.payload.words()[0]))
             .collect();
         assert_eq!(
             acks,
@@ -660,7 +659,7 @@ mod tests {
             vec![(PING, vec![40]), (PING, vec![41]), (PING, vec![42])]
         );
         let last_ack = ctx.sent.iter().rev().find(|s| s.handler == REL_ACK).unwrap();
-        assert_eq!(last_ack.payload.words[0], 3, "cumulative ack covers the drain");
+        assert_eq!(last_ack.payload.words()[0], 3, "cumulative ack covers the drain");
     }
 
     #[test]
@@ -674,7 +673,7 @@ mod tests {
             .sent
             .iter()
             .filter(|s| s.handler == REL_ACK)
-            .map(|s| s.payload.words[0])
+            .map(|s| s.payload.words()[0])
             .collect();
         assert_eq!(acks, vec![1, 1], "duplicate is re-acked so the sender stops");
     }
@@ -706,7 +705,7 @@ mod tests {
         r.on_timer(&mut ctx, 0);
         assert_eq!(r.stats().retransmits, 1);
         let last = ctx.sent.last().unwrap();
-        assert_eq!(last.payload.words, vec![9, 0], "same wire payload, same seq");
+        assert_eq!(last.payload.words(), &[9, 0], "same wire payload, same seq");
         // Backoff doubled: next deadline is 128 + 128*2? No — the new
         // deadline uses the pre-doubling backoff (128), the *next* one
         // doubles.
@@ -725,7 +724,7 @@ mod tests {
             src: NodeId::new(1),
             vn: VirtualNet::Response,
             handler: REL_ACK,
-            payload: Payload::args(vec![1]),
+            payload: Payload::args(&[1]),
         };
         r.on_message(&mut ctx, ack.clone());
         // A duplicate ack (the retry also got acked) is harmless.
@@ -807,7 +806,7 @@ mod tests {
                 src: NodeId::new(1),
                 vn: VirtualNet::Response,
                 handler: REL_ACK,
-                payload: Payload::args(vec![1]),
+                payload: Payload::args(&[1]),
             },
         );
         ctx.advance(Cycles::new(100_000));

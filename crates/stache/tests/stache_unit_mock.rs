@@ -57,7 +57,7 @@ fn msg(src: u16, vn: VirtualNet, handler: HandlerId, payload: Payload) -> Messag
 }
 
 fn get(src: u16, handler: HandlerId, addr: VAddr) -> Message {
-    msg(src, VirtualNet::Request, handler, Payload::args(vec![addr.raw()]))
+    msg(src, VirtualNet::Request, handler, Payload::args(&[addr.raw()]))
 }
 
 #[test]
@@ -71,7 +71,7 @@ fn get_ro_on_idle_shares_and_responds_with_data() {
     assert_eq!(sent.dst, NodeId::new(2));
     assert_eq!(sent.vn, VirtualNet::Response, "data travels on the response net");
     assert_eq!(sent.handler, PUT_RO);
-    assert_eq!(sent.payload.words[0], addr.raw());
+    assert_eq!(sent.payload.words()[0], addr.raw());
     assert_eq!(&sent.payload.block()[0..8], &0xABu64.to_le_bytes());
     // Home tag downgraded so local writes will fault.
     assert_eq!(ctx.read_tag(addr), Tag::ReadOnly);
@@ -106,10 +106,10 @@ fn get_rw_on_shared_runs_an_invalidation_round() {
     );
 
     // First ack: still waiting.
-    p.on_message(&mut ctx, msg(1, VirtualNet::Response, ACK, Payload::args(vec![addr.raw()])));
+    p.on_message(&mut ctx, msg(1, VirtualNet::Response, ACK, Payload::args(&[addr.raw()])));
     assert!(!ctx.sent.iter().any(|s| s.handler == PUT_RW));
     // Final ack sends the data (paper §3).
-    p.on_message(&mut ctx, msg(2, VirtualNet::Response, ACK, Payload::args(vec![addr.raw()])));
+    p.on_message(&mut ctx, msg(2, VirtualNet::Response, ACK, Payload::args(&[addr.raw()])));
     let grant = ctx.sent.iter().find(|s| s.handler == PUT_RW).expect("grant");
     assert_eq!(grant.dst, NodeId::new(3));
     assert_eq!(ctx.read_tag(addr), Tag::Invalid);
@@ -140,7 +140,7 @@ fn requests_queue_behind_a_busy_block_and_drain_in_order() {
 
     // The ack completes the write grant, then the queue drains: node 3's
     // read recalls the new owner (node 2).
-    p.on_message(&mut ctx, msg(1, VirtualNet::Response, ACK, Payload::args(vec![addr.raw()])));
+    p.on_message(&mut ctx, msg(1, VirtualNet::Response, ACK, Payload::args(&[addr.raw()])));
     let handlers: Vec<_> = ctx.sent.iter().map(|s| (s.dst.raw(), s.handler)).collect();
     assert_eq!(handlers[0], (2, PUT_RW), "grant to the writer first");
     assert_eq!(handlers[1].1, tt_stache::stache::RECALL_RO, "then recall for the queued read");
@@ -166,7 +166,7 @@ fn recall_data_completes_a_read_and_shares_both_nodes() {
             src: NodeId::new(2),
             vn: VirtualNet::Response,
             handler: RECALL_DATA,
-            payload: Payload::with_block(vec![addr.raw()], block),
+            payload: Payload::with_block(&[addr.raw()], block),
         },
     );
     // Home memory updated, tag readable again, grant sent to node 3.
@@ -190,7 +190,7 @@ fn writeback_restores_home_ownership() {
             src: NodeId::new(2),
             vn: VirtualNet::Request,
             handler: WRITEBACK,
-            payload: Payload::with_block(vec![addr.raw()], block),
+            payload: Payload::with_block(&[addr.raw()], block),
         },
     );
     assert_eq!(ctx.read_tag(addr), Tag::ReadWrite, "home owns the block again");
@@ -263,7 +263,7 @@ fn put_installs_data_upgrades_tag_and_resumes() {
             src: NodeId::new(HOME),
             vn: VirtualNet::Response,
             handler: PUT_RO,
-            payload: Payload::with_block(vec![addr.raw()], block),
+            payload: Payload::with_block(&[addr.raw()], block),
         },
     );
     assert_eq!(ctx.force_read_word(addr), 555, "data installed");
@@ -306,7 +306,7 @@ fn owner_recall_returns_data_and_invalidates_its_copy() {
             src: NodeId::new(HOME),
             vn: VirtualNet::Response,
             handler: PUT_RW,
-            payload: Payload::with_block(vec![addr.raw()], block),
+            payload: Payload::with_block(&[addr.raw()], block),
         },
     );
     ctx.clear_effects();
@@ -346,7 +346,7 @@ fn page_replacement_writes_back_only_modified_blocks() {
     p.on_page_fault(&mut ctx, PageFault { thread, addr: vpn1.base(), kind: AccessKind::Load });
     let wbs: Vec<_> = ctx.sent.iter().filter(|s| s.handler == WRITEBACK).collect();
     assert_eq!(wbs.len(), 1, "only the ReadWrite block is written back");
-    assert_eq!(wbs[0].payload.words[0], VPN.base().raw());
+    assert_eq!(wbs[0].payload.words()[0], VPN.base().raw());
     assert_eq!(&wbs[0].payload.block()[0..8], &42u64.to_le_bytes());
     assert!(ctx.translate(VPN).is_none(), "victim page unmapped");
     assert!(ctx.translate(vpn1).is_some(), "new stache page mapped");

@@ -214,6 +214,7 @@ impl TyphoonMachine {
             .collect();
         let mut network = Network::new(cfg.nodes, cfg.timing.network_latency);
         network.set_occupancy(cfg.timing.network_occupancy);
+        network.set_topology(cfg.topology);
         if let Some(spec) = cfg.fault {
             network.set_fault_plan(spec);
         }
@@ -1140,15 +1141,15 @@ impl<'m> Shard<'m> {
         let l = n - self.first;
         match packet.handler {
             BULK_DATA => {
-                let dst_addr = VAddr::new(packet.payload.words[0]);
+                let dst_addr = VAddr::new(packet.payload.words()[0]);
                 let node = &mut self.nodes[l];
-                write_virtual_bytes(&mut node.mem, &node.ptable, dst_addr, &packet.payload.data);
+                write_virtual_bytes(&mut node.mem, &node.ptable, dst_addr, packet.payload.data());
                 let np = &mut node.np;
                 let busy = if np.busy_until > now { np.busy_until } else { now };
                 np.busy_until = busy + self.cfg.typhoon.bulk_packet_cycles;
             }
             BULK_DONE => {
-                let words = &packet.payload.words;
+                let words = packet.payload.words();
                 let (src_base, dst_base, bytes) = (words[0], words[1], words[2]);
                 let (notify_src, notify_dst) = (words[3], words[4]);
                 if notify_dst != NO_HANDLER {
@@ -1156,7 +1157,7 @@ impl<'m> Shard<'m> {
                         src: packet.src,
                         vn: VirtualNet::Response,
                         handler: HandlerId(notify_dst as u32),
-                        payload: Payload::args(vec![src_base, dst_base, bytes]),
+                        payload: Payload::args(&[src_base, dst_base, bytes]),
                     }));
                     self.try_dispatch(n, now, queue);
                 }
@@ -1166,19 +1167,19 @@ impl<'m> Shard<'m> {
                         dst: packet.src,
                         vn: VirtualNet::Response,
                         handler: BULK_ACK,
-                        payload: Payload::args(vec![src_base, dst_base, bytes, notify_src]),
+                        payload: Payload::args(&[src_base, dst_base, bytes, notify_src]),
                     };
                     let at = self.network.send(now, &ack);
                     schedule(queue, at, Event::Deliver(ack));
                 }
             }
             BULK_ACK => {
-                let words = &packet.payload.words;
+                let words = packet.payload.words();
                 self.nodes[l].np.enqueue(NpWork::Message(Message {
                     src: packet.src,
                     vn: VirtualNet::Response,
                     handler: HandlerId(words[3] as u32),
-                    payload: Payload::args(vec![words[0], words[1], words[2]]),
+                    payload: Payload::args(&[words[0], words[1], words[2]]),
                 }));
                 self.try_dispatch(n, now, queue);
             }
@@ -1213,10 +1214,7 @@ impl<'m> Shard<'m> {
                 dst: req.dst,
                 vn: VirtualNet::Request,
                 handler: BULK_DATA,
-                payload: Payload {
-                    words: vec![req.dst_addr.raw() + b.offset as u64],
-                    data,
-                },
+                payload: Payload::with_data(&[req.dst_addr.raw() + b.offset as u64], &data),
             };
             b.offset += chunk;
             node.np.stats.bulk_packets.inc();
@@ -1234,7 +1232,7 @@ impl<'m> Shard<'m> {
                     dst: req.dst,
                     vn: VirtualNet::Request,
                     handler: BULK_DONE,
-                    payload: Payload::args(vec![
+                    payload: Payload::args(&[
                         req.src_addr.raw(),
                         req.dst_addr.raw(),
                         req.bytes as u64,

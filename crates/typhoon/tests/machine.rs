@@ -159,7 +159,7 @@ impl Protocol for Ping {
             PING => {
                 self.pings_served += 1;
                 ctx.charge(10);
-                ctx.send(msg.src, VirtualNet::Response, PONG, Payload::args(vec![]));
+                ctx.send(msg.src, VirtualNet::Response, PONG, Payload::args(&[]));
             }
             PONG => {
                 ctx.charge(5);
@@ -178,7 +178,7 @@ impl Protocol for Ping {
             NodeId::new(1),
             VirtualNet::Request,
             PING,
-            Payload::args(vec![call.arg]),
+            Payload::args(&[call.arg]),
         );
     }
 }
@@ -323,7 +323,7 @@ impl Protocol for RingPing {
         match msg.handler {
             PING => {
                 ctx.charge(10);
-                ctx.send(msg.src, VirtualNet::Response, PONG, Payload::args(vec![]));
+                ctx.send(msg.src, VirtualNet::Response, PONG, Payload::args(&[]));
             }
             PONG => {
                 ctx.charge(5);
@@ -340,7 +340,7 @@ impl Protocol for RingPing {
             NodeId::new((self.node + 1) % self.nodes),
             VirtualNet::Request,
             PING,
-            Payload::args(vec![call.arg]),
+            Payload::args(&[call.arg]),
         );
     }
 }

@@ -102,7 +102,7 @@ impl Protocol for Migratory {
             owner,
             VirtualNet::Request,
             GRAB,
-            Payload::args(vec![vpn.0]),
+            Payload::args(&[vpn.0]),
         );
     }
 
@@ -117,7 +117,7 @@ impl Protocol for Migratory {
             owner,
             VirtualNet::Request,
             GRAB,
-            Payload::args(vec![vpn.0]),
+            Payload::args(&[vpn.0]),
         );
     }
 
@@ -139,7 +139,7 @@ impl Protocol for Migratory {
                         msg.src,
                         VirtualNet::Response,
                         PAGE_BLOCK,
-                        Payload::with_block(vec![addr.raw()], data),
+                        Payload::with_block(&[addr.raw()], data),
                     );
                     ctx.set_tag(addr, Tag::Invalid);
                 }
@@ -148,7 +148,7 @@ impl Protocol for Migratory {
                     msg.src,
                     VirtualNet::Response,
                     PAGE_DONE,
-                    Payload::args(vec![vpn.0]),
+                    Payload::args(&[vpn.0]),
                 );
             }
             PAGE_BLOCK => {

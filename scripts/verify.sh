@@ -119,6 +119,31 @@ cargo run --release -p tt-bench --bin tt-check -- \
     kv --seeds 100 --sim-threads 2 --window-policy adaptive
 cargo run --release -p tt-bench --bin tt-check -- kv --seeds 100 --faults
 
+# Big-machine smoke: a 256-node mesh figure-3 point. The cycle table
+# must be bit-identical between the sequential and the 2-thread
+# parallel simulator (routed-topology lookahead = one mesh hop), and
+# the heap high-water mark per node must stay within 2x of the
+# committed results/BENCH_figure3_256_mesh.json snapshot — the guard
+# that keeps the compact directory state compact.
+echo "==> figure3 big-machine smoke (256-node mesh, seq vs --sim-threads 2 + memory guard)"
+cargo run --release -p tt-bench --bin figure3 -- \
+    --nodes 256 --topology mesh --apps em3d --scale 64 --jobs 1 \
+    --json /tmp/fig3_mesh256.json >/tmp/fig3_mesh256_a.txt
+cargo run --release -p tt-bench --bin figure3 -- \
+    --nodes 256 --topology mesh --apps em3d --scale 64 --jobs 1 \
+    --sim-threads 2 >/tmp/fig3_mesh256_b.txt
+cmp /tmp/fig3_mesh256_a.txt /tmp/fig3_mesh256_b.txt
+new_bpn=$(grep -o '"bytes_per_node": [0-9]*' /tmp/fig3_mesh256.json \
+    | head -1 | tr -dc 0-9)
+old_bpn=$(grep -o '"bytes_per_node": [0-9]*' results/BENCH_figure3_256_mesh.json \
+    | head -1 | tr -dc 0-9)
+if [ "$new_bpn" -gt $((old_bpn * 2)) ]; then
+    echo "FAIL: 256-node mesh bytes/node regressed >2x: $new_bpn vs snapshot $old_bpn"
+    exit 1
+fi
+echo "    bytes/node $new_bpn (snapshot $old_bpn, guard 2x)"
+rm -f /tmp/fig3_mesh256.json /tmp/fig3_mesh256_a.txt /tmp/fig3_mesh256_b.txt
+
 echo "==> examples build"
 cargo build --release --examples
 
